@@ -1,0 +1,92 @@
+// Package repro's root benchmarks regenerate every table and figure
+// of the paper through the testing.B harness: one benchmark per
+// experiment (BenchmarkTable2 … BenchmarkFig14), plus ablation
+// benches for the design decisions DESIGN.md calls out. Run them
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks run the experiments at a reduced scale so the whole
+// suite completes in minutes; cmd/stbench runs the same experiments
+// at a configurable (larger) scale and prints the paper-style tables.
+package repro
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchScale keeps the testing.B runs fast; stbench uses the full
+// default scale.
+var benchScale = bench.Scale{
+	RRecords:      8000,
+	Shards:        12,
+	ChunkMaxBytes: 48 << 10,
+	Runs:          2,
+	Warmup:        1,
+}
+
+var (
+	envOnce  sync.Once
+	benchEnv *bench.Env
+)
+
+func sharedEnv() *bench.Env {
+	envOnce.Do(func() {
+		benchEnv = bench.NewEnv(benchScale)
+	})
+	return benchEnv
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	exp, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	env := sharedEnv()
+	// Build data sets and stores outside the timed region.
+	if err := exp.Run(env, io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(env, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The paper's tables.
+
+func BenchmarkTable2(b *testing.B) { benchmarkExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchmarkExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchmarkExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchmarkExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B) { benchmarkExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B) { benchmarkExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B) { benchmarkExperiment(b, "table8") }
+
+// The paper's figures.
+
+func BenchmarkFig5(b *testing.B)  { benchmarkExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchmarkExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchmarkExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchmarkExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchmarkExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchmarkExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchmarkExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchmarkExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchmarkExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchmarkExperiment(b, "fig14") }
+
+// Ablations over the design choices (DESIGN.md Section 5).
+
+func BenchmarkAblationCurve(b *testing.B)     { benchmarkExperiment(b, "abl-curve") }
+func BenchmarkAblationPrecision(b *testing.B) { benchmarkExperiment(b, "abl-precision") }
+func BenchmarkAblationChunkSize(b *testing.B) { benchmarkExperiment(b, "abl-chunk") }
+func BenchmarkAblationHashed(b *testing.B)    { benchmarkExperiment(b, "abl-hashed") }
+func BenchmarkAblationZones(b *testing.B)     { benchmarkExperiment(b, "abl-zones") }
+func BenchmarkAblationSTHash(b *testing.B)    { benchmarkExperiment(b, "abl-sthash") }

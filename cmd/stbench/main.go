@@ -1,0 +1,96 @@
+// Command stbench regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	stbench [-exp id[,id...]] [-records n] [-shards n] [-runs n] [-list] [-quiet]
+//
+// Examples:
+//
+//	stbench -list                 # show every experiment id
+//	stbench -exp fig6             # one figure at the default scale
+//	stbench -exp all -records 80000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expIDs  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		records = flag.Int("records", 0, "R data set size (default 40000; S is always 2x)")
+		shards  = flag.Int("shards", 0, "number of shards (default 12)")
+		runs    = flag.Int("runs", 0, "measured repetitions per query (default 3)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := bench.DefaultScale()
+	if *records > 0 {
+		scale.RRecords = *records
+	}
+	if *shards > 0 {
+		scale.Shards = *shards
+	}
+	if *runs > 0 {
+		scale.Runs = *runs
+	}
+	env := bench.NewEnv(scale)
+	if !*quiet {
+		env.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  .. "+format+"\n", args...)
+		}
+	}
+
+	var selected []bench.Experiment
+	if *expIDs == "all" {
+		selected = bench.Experiments()
+		// The ablations rebuild large stores; keep the default run to
+		// the paper's own tables and figures.
+		var core []bench.Experiment
+		for _, e := range selected {
+			if !strings.HasPrefix(e.ID, "abl-") {
+				core = append(core, e)
+			}
+		}
+		selected = core
+	} else {
+		for _, id := range strings.Split(*expIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "stbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("stbench: %d shards, R=%d records, S=%d records, %d+%d runs/query\n\n",
+		scale.Shards, scale.RRecords, 2*scale.RRecords, scale.Warmup, scale.Runs)
+	for _, e := range selected {
+		start := time.Now()
+		if err := e.Run(env, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  [%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

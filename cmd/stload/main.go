@@ -1,0 +1,118 @@
+// Command stload generates the evaluation data sets to CSV, or loads
+// a CSV into a store and reports the resulting cluster statistics
+// (the Table 6 / data-loading workflow of the paper's appendix).
+//
+// Usage:
+//
+//	stload -gen real -records 40000 -out r.csv
+//	stload -gen synthetic -records 80000 -out s.csv
+//	stload -load r.csv -approach hil -shards 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+func main() {
+	var (
+		gen      = flag.String("gen", "", "generate a data set: 'real' or 'synthetic'")
+		out      = flag.String("out", "", "output CSV path for -gen")
+		load     = flag.String("load", "", "CSV file to load into a store")
+		approach = flag.String("approach", "hil", "bslST | bslTS | hil | hil* | sthash")
+		records  = flag.Int("records", 40000, "records to generate")
+		shards   = flag.Int("shards", 12, "shards for -load")
+		zones    = flag.Bool("zones", false, "configure zones after loading")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		if *out == "" {
+			fatal("stload: -gen requires -out")
+		}
+		var recs []core.Record
+		switch *gen {
+		case "real":
+			recs = data.GenerateReal(data.RealConfig{Records: *records})
+		case "synthetic":
+			recs = data.GenerateSynthetic(data.SyntheticConfig{Records: *records})
+		default:
+			fatal("stload: unknown generator %q", *gen)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("stload: %v", err)
+		}
+		defer f.Close()
+		if err := data.WriteCSV(f, recs); err != nil {
+			fatal("stload: writing CSV: %v", err)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(recs), *out)
+
+	case *load != "":
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal("stload: %v", err)
+		}
+		recs, err := data.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal("stload: reading CSV: %v", err)
+		}
+		a, ok := parseApproach(*approach)
+		if !ok {
+			fatal("stload: unknown approach %q", *approach)
+		}
+		s, err := core.Open(core.Config{
+			Approach:   a,
+			Shards:     *shards,
+			DataExtent: data.MBROf(recs),
+		})
+		if err != nil {
+			fatal("stload: %v", err)
+		}
+		start := time.Now()
+		if err := s.Load(recs); err != nil {
+			fatal("stload: loading: %v", err)
+		}
+		if *zones {
+			if err := s.ConfigureZones(); err != nil {
+				fatal("stload: zones: %v", err)
+			}
+		}
+		st := s.Cluster().ClusterStats()
+		fmt.Printf("loaded %d documents in %v under %s (%d shards)\n",
+			st.Docs, time.Since(start).Round(time.Millisecond), a, st.Shards)
+		fmt.Printf("data size: %.2f MB, index size: %.2f MB, chunks: %d (splits %d, migrations %d, jumbo %d)\n",
+			float64(st.DataBytes)/(1<<20), float64(st.IndexBytes)/(1<<20),
+			st.Chunks, st.Splits, st.Migrations, st.Jumbo)
+		for i, ss := range st.PerShard {
+			fmt.Printf("  shard%02d: %7d docs %4d chunks %8.2f MB\n",
+				i, ss.Docs, ss.Chunks, float64(ss.DataBytes)/(1<<20))
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseApproach(s string) (core.Approach, bool) {
+	for _, a := range core.AllApproaches() {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// Command stquery loads a data set and answers ad-hoc spatio-temporal
+// range queries with explain-style output, so the routing and
+// index-usage behaviour of each approach can be inspected directly.
+//
+// Usage:
+//
+//	stquery -approach hil -records 40000 \
+//	        -rect 23.606039,38.023982,24.032754,38.353926 \
+//	        -from 2018-07-11T00:00:00Z -to 2018-07-12T00:00:00Z
+//
+// Omitting -rect/-from/-to runs the paper's eight queries (Q1s..Q4b).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/geo"
+)
+
+func main() {
+	var (
+		approach = flag.String("approach", "hil", "bslST | bslTS | hil | hil* | sthash")
+		records  = flag.Int("records", 40000, "R-like records to generate and load")
+		shards   = flag.Int("shards", 12, "number of shards")
+		zones    = flag.Bool("zones", false, "configure zones after loading")
+		rectStr  = flag.String("rect", "", "query rectangle: lon1,lat1,lon2,lat2")
+		fromStr  = flag.String("from", "", "query start (RFC 3339)")
+		toStr    = flag.String("to", "", "query end (RFC 3339)")
+		verbose  = flag.Bool("v", false, "print matching documents")
+		explain  = flag.Bool("explain", false, "print per-shard plan explanations")
+	)
+	flag.Parse()
+
+	a, ok := parseApproach(*approach)
+	if !ok {
+		fatal("stquery: unknown approach %q", *approach)
+	}
+	fmt.Fprintf(os.Stderr, "generating and loading %d records under %s...\n", *records, a)
+	recs := data.GenerateReal(data.RealConfig{Records: *records})
+	s, err := core.Open(core.Config{
+		Approach:   a,
+		Shards:     *shards,
+		DataExtent: data.MBROf(recs),
+	})
+	if err != nil {
+		fatal("stquery: %v", err)
+	}
+	if err := s.Load(recs); err != nil {
+		fatal("stquery: %v", err)
+	}
+	if *zones {
+		if err := s.ConfigureZones(); err != nil {
+			fatal("stquery: %v", err)
+		}
+	}
+
+	if *rectStr == "" {
+		runPaperQueries(s)
+		return
+	}
+	rect, err := parseRect(*rectStr)
+	if err != nil {
+		fatal("stquery: %v", err)
+	}
+	from, err := time.Parse(time.RFC3339, *fromStr)
+	if err != nil {
+		fatal("stquery: bad -from: %v", err)
+	}
+	to, err := time.Parse(time.RFC3339, *toStr)
+	if err != nil {
+		fatal("stquery: bad -to: %v", err)
+	}
+	q := core.STQuery{Rect: rect, From: from, To: to}
+	res := s.Query(q)
+	printResult("query", res)
+	if *explain {
+		shards, exps := s.Explain(q)
+		for i, ex := range exps {
+			fmt.Printf("--- shard%02d ---\n%s", shards[i], ex)
+		}
+	}
+	if *verbose {
+		for _, d := range res.Docs {
+			doc, err := d.Decode()
+			if err != nil {
+				continue
+			}
+			fmt.Println(doc)
+		}
+	}
+}
+
+func runPaperQueries(s *core.Store) {
+	ds := &bench.Dataset{
+		Start: data.RStart,
+		Offsets: [4]time.Duration{
+			10 * 24 * time.Hour, 20 * 24 * time.Hour,
+			40 * 24 * time.Hour, 70 * 24 * time.Hour,
+		},
+	}
+	for _, small := range []bool{true, false} {
+		names := bench.QueryNames(small)
+		for i, q := range ds.Queries(small) {
+			printResult(names[i], s.Query(q))
+		}
+	}
+}
+
+func printResult(name string, res *core.QueryResult) {
+	st := res.Stats
+	fmt.Printf("%-5s returned=%-7d nodes=%-2d maxKeys=%-8d maxDocs=%-8d time=%-12v",
+		name, st.NReturned, st.Nodes, st.MaxKeysExamined, st.MaxDocsExamined, st.Duration)
+	if st.CoverRanges+st.CoverCells > 0 {
+		fmt.Printf(" cover=%dr+%dc (%v)", st.CoverRanges, st.CoverCells, st.CoverDuration)
+	}
+	if st.Broadcast {
+		fmt.Printf(" BROADCAST")
+	}
+	fmt.Printf(" idx=%s\n", summarizeIndexes(st.IndexesUsed))
+}
+
+func summarizeIndexes(used []string) string {
+	counts := map[string]int{}
+	for _, u := range used {
+		counts[u]++
+	}
+	var parts []string
+	for name, n := range counts {
+		parts = append(parts, fmt.Sprintf("%s x%d", name, n))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func parseRect(s string) (geo.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geo.Rect{}, fmt.Errorf("rect needs 4 comma-separated numbers")
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geo.Rect{}, fmt.Errorf("rect component %d: %w", i, err)
+		}
+		v[i] = f
+	}
+	return geo.NewRect(v[0], v[1], v[2], v[3]), nil
+}
+
+func parseApproach(s string) (core.Approach, bool) {
+	for _, a := range core.AllApproaches() {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Scalable
+// Spatio-temporal Indexing and Querying over a Document-oriented
+// NoSQL Store" (Koutroumanis & Doulkeridis, EDBT 2021): a
+// document store with B-tree and 2dsphere indexes, a sharded-cluster
+// simulator with chunks/balancer/zones, Hilbert-curve spatio-temporal
+// indexing and partitioning, and a benchmark harness regenerating
+// every table and figure of the paper's evaluation.
+//
+// The root package carries the experiment benchmarks (bench_test.go);
+// the implementation lives under internal/ and the runnable tools
+// under cmd/ and examples/. Start with README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package repro

@@ -1,0 +1,48 @@
+// Benchmark_custom: builds a custom experiment on the harness —
+// sweeping the temporal window of a fixed-size spatial query across
+// all four approaches — to show how to use internal/bench for studies
+// beyond the paper's own tables.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+func main() {
+	env := bench.NewEnv(bench.Scale{RRecords: 15000, Shards: 8, Runs: 3, Warmup: 1})
+	d := env.DatasetR()
+
+	// A mid-sized rectangle between the paper's small and big ones.
+	rect := geo.NewRect(23.70, 37.95, 23.85, 38.05)
+	windows := []time.Duration{
+		6 * time.Hour,
+		2 * 24 * time.Hour,
+		14 * 24 * time.Hour,
+		60 * 24 * time.Hour,
+	}
+
+	fmt.Printf("window sweep over %v (R=%d records, %d shards)\n\n",
+		rect, env.Scale.RRecords, env.Scale.Shards)
+	fmt.Printf("%-8s %-8s %10s %10s %7s %12s\n",
+		"window", "approach", "maxKeys", "maxDocs", "nodes", "time")
+	for _, w := range windows {
+		from := d.Start.Add(15 * 24 * time.Hour)
+		q := core.STQuery{Rect: rect, From: from, To: from.Add(w)}
+		for _, a := range []core.Approach{core.BslST, core.BslTS, core.Hil, core.HilStar} {
+			s, err := env.Store(d, a, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := bench.MeasureQuery(s, "sweep", q, env.Scale.Runs, env.Scale.Warmup)
+			fmt.Printf("%-8s %-8s %10d %10d %7d %12v\n",
+				w, a, m.MaxKeys, m.MaxDocs, m.Nodes, m.AvgTime)
+		}
+		fmt.Println()
+	}
+}

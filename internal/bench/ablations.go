@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/sfc"
+	"repro/internal/sharding"
+)
+
+// The ablations probe the design decisions DESIGN.md calls out. They
+// are not in the paper; they quantify why the paper's choices
+// (Hilbert over z-order, 13-bit precision, range sharding, one zone
+// per shard) hold on this implementation.
+
+// runAblCurve compares Hilbert against z-order: ranges per cover on
+// the paper's query rectangles, and the resulting maximum keys
+// examined for the big workload on otherwise identical stores.
+func runAblCurve(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, "Ablation: Hilbert vs z-order (order 13, world extent)")
+	h, err := sfc.NewHilbert(core.DefaultHilbertOrder)
+	if err != nil {
+		return err
+	}
+	z, err := sfc.NewZOrder(core.DefaultHilbertOrder)
+	if err != nil {
+		return err
+	}
+	gh, err := sfc.NewGrid(h, geo.World)
+	if err != nil {
+		return err
+	}
+	gz, err := sfc.NewGrid(z, geo.World)
+	if err != nil {
+		return err
+	}
+	header := []string{"Query rect", "hilbert ranges", "zorder ranges"}
+	rows := [][]string{
+		{"small (Qs)", fmt.Sprintf("%d", len(gh.Cover(SmallRect))), fmt.Sprintf("%d", len(gz.Cover(SmallRect)))},
+		{"big (Qb)", fmt.Sprintf("%d", len(gh.Cover(BigRect))), fmt.Sprintf("%d", len(gz.Cover(BigRect)))},
+	}
+	if err := writeSimpleTable(w, header, rows); err != nil {
+		return err
+	}
+
+	// End-to-end: two hil stores, one per curve, over the R set.
+	d := e.DatasetR()
+	header = []string{"Curve", "Q2b max keys", "Q2b max docs", "Q2b nodes", "Q2b time"}
+	rows = nil
+	for _, tc := range []struct {
+		name  string
+		curve sfc.Curve
+	}{{"hilbert", h}, {"zorder", z}} {
+		s, err := core.Open(core.Config{
+			Approach:      core.Hil,
+			Shards:        e.Scale.Shards,
+			ChunkMaxBytes: e.Scale.ChunkMaxBytes,
+			Curve:         tc.curve,
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.Load(d.Recs); err != nil {
+			return err
+		}
+		m := MeasureQuery(s, "Q2b", q2b(d), e.Scale.Runs, e.Scale.Warmup)
+		rows = append(rows, []string{
+			tc.name,
+			fmt.Sprintf("%d", m.MaxKeys),
+			fmt.Sprintf("%d", m.MaxDocs),
+			fmt.Sprintf("%d", m.Nodes),
+			formatDuration(m.AvgTime),
+		})
+	}
+	return writeSimpleTable(w, header, rows)
+}
+
+// runAblPrecision sweeps the curve order: lower precision means fewer,
+// coarser cells (cheaper covers, more false positives); higher
+// precision the reverse — generalising the paper's hil vs hil*
+// observation.
+func runAblPrecision(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, "Ablation: Hilbert precision sweep (hil over R, query Q2b)")
+	d := e.DatasetR()
+	header := []string{"Order (bits/dim)", "cover ranges", "max keys", "max docs", "time"}
+	var rows [][]string
+	for _, order := range []uint{8, 10, 13, 16} {
+		h, err := sfc.NewHilbert(order)
+		if err != nil {
+			return err
+		}
+		s, err := core.Open(core.Config{
+			Approach:      core.Hil,
+			Shards:        e.Scale.Shards,
+			ChunkMaxBytes: e.Scale.ChunkMaxBytes,
+			Curve:         h,
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.Load(d.Recs); err != nil {
+			return err
+		}
+		q := q2b(d)
+		_, coverStats, _ := s.Filter(q)
+		m := MeasureQuery(s, "Q2b", q, e.Scale.Runs, e.Scale.Warmup)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", order),
+			fmt.Sprintf("%d", coverStats.Ranges),
+			fmt.Sprintf("%d", m.MaxKeys),
+			fmt.Sprintf("%d", m.MaxDocs),
+			formatDuration(m.AvgTime),
+		})
+	}
+	return writeSimpleTable(w, header, rows)
+}
+
+// runAblChunkSize sweeps the chunk split threshold: smaller chunks
+// distribute more evenly but migrate more; larger chunks reduce
+// migration at the cost of coarser placement (Section 3.3's
+// trade-off).
+func runAblChunkSize(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, "Ablation: chunk size sweep (hil over R)")
+	d := e.DatasetR()
+	header := []string{"chunk max", "chunks", "migrations", "Q2b nodes", "Q2b max docs"}
+	var rows [][]string
+	for _, size := range []int64{32 << 10, 96 << 10, 256 << 10, 1 << 20} {
+		s, err := core.Open(core.Config{
+			Approach:      core.Hil,
+			Shards:        e.Scale.Shards,
+			ChunkMaxBytes: size,
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.Load(d.Recs); err != nil {
+			return err
+		}
+		st := s.Cluster().ClusterStats()
+		m := MeasureQuery(s, "Q2b", q2b(d), e.Scale.Runs, e.Scale.Warmup)
+		rows = append(rows, []string{
+			fmt.Sprintf("%dKiB", size>>10),
+			fmt.Sprintf("%d", st.Chunks),
+			fmt.Sprintf("%d", st.Migrations),
+			fmt.Sprintf("%d", m.Nodes),
+			fmt.Sprintf("%d", m.MaxDocs),
+		})
+	}
+	return writeSimpleTable(w, header, rows)
+}
+
+// runAblHashed contrasts range sharding with hashed sharding on the
+// Hilbert key: hashed placement balances perfectly but every range
+// query broadcasts, which is why the paper's approach requires range
+// sharding.
+func runAblHashed(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, "Ablation: range vs hashed sharding (hil over R)")
+	d := e.DatasetR()
+	header := []string{"strategy", "Q2b nodes", "broadcast", "Q2b max docs", "Q2b time"}
+	var rows [][]string
+	for _, hashed := range []bool{false, true} {
+		s, err := core.Open(core.Config{
+			Approach:      core.Hil,
+			Shards:        e.Scale.Shards,
+			ChunkMaxBytes: e.Scale.ChunkMaxBytes,
+			Hashed:        hashed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.Load(d.Recs); err != nil {
+			return err
+		}
+		m := MeasureQuery(s, "Q2b", q2b(d), e.Scale.Runs, e.Scale.Warmup)
+		rows = append(rows, []string{
+			map[bool]string{false: "range", true: "hashed"}[hashed],
+			fmt.Sprintf("%d", m.Nodes),
+			fmt.Sprintf("%v", m.Broadcast),
+			fmt.Sprintf("%d", m.MaxDocs),
+			formatDuration(m.AvgTime),
+		})
+	}
+	return writeSimpleTable(w, header, rows)
+}
+
+// runAblSTHash pits the Hilbert layout against the related-work
+// ST-Hash string encoding (Section 2.2) on the two workload shapes
+// that separate them: a temporally selective query (1 hour, big
+// rectangle — ST-Hash's sweet spot) and a spatially selective query
+// over a long window (small rectangle, 1 month — the case the paper
+// says ST-Hash "cannot exploit the encoding" for).
+func runAblSTHash(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, "Ablation: Hilbert vs ST-Hash encoding (R)")
+	d := e.DatasetR()
+	stores := map[core.Approach]*core.Store{}
+	for _, a := range []core.Approach{core.Hil, core.STHash} {
+		s, err := core.Open(core.Config{
+			Approach:      a,
+			Shards:        e.Scale.Shards,
+			ChunkMaxBytes: e.Scale.ChunkMaxBytes,
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.Load(d.Recs); err != nil {
+			return err
+		}
+		stores[a] = s
+	}
+	queries := []struct {
+		name string
+		q    core.STQuery
+	}{
+		{"Q1b (1h, big rect)", d.Queries(false)[0]},
+		{"Q4b (1mo, big rect)", d.Queries(false)[3]},
+		{"Q4s (1mo, small rect)", d.Queries(true)[3]},
+	}
+	header := []string{"query", "approach", "cover ranges", "nodes", "max keys", "max docs", "time"}
+	var rows [][]string
+	for _, tc := range queries {
+		for _, a := range []core.Approach{core.Hil, core.STHash} {
+			s := stores[a]
+			_, coverStats, _ := s.Filter(tc.q)
+			m := MeasureQuery(s, tc.name, tc.q, e.Scale.Runs, e.Scale.Warmup)
+			rows = append(rows, []string{
+				tc.name, a.String(),
+				fmt.Sprintf("%d", coverStats.Ranges+coverStats.Singles),
+				fmt.Sprintf("%d", m.Nodes),
+				fmt.Sprintf("%d", m.MaxKeys),
+				fmt.Sprintf("%d", m.MaxDocs),
+				formatDuration(m.AvgTime),
+			})
+		}
+	}
+	return writeSimpleTable(w, header, rows)
+}
+
+// runAblZones sweeps the zone count: fewer zones than shards
+// concentrate the data on the zoned shards (better locality, less
+// parallelism); one zone per shard is the paper's configuration.
+func runAblZones(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, "Ablation: zone count (hil over R, query Q3b)")
+	d := e.DatasetR()
+	header := []string{"zones", "Q3b nodes", "Q3b max docs", "Q3b time"}
+	var rows [][]string
+	for _, zoneCount := range []int{0, 3, 6, e.Scale.Shards} {
+		s, err := core.Open(core.Config{
+			Approach:      core.Hil,
+			Shards:        e.Scale.Shards,
+			ChunkMaxBytes: e.Scale.ChunkMaxBytes,
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.Load(d.Recs); err != nil {
+			return err
+		}
+		label := "none (default)"
+		if zoneCount > 0 {
+			splits, err := s.Cluster().BucketAuto(core.FieldHilbert, zoneCount)
+			if err != nil {
+				return err
+			}
+			zones := sharding.ZonesFromSplits(core.FieldHilbert, splits, e.Scale.Shards)
+			if err := s.Cluster().SetZones(zones); err != nil {
+				return err
+			}
+			label = fmt.Sprintf("%d", zoneCount)
+		}
+		q := d.Queries(false)[2] // Q3b
+		m := MeasureQuery(s, "Q3b", q, e.Scale.Runs, e.Scale.Warmup)
+		rows = append(rows, []string{
+			label,
+			fmt.Sprintf("%d", m.Nodes),
+			fmt.Sprintf("%d", m.MaxDocs),
+			formatDuration(m.AvgTime),
+		})
+	}
+	return writeSimpleTable(w, header, rows)
+}

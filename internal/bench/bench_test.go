@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func tinyScale() Scale {
+	return Scale{RRecords: 2500, Shards: 4, ChunkMaxBytes: 24 << 10, Runs: 1, Warmup: 0}
+}
+
+func TestDefaultScale(t *testing.T) {
+	s := Scale{}.withDefaults()
+	if s.RRecords == 0 || s.Shards == 0 || s.ChunkMaxBytes == 0 || s.Runs == 0 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+}
+
+func TestPaperRectangles(t *testing.T) {
+	// The size relationship the paper states: the big rectangle is
+	// ~2,603x the small one.
+	ratio := BigRect.AreaKm2() / SmallRect.AreaKm2()
+	if ratio < 2300 || ratio > 2900 {
+		t.Fatalf("rect area ratio = %.0f", ratio)
+	}
+}
+
+func TestQueryWorkloadStructure(t *testing.T) {
+	env := NewEnv(tinyScale())
+	d := env.DatasetR()
+	for _, small := range []bool{true, false} {
+		qs := d.Queries(small)
+		names := QueryNames(small)
+		for i, q := range qs {
+			if got := q.To.Sub(q.From); got != Windows[i] {
+				t.Errorf("%s window = %v, want %v", names[i], got, Windows[i])
+			}
+		}
+		// Non-overlapping time spans (the paper's requirement).
+		for i := 0; i+1 < len(qs); i++ {
+			if qs[i+1].From.Before(qs[i].To) {
+				t.Errorf("queries %s and %s overlap in time", names[i], names[i+1])
+			}
+		}
+	}
+	if QueryNames(true)[0] != "Q1s" || QueryNames(false)[3] != "Q4b" {
+		t.Fatal("query names wrong")
+	}
+}
+
+func TestDatasetsCachedAndSized(t *testing.T) {
+	env := NewEnv(tinyScale())
+	r1 := env.DatasetR()
+	r2 := env.DatasetR()
+	if r1 != r2 {
+		t.Fatal("DatasetR not cached")
+	}
+	if len(r1.Recs) != env.Scale.RRecords {
+		t.Fatalf("R has %d records", len(r1.Recs))
+	}
+	s := env.DatasetS()
+	if len(s.Recs) != 2*env.Scale.RRecords {
+		t.Fatalf("S has %d records, want 2x R", len(s.Recs))
+	}
+	if s.Recs[0].Time.Before(s.Start) {
+		t.Fatal("S starts before its configured start")
+	}
+}
+
+func TestStoreCachedPerConfiguration(t *testing.T) {
+	env := NewEnv(tinyScale())
+	d := env.DatasetR()
+	a, err := env.Store(d, core.Hil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Store(d, core.Hil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("store not cached")
+	}
+	z, err := env.Store(d, core.Hil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z == a {
+		t.Fatal("zoned store shares cache entry with default store")
+	}
+	env.Reset(false)
+	c, err := env.Store(d, core.Hil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("Reset did not drop stores")
+	}
+}
+
+func TestMeasureQueryDeterministicCounters(t *testing.T) {
+	env := NewEnv(tinyScale())
+	d := env.DatasetR()
+	s, err := env.Store(d, core.Hil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.Queries(false)[2]
+	m1 := MeasureQuery(s, "Q3b", q, 2, 1)
+	m2 := MeasureQuery(s, "Q3b", q, 2, 1)
+	if m1.MaxKeys != m2.MaxKeys || m1.MaxDocs != m2.MaxDocs || m1.Nodes != m2.Nodes {
+		t.Fatalf("counters not deterministic: %+v vs %+v", m1, m2)
+	}
+	if m1.QueryName != "Q3b" || m1.Approach != core.Hil {
+		t.Fatalf("labels wrong: %+v", m1)
+	}
+	if m1.AvgTime <= 0 {
+		t.Fatalf("AvgTime = %v", m1.AvgTime)
+	}
+}
+
+func TestRunPanelShape(t *testing.T) {
+	env := NewEnv(tinyScale())
+	d := env.DatasetR()
+	p, err := env.RunPanel(d, []core.Approach{core.BslST, core.Hil}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cells) != 2 || len(p.Cells[0]) != 4 {
+		t.Fatalf("panel shape %dx%d", len(p.Cells), len(p.Cells[0]))
+	}
+	// All approaches agree on result counts.
+	for j := 0; j < 4; j++ {
+		if p.Cells[0][j].NReturned != p.Cells[1][j].NReturned {
+			t.Fatalf("query %d: approaches disagree (%d vs %d)",
+				j, p.Cells[0][j].NReturned, p.Cells[1][j].NReturned)
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, "test panel"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"max keys examined", "max docs examined", "(c) nodes", "avg execution time", "Q1b", "bslST", "hil"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("panel output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every table and figure of the paper must be present.
+	for _, want := range []string{
+		"table2", "table3", "table4", "table5", "table6", "table7", "table8",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14",
+	} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, ok := Lookup("fig6"); !ok {
+		t.Fatal("Lookup(fig6) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup(nope) succeeded")
+	}
+}
+
+// TestExperimentsRunAtTinyScale executes the cheap experiments end to
+// end and sanity-checks their output.
+func TestExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: builds multiple stores")
+	}
+	env := NewEnv(tinyScale())
+	for _, id := range []string{
+		"table2", "table3", "fig5", "fig10", "table5",
+		"table6", "table7", "table8", "fig13", "fig14",
+	} {
+		exp, _ := Lookup(id)
+		var buf bytes.Buffer
+		if err := exp.Run(env, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestTable7GlyphClassification(t *testing.T) {
+	cases := []struct {
+		used []string
+		want string
+	}{
+		{nil, "-"},
+		{[]string{"{location: 2dsphere, date: 1}"}, "●"},
+		{[]string{"{date: 1}", "{date: 1}"}, "○"},
+		{[]string{"{date: 1}", "{location: 2dsphere, date: 1}"}, "◐(1/2)"},
+	}
+	for _, tc := range cases {
+		if got := indexUsageGlyph(tc.used); got != tc.want {
+			t.Errorf("glyph(%v) = %s, want %s", tc.used, got, tc.want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{1500 * time.Millisecond, "1.50s"},
+		{2500 * time.Microsecond, "2.50ms"},
+		{800 * time.Microsecond, "800µs"},
+	}
+	for _, tc := range cases {
+		if got := formatDuration(tc.d); got != tc.want {
+			t.Errorf("formatDuration(%v) = %s, want %s", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestScaledDatasetGrows(t *testing.T) {
+	env := NewEnv(tinyScale())
+	d2 := env.scaledDataset(2)
+	if len(d2.Recs) != 2*env.Scale.RRecords {
+		t.Fatalf("R2 has %d records", len(d2.Recs))
+	}
+	if d2.Name != "R2" {
+		t.Fatalf("name = %s", d2.Name)
+	}
+}
+
+func TestMinDuration(t *testing.T) {
+	if minDuration(nil) != 0 {
+		t.Fatal("empty min != 0")
+	}
+	if got := minDuration([]time.Duration{5, 2, 9}); got != 2 {
+		t.Fatalf("min = %v", got)
+	}
+}

@@ -1,0 +1,245 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (Section 5 and Appendix A) on
+// the simulated cluster, at a configurable scale. Each experiment is
+// addressable by the paper's table/figure number and prints the same
+// rows/series the paper reports.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/geo"
+)
+
+// The paper's query rectangles (Section 5.1).
+var (
+	// SmallRect is the Q^s constraint (~0.53 km^2, central Athens).
+	SmallRect = geo.NewRect(23.757495, 37.987295, 23.766958, 37.992997)
+	// BigRect is the Q^b constraint (~2,603x larger, NE Attica).
+	BigRect = geo.NewRect(23.606039, 38.023982, 24.032754, 38.353926)
+)
+
+// Scale shrinks the paper's workload to laptop size while keeping its
+// proportions: the S set has twice the R records over half the time
+// span, 12 shards, and the chunk threshold scales with the data so
+// chunk counts stay realistic.
+type Scale struct {
+	// RRecords is the R data-set size (the paper: 15.2 M; default
+	// here 40k — override with cmd/stbench -scale).
+	RRecords int
+	// Shards is the cluster width (default 12, as deployed in the
+	// paper).
+	Shards int
+	// ChunkMaxBytes is the chunk split threshold. The default scales
+	// with the data so the R set splits into ~80 chunks — the same
+	// chunks-per-time-span regime as the paper's 40 GB over 64 MB
+	// chunks — because the node-count metrics depend on how many
+	// chunks one query window spans.
+	ChunkMaxBytes int64
+	// Runs and Warmup control query repetition: each query executes
+	// Warmup+Runs times and the reported time averages the last Runs
+	// (the paper runs 30 and averages the last 10).
+	Runs   int
+	Warmup int
+	// ExtraFields pads R records (default 16).
+	ExtraFields int
+}
+
+// DefaultScale returns the default laptop-scale configuration.
+func DefaultScale() Scale {
+	return Scale{
+		RRecords:    40_000,
+		Shards:      12,
+		Runs:        3,
+		Warmup:      2,
+		ExtraFields: 16,
+	}
+}
+
+func (s Scale) withDefaults() Scale {
+	d := DefaultScale()
+	if s.RRecords <= 0 {
+		s.RRecords = d.RRecords
+	}
+	if s.Shards <= 0 {
+		s.Shards = d.Shards
+	}
+	if s.ChunkMaxBytes <= 0 {
+		// ~730 encoded bytes per R record / 80 target chunks.
+		s.ChunkMaxBytes = int64(s.RRecords) * 9
+	}
+	if s.Runs <= 0 {
+		s.Runs = d.Runs
+	}
+	if s.Warmup < 0 {
+		s.Warmup = d.Warmup
+	}
+	if s.ExtraFields == 0 {
+		s.ExtraFields = d.ExtraFields
+	}
+	return s
+}
+
+// Dataset is a generated data set plus its query workload.
+type Dataset struct {
+	Name   string // "R" or "S"
+	Recs   []core.Record
+	Extent geo.Rect // exact MBR, the hil* grid extent
+	// Query start offsets into the data's time span for Q1..Q4; the
+	// paper's queries cover discrete, non-overlapping spans.
+	Start   time.Time
+	Offsets [4]time.Duration
+}
+
+// Windows are the temporal extents of Q1..Q4 (Section 5.1).
+var Windows = [4]time.Duration{
+	time.Hour,
+	24 * time.Hour,
+	7 * 24 * time.Hour,
+	30 * 24 * time.Hour,
+}
+
+// QueryNames labels Q1..Q4 with the small/big suffix.
+func QueryNames(small bool) [4]string {
+	suffix := "b"
+	if small {
+		suffix = "s"
+	}
+	var out [4]string
+	for i := range out {
+		out[i] = fmt.Sprintf("Q%d%s", i+1, suffix)
+	}
+	return out
+}
+
+// Queries builds the four queries of one category over this data set.
+func (d *Dataset) Queries(small bool) [4]core.STQuery {
+	rect := BigRect
+	if small {
+		rect = SmallRect
+	}
+	var out [4]core.STQuery
+	for i := range out {
+		from := d.Start.Add(d.Offsets[i])
+		out[i] = core.STQuery{Rect: rect, From: from, To: from.Add(Windows[i])}
+	}
+	return out
+}
+
+// Env builds and caches data sets and loaded stores so that
+// experiments sharing a configuration (e.g. Fig 5 and Fig 6) reuse
+// them.
+type Env struct {
+	Scale    Scale
+	datasets map[string]*Dataset
+	stores   map[string]*core.Store
+	// Progress, when set, receives harness progress lines.
+	Progress func(format string, args ...any)
+}
+
+// NewEnv returns an Env at the given scale.
+func NewEnv(scale Scale) *Env {
+	return &Env{
+		Scale:    scale.withDefaults(),
+		datasets: make(map[string]*Dataset),
+		stores:   make(map[string]*core.Store),
+	}
+}
+
+func (e *Env) progress(format string, args ...any) {
+	if e.Progress != nil {
+		e.Progress(format, args...)
+	}
+}
+
+// DatasetR generates (and caches) the R-like data set.
+func (e *Env) DatasetR() *Dataset {
+	if d, ok := e.datasets["R"]; ok {
+		return d
+	}
+	e.progress("generating R (%d records)", e.Scale.RRecords)
+	recs := data.GenerateReal(data.RealConfig{
+		Records:     e.Scale.RRecords,
+		ExtraFields: e.Scale.ExtraFields,
+	})
+	d := &Dataset{
+		Name:   "R",
+		Recs:   recs,
+		Extent: data.MBROf(recs),
+		Start:  data.RStart,
+		// Discrete spans spread over the five months.
+		Offsets: [4]time.Duration{
+			10 * 24 * time.Hour,
+			20 * 24 * time.Hour,
+			40 * 24 * time.Hour,
+			70 * 24 * time.Hour,
+		},
+	}
+	e.datasets["R"] = d
+	return d
+}
+
+// DatasetS generates (and caches) the synthetic S data set: twice the
+// R records over half the time span (Section 5.1).
+func (e *Env) DatasetS() *Dataset {
+	if d, ok := e.datasets["S"]; ok {
+		return d
+	}
+	e.progress("generating S (%d records)", 2*e.Scale.RRecords)
+	recs := data.GenerateSynthetic(data.SyntheticConfig{Records: 2 * e.Scale.RRecords})
+	d := &Dataset{
+		Name:   "S",
+		Recs:   recs,
+		Extent: data.MBROf(recs),
+		Start:  data.SStart,
+		Offsets: [4]time.Duration{
+			5 * 24 * time.Hour,
+			12 * 24 * time.Hour,
+			20 * 24 * time.Hour,
+			40 * 24 * time.Hour,
+		},
+	}
+	e.datasets["S"] = d
+	return d
+}
+
+// Store builds (and caches) a loaded store for one approach over one
+// data set, optionally with zones configured after loading.
+func (e *Env) Store(d *Dataset, a core.Approach, zones bool) (*core.Store, error) {
+	key := fmt.Sprintf("%s/%s/zones=%v", d.Name, a, zones)
+	if s, ok := e.stores[key]; ok {
+		return s, nil
+	}
+	e.progress("loading %s", key)
+	s, err := core.Open(core.Config{
+		Approach:      a,
+		Shards:        e.Scale.Shards,
+		ChunkMaxBytes: e.Scale.ChunkMaxBytes,
+		DataExtent:    d.Extent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Load(d.Recs); err != nil {
+		return nil, err
+	}
+	if zones {
+		if err := s.ConfigureZones(); err != nil {
+			return nil, err
+		}
+	}
+	e.stores[key] = s
+	return s, nil
+}
+
+// Reset drops every cached store (and optionally the data sets) to
+// bound memory between experiment groups.
+func (e *Env) Reset(dropData bool) {
+	e.stores = make(map[string]*core.Store)
+	if dropData {
+		e.datasets = make(map[string]*Dataset)
+	}
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Measurement is one (approach, query) cell of a figure: the four
+// metrics of Section 5.1 plus auxiliary observables.
+type Measurement struct {
+	Approach  core.Approach
+	QueryName string
+	// AvgTime averages the post-warm-up runs.
+	AvgTime time.Duration
+	// MaxKeys / MaxDocs / Nodes are deterministic across runs.
+	MaxKeys   int
+	MaxDocs   int
+	Nodes     int
+	NReturned int
+	// CoverTime averages the Hilbert cell-identification time
+	// (Table 8; zero for baselines).
+	CoverTime time.Duration
+	// IndexesUsed is the per-shard winning access path (Table 7).
+	IndexesUsed []string
+	Broadcast   bool
+}
+
+// MeasureQuery executes the query warmup+runs times and reports the
+// minimum execution time of the final runs. The paper averages the
+// last 10 of 30 runs on dedicated hardware; in this single-process
+// simulator the query work is deterministic and the only run-to-run
+// variation is GC interference from the co-resident stores, so the
+// minimum is the estimator closest to the dedicated-cluster number.
+func MeasureQuery(s *core.Store, name string, q core.STQuery, runs, warmup int) Measurement {
+	if runs < 1 {
+		runs = 1
+	}
+	// Collect garbage from store building and earlier measurements so
+	// a GC pause triggered by another store's allocations does not
+	// land inside this measurement.
+	runtime.GC()
+	var last *core.QueryResult
+	times := make([]time.Duration, 0, runs)
+	var totalCover time.Duration
+	for i := 0; i < warmup+runs; i++ {
+		res := s.Query(q)
+		if i >= warmup {
+			times = append(times, res.Stats.Duration)
+			totalCover += res.Stats.CoverDuration
+			last = res
+		}
+	}
+	st := last.Stats
+	return Measurement{
+		Approach:    s.Config().Approach,
+		QueryName:   name,
+		AvgTime:     minDuration(times),
+		CoverTime:   totalCover / time.Duration(runs),
+		MaxKeys:     st.MaxKeysExamined,
+		MaxDocs:     st.MaxDocsExamined,
+		Nodes:       st.Nodes,
+		NReturned:   st.NReturned,
+		IndexesUsed: st.IndexesUsed,
+		Broadcast:   st.Broadcast,
+	}
+}
+
+// minDuration returns the smallest duration.
+func minDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	out := ds[0]
+	for _, d := range ds[1:] {
+		if d < out {
+			out = d
+		}
+	}
+	return out
+}
+
+// Panel is a full figure: for each approach, the measurements of
+// Q1..Q4 in one query category.
+type Panel struct {
+	Dataset    string
+	Small      bool
+	Zones      bool
+	Approaches []core.Approach
+	// Cells[i][j] is approach i, query j.
+	Cells [][]Measurement
+}
+
+// RunPanel measures the 4-query workload on every store. All stores
+// are built before any measurement so that every row runs against the
+// same process heap (building lazily would hand the first row a
+// smaller heap and less GC pressure than the last).
+func (e *Env) RunPanel(d *Dataset, approaches []core.Approach, small, zones bool) (*Panel, error) {
+	stores := make([]*core.Store, len(approaches))
+	for i, a := range approaches {
+		s, err := e.Store(d, a, zones)
+		if err != nil {
+			return nil, err
+		}
+		stores[i] = s
+	}
+	queries := d.Queries(small)
+	names := QueryNames(small)
+	p := &Panel{Dataset: d.Name, Small: small, Zones: zones, Approaches: approaches}
+	for _, s := range stores {
+		row := make([]Measurement, len(queries))
+		for j, q := range queries {
+			row[j] = MeasureQuery(s, names[j], q, e.Scale.Runs, e.Scale.Warmup)
+		}
+		p.Cells = append(p.Cells, row)
+	}
+	return p, nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteTo renders the panel as the figure's four sub-plots: (a) max
+// keys examined, (b) max docs examined, (c) nodes, (d) average
+// execution time — the layout of Figs 5–12.
+func (p *Panel) WriteTo(w io.Writer, title string) error {
+	fmt.Fprintf(w, "%s\n", title)
+	names := QueryNames(p.Small)
+	sections := []struct {
+		label string
+		cell  func(m Measurement) string
+	}{
+		{"(a) max keys examined", func(m Measurement) string { return fmt.Sprintf("%d", m.MaxKeys) }},
+		{"(b) max docs examined", func(m Measurement) string { return fmt.Sprintf("%d", m.MaxDocs) }},
+		{"(c) nodes", func(m Measurement) string { return fmt.Sprintf("%d", m.Nodes) }},
+		{"(d) avg execution time", func(m Measurement) string { return formatDuration(m.AvgTime) }},
+	}
+	for _, sec := range sections {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintf(tw, "  %s\t", sec.label)
+		for _, n := range names {
+			fmt.Fprintf(tw, "%s\t", n)
+		}
+		fmt.Fprintln(tw)
+		for i, a := range p.Approaches {
+			fmt.Fprintf(tw, "  %s\t", a)
+			for j := range names {
+				fmt.Fprintf(tw, "%s\t", sec.cell(p.Cells[i][j]))
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	// Result counts as a footnote (they feed Tables 2 and 3).
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "  results returned\t")
+	for _, n := range names {
+		fmt.Fprintf(tw, "%s\t", n)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintf(tw, "  (all approaches)\t")
+	for j := range names {
+		fmt.Fprintf(tw, "%d\t", p.Cells[0][j].NReturned)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+// formatDuration renders a duration with figure-friendly precision.
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// writeSimpleTable renders a header row plus data rows.
+func writeSimpleTable(w io.Writer, header []string, rows [][]string) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	for _, h := range header {
+		fmt.Fprintf(tw, "%s\t", h)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range rows {
+		for _, c := range row {
+			fmt.Fprintf(tw, "%s\t", c)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}

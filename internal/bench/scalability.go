@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// scaleFactors are the paper's R1-R4 (Section 5.4).
+var scaleFactors = []int{1, 2, 3, 4}
+
+// scaledDataset builds R at factor x the base size by adding more
+// vehicles over the same spatio-temporal bounding box, exactly the
+// paper's construction.
+func (e *Env) scaledDataset(factor int) *Dataset {
+	key := fmt.Sprintf("R%d", factor)
+	if d, ok := e.datasets[key]; ok {
+		return d
+	}
+	e.progress("generating %s (%d records)", key, factor*e.Scale.RRecords)
+	base := RealVehiclesFor(e.Scale.RRecords)
+	recs := data.GenerateReal(data.RealConfig{
+		Records:     factor * e.Scale.RRecords,
+		Vehicles:    factor * base,
+		ExtraFields: e.Scale.ExtraFields,
+	})
+	d := &Dataset{
+		Name:   key,
+		Recs:   recs,
+		Extent: data.MBROf(recs),
+		Start:  data.RStart,
+		Offsets: [4]time.Duration{
+			10 * 24 * time.Hour,
+			20 * 24 * time.Hour,
+			40 * 24 * time.Hour,
+			70 * 24 * time.Hour,
+		},
+	}
+	e.datasets[key] = d
+	return d
+}
+
+// RealVehiclesFor mirrors the generator's default fleet sizing.
+func RealVehiclesFor(records int) int {
+	v := records / 2000
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// q2b returns the scalability study's query: Q2 of the big category
+// (one day, big rectangle).
+func q2b(d *Dataset) core.STQuery {
+	return d.Queries(false)[1]
+}
+
+// runTable4 reports size and document count per scale factor.
+func runTable4(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, "Table 4: instances R1-R4 of the real data set")
+	header := []string{"Data set info", "R1", "R2", "R3", "R4"}
+	sizes := []string{"Size (MB)"}
+	counts := []string{"#documents (k)"}
+	for _, f := range scaleFactors {
+		d := e.scaledDataset(f)
+		s, err := e.Store(d, core.Hil, false)
+		if err != nil {
+			return err
+		}
+		st := s.Cluster().ClusterStats()
+		sizes = append(sizes, fmt.Sprintf("%.2f", float64(st.DataBytes)/(1<<20)))
+		counts = append(counts, fmt.Sprintf("%.1f", float64(st.Docs)/1000))
+	}
+	return writeSimpleTable(w, header, [][]string{sizes, counts})
+}
+
+// runTable5 reports the Q2b result count per scale factor.
+func runTable5(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, "Table 5: number of results for Q2b per scale factor")
+	header := []string{"Query", "R1", "R2", "R3", "R4"}
+	row := []string{"Q2b"}
+	for _, f := range scaleFactors {
+		d := e.scaledDataset(f)
+		s, err := e.Store(d, core.Hil, false)
+		if err != nil {
+			return err
+		}
+		row = append(row, fmt.Sprintf("%d", s.Count(q2b(d))))
+	}
+	return writeSimpleTable(w, header, [][]string{row})
+}
+
+// runFig13 runs Q2b on R1-R4 for the three approaches with default
+// sharding and reports the four scalability panels.
+func runFig13(e *Env, w io.Writer) error {
+	fmt.Fprintln(w, "Figure 13: scalability study (Q2b, default sharding)")
+	approaches := []core.Approach{core.BslST, core.BslTS, core.Hil}
+	cells := make(map[string]Measurement)
+	for _, f := range scaleFactors {
+		d := e.scaledDataset(f)
+		// Build all three stores first so each approach measures
+		// against the same heap.
+		stores := make([]*core.Store, len(approaches))
+		for i, a := range approaches {
+			s, err := e.Store(d, a, false)
+			if err != nil {
+				return err
+			}
+			stores[i] = s
+		}
+		for i, a := range approaches {
+			m := MeasureQuery(stores[i], "Q2b", q2b(d), e.Scale.Runs, e.Scale.Warmup)
+			cells[fmt.Sprintf("%s/%d", a, f)] = m
+		}
+		// Scalability stores and data sets are large; drop them as
+		// soon as the factor's measurements are done.
+		e.Reset(false)
+		delete(e.datasets, d.Name)
+	}
+	header := []string{"Metric", "Approach", "R1", "R2", "R3", "R4"}
+	var rows [][]string
+	metrics := []struct {
+		label string
+		get   func(m Measurement) string
+	}{
+		{"(a) max docs examined", func(m Measurement) string { return fmt.Sprintf("%d", m.MaxDocs) }},
+		{"(b) max keys examined", func(m Measurement) string { return fmt.Sprintf("%d", m.MaxKeys) }},
+		{"(c) nodes", func(m Measurement) string { return fmt.Sprintf("%d", m.Nodes) }},
+		{"(d) avg execution time", func(m Measurement) string { return formatDuration(m.AvgTime) }},
+	}
+	for _, metric := range metrics {
+		for _, a := range approaches {
+			row := []string{metric.label, a.String()}
+			for _, f := range scaleFactors {
+				row = append(row, metric.get(cells[fmt.Sprintf("%s/%d", a, f)]))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return writeSimpleTable(w, header, rows)
+}

@@ -1,0 +1,132 @@
+package bson
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// Doc is the read surface filters evaluate against: a decoded
+// *Document or an encoded Raw document. Matching on Raw avoids
+// decoding the candidate documents an index scan examines, the way a
+// server matches on the stored binary form.
+type Doc interface {
+	// Lookup resolves a (possibly dotted) field path.
+	Lookup(path string) (any, bool)
+}
+
+// Raw is an encoded document that resolves lookups by scanning the
+// binary form, decoding only the value at the requested path.
+type Raw []byte
+
+// Get returns the value at a (possibly dotted) path, or nil when
+// absent — the convenience twin of Lookup.
+func (r Raw) Get(path string) any {
+	v, _ := r.Lookup(path)
+	return v
+}
+
+// Decode parses the full document.
+func (r Raw) Decode() (*Document, error) { return Unmarshal(r) }
+
+// Lookup implements Doc.
+func (r Raw) Lookup(path string) (any, bool) {
+	raw := []byte(r)
+	for {
+		dot := strings.IndexByte(path, '.')
+		head := path
+		if dot >= 0 {
+			head = path[:dot]
+		}
+		tag, value, ok := findRawField(raw, head)
+		if !ok {
+			return nil, false
+		}
+		if dot < 0 {
+			v, _, err := readValue(tag, value)
+			if err != nil {
+				return nil, false
+			}
+			return v, true
+		}
+		if tag != tagDocument {
+			return nil, false
+		}
+		raw, path = value, path[dot+1:]
+	}
+}
+
+// findRawField locates one element in an encoded document, returning
+// its tag and the bytes of its value (sized for scalar tags; the full
+// length-prefixed body for documents and arrays).
+func findRawField(raw []byte, key string) (byte, []byte, bool) {
+	if len(raw) < 5 {
+		return 0, nil, false
+	}
+	total := int(binary.LittleEndian.Uint32(raw))
+	if total < 5 || total > len(raw) {
+		return 0, nil, false
+	}
+	body := raw[4 : total-1]
+	for len(body) > 0 {
+		tag := body[0]
+		body = body[1:]
+		// Key is a NUL-terminated cstring; compare without allocating.
+		nul := -1
+		for i, b := range body {
+			if b == 0 {
+				nul = i
+				break
+			}
+		}
+		if nul < 0 {
+			return 0, nil, false
+		}
+		match := nul == len(key) && string(body[:nul]) == key
+		body = body[nul+1:]
+		size, ok := rawValueSize(tag, body)
+		if !ok {
+			return 0, nil, false
+		}
+		if match {
+			return tag, body[:size], true
+		}
+		body = body[size:]
+	}
+	return 0, nil, false
+}
+
+// rawValueSize returns the encoded size of a value with the given tag
+// at the head of body.
+func rawValueSize(tag byte, body []byte) (int, bool) {
+	switch tag {
+	case tagNull, tagMinKey, tagMaxKey:
+		return 0, true
+	case tagBool:
+		return 1, len(body) >= 1
+	case tagInt32:
+		return 4, len(body) >= 4
+	case tagInt64, tagFloat64, tagDateTime:
+		return 8, len(body) >= 8
+	case tagObjectID:
+		return 12, len(body) >= 12
+	case tagString:
+		if len(body) < 4 {
+			return 0, false
+		}
+		n := 4 + int(binary.LittleEndian.Uint32(body))
+		return n, n >= 5 && len(body) >= n
+	case tagDocument, tagArray:
+		if len(body) < 4 {
+			return 0, false
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		return n, n >= 5 && len(body) >= n
+	default:
+		return 0, false
+	}
+}
+
+var (
+	_ Doc = (*Document)(nil)
+	_ Doc = Raw(nil)
+)

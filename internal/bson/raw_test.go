@@ -1,0 +1,160 @@
+package bson
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleDoc() *Document {
+	inner := FromD(D{
+		{Key: "type", Value: "Point"},
+		{Key: "coordinates", Value: A{23.727539, 37.983810}},
+	})
+	deep := FromD(D{{Key: "leaf", Value: int64(99)}})
+	return FromD(D{
+		{Key: "_id", Value: int64(1)},
+		{Key: "location", Value: inner},
+		{Key: "date", Value: time.Date(2018, 7, 1, 8, 0, 0, 0, time.UTC)},
+		{Key: "hilbertIndex", Value: int64(36854767)},
+		{Key: "speed", Value: 52.5},
+		{Key: "vehicle", Value: "GRC-1234"},
+		{Key: "engineOn", Value: true},
+		{Key: "nested", Value: FromD(D{{Key: "deep", Value: deep}})},
+		{Key: "tags", Value: A{"a", int64(2)}},
+		{Key: "nothing", Value: nil},
+	})
+}
+
+func TestRawLookupMatchesDecodedLookup(t *testing.T) {
+	doc := sampleDoc()
+	raw := Raw(Marshal(doc))
+	paths := []string{
+		"_id", "location", "location.type", "location.coordinates",
+		"date", "hilbertIndex", "speed", "vehicle", "engineOn",
+		"nested.deep.leaf", "tags", "nothing",
+		"missing", "location.missing", "vehicle.sub", "nested.deep.leaf.too",
+	}
+	for _, p := range paths {
+		dv, dok := doc.Lookup(p)
+		rv, rok := raw.Lookup(p)
+		if dok != rok {
+			t.Errorf("path %q: found mismatch (doc %v, raw %v)", p, dok, rok)
+			continue
+		}
+		if dok && Compare(Normalize(dv), Normalize(rv)) != 0 {
+			t.Errorf("path %q: doc %v vs raw %v", p, FormatValue(dv), FormatValue(rv))
+		}
+	}
+}
+
+func TestRawGetAndDecode(t *testing.T) {
+	doc := sampleDoc()
+	raw := Raw(Marshal(doc))
+	if raw.Get("vehicle") != "GRC-1234" {
+		t.Fatalf("Get = %v", raw.Get("vehicle"))
+	}
+	if raw.Get("absent") != nil {
+		t.Fatal("Get(absent) != nil")
+	}
+	back, err := raw.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Compare(back, doc) != 0 {
+		t.Fatal("Decode mismatch")
+	}
+}
+
+// TestRawLookupRandomDocsProperty generates random flat documents and
+// checks lookup equivalence on every field.
+func TestRawLookupRandomDocsProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool, seed int64) bool {
+		if math.IsNaN(fl) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		doc := NewDocument()
+		doc.Set("i", i).Set("f", fl).Set("s", s).Set("b", b)
+		// A few random extra fields with random kinds.
+		for k := 0; k < rng.Intn(6); k++ {
+			key := string(rune('a' + k))
+			switch rng.Intn(4) {
+			case 0:
+				doc.Set(key, rng.Int63())
+			case 1:
+				doc.Set(key, rng.Float64())
+			case 2:
+				doc.Set(key, time.UnixMilli(rng.Int63n(1<<41)).UTC())
+			case 3:
+				doc.Set(key, A{rng.Int63(), "x"})
+			}
+		}
+		raw := Raw(Marshal(doc))
+		for _, e := range doc.Elems() {
+			rv, ok := raw.Lookup(e.Key)
+			if !ok || Compare(Normalize(e.Value), Normalize(rv)) != 0 {
+				return false
+			}
+		}
+		_, ok := raw.Lookup("definitely-missing")
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRawLookupRobustToCorruption(t *testing.T) {
+	raw := Marshal(sampleDoc())
+	// Truncations at every length must not panic.
+	for n := 0; n < len(raw); n++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on truncation at %d: %v", n, r)
+				}
+			}()
+			Raw(raw[:n]).Lookup("vehicle")
+			Raw(raw[:n]).Lookup("nested.deep.leaf")
+		}()
+	}
+	// Random byte flips must not panic either.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 2000; trial++ {
+		mutated := append([]byte{}, raw...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation: %v", r)
+				}
+			}()
+			Raw(mutated).Lookup("vehicle")
+			Raw(mutated).Lookup("location.coordinates")
+		}()
+	}
+}
+
+func TestUnmarshalRobustToCorruption(t *testing.T) {
+	raw := Marshal(sampleDoc())
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		mutated := append([]byte{}, raw...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation: %v", r)
+				}
+			}()
+			_, _ = Unmarshal(mutated)
+		}()
+	}
+}

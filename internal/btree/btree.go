@@ -1,0 +1,526 @@
+// Package btree implements the in-memory B-tree used by every index
+// in the store. Keys are order-preserving byte strings produced by
+// package keyenc; values are record ids. The tree is instrumented:
+// range scans report how many keys they examined, which is the
+// "keys examined" metric of the paper's evaluation, and an in-order
+// walk estimates the on-disk index size under prefix compression,
+// which regenerates the Fig. 14 index-size experiment.
+//
+// The implementation follows the classic preemptive-split /
+// preemptive-merge design (as popularised by google/btree): every
+// downward pass leaves the visited child with room for one more
+// insert or delete, so mutations never back up the tree.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// DefaultDegree is the branching factor used when NewTree is given a
+// degree < 2. Each node holds between degree-1 and 2*degree-1 items.
+const DefaultDegree = 32
+
+type item struct {
+	key   []byte
+	value uint64
+}
+
+type node struct {
+	items    []item
+	children []*node
+}
+
+// Tree is a single-writer B-tree mapping byte keys to uint64 record
+// ids. Keys must be unique; the index layer guarantees this by
+// appending the record id to the encoded key of non-unique indexes.
+// A Tree is not safe for concurrent mutation; the owning index
+// serialises access.
+type Tree struct {
+	degree int
+	root   *node
+	length int
+
+	// Insertion-pattern accounting for the size model: sequential
+	// (append) inserts pack pages tightly, out-of-order inserts cause
+	// page splits that leave pages part-filled. maxSeen tracks the
+	// largest key ever inserted (not maintained by Delete, which only
+	// makes the append test conservative).
+	maxSeen    []byte
+	appends    int
+	nonAppends int
+}
+
+// NewTree returns an empty tree with the given degree (minimum number
+// of children of an internal node).
+func NewTree(degree int) *Tree {
+	if degree < 2 {
+		degree = DefaultDegree
+	}
+	return &Tree{degree: degree}
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.length }
+
+func (t *Tree) maxItems() int { return 2*t.degree - 1 }
+func (t *Tree) minItems() int { return t.degree - 1 }
+
+// find returns the index of key in n.items and whether it is present.
+func (n *node) find(key []byte) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool {
+		return bytes.Compare(n.items[i].key, key) >= 0
+	})
+	if i < len(n.items) && bytes.Equal(n.items[i].key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// Set inserts key with value, replacing any existing value. It
+// reports whether the key was newly inserted.
+func (t *Tree) Set(key []byte, value uint64) bool {
+	if t.maxSeen == nil || bytes.Compare(key, t.maxSeen) > 0 {
+		t.appends++
+		t.maxSeen = bytes.Clone(key)
+	} else {
+		t.nonAppends++
+	}
+	if t.root == nil {
+		t.root = &node{items: []item{{key: bytes.Clone(key), value: value}}}
+		t.length = 1
+		return true
+	}
+	if len(t.root.items) >= t.maxItems() {
+		mid, second := t.root.split(t.maxItems() / 2)
+		old := t.root
+		t.root = &node{
+			items:    []item{mid},
+			children: []*node{old, second},
+		}
+	}
+	inserted := t.root.insert(key, value, t.maxItems())
+	if inserted {
+		t.length++
+	}
+	return inserted
+}
+
+// split splits the node at index i, returning the promoted item and
+// the new right sibling.
+func (n *node) split(i int) (item, *node) {
+	mid := n.items[i]
+	next := &node{}
+	next.items = append(next.items, n.items[i+1:]...)
+	n.items = n.items[:i]
+	if len(n.children) > 0 {
+		next.children = append(next.children, n.children[i+1:]...)
+		n.children = n.children[:i+1]
+	}
+	return mid, next
+}
+
+// maybeSplitChild splits child i if it is full, reporting whether a
+// split happened.
+func (n *node) maybeSplitChild(i, maxItems int) bool {
+	if len(n.children[i].items) < maxItems {
+		return false
+	}
+	child := n.children[i]
+	mid, next := child.split(maxItems / 2)
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = mid
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = next
+	return true
+}
+
+func (n *node) insert(key []byte, value uint64, maxItems int) bool {
+	i, found := n.find(key)
+	if found {
+		n.items[i].value = value
+		return false
+	}
+	if len(n.children) == 0 {
+		n.items = append(n.items, item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = item{key: bytes.Clone(key), value: value}
+		return true
+	}
+	if n.maybeSplitChild(i, maxItems) {
+		switch c := bytes.Compare(key, n.items[i].key); {
+		case c > 0:
+			i++
+		case c == 0:
+			n.items[i].value = value
+			return false
+		}
+	}
+	return n.children[i].insert(key, value, maxItems)
+}
+
+// Get returns the value stored for key and whether it is present.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	for n != nil {
+		i, found := n.find(key)
+		if found {
+			return n.items[i].value, true
+		}
+		if len(n.children) == 0 {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key []byte) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.root.remove(key, t.minItems())
+	if len(t.root.items) == 0 && len(t.root.children) > 0 {
+		t.root = t.root.children[0]
+	}
+	if t.root != nil && len(t.root.items) == 0 && len(t.root.children) == 0 {
+		t.root = nil
+	}
+	if deleted {
+		t.length--
+	}
+	return deleted
+}
+
+func (n *node) remove(key []byte, minItems int) bool {
+	i, found := n.find(key)
+	if len(n.children) == 0 {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if len(n.children[i].items) <= minItems {
+		n.growChild(i, minItems)
+		return n.remove(key, minItems)
+	}
+	child := n.children[i]
+	if found {
+		// Replace with the predecessor from the left child, which has
+		// room because of the grow above.
+		n.items[i] = child.removeMax(minItems)
+		return true
+	}
+	return child.remove(key, minItems)
+}
+
+func (n *node) removeMax(minItems int) item {
+	if len(n.children) == 0 {
+		out := n.items[len(n.items)-1]
+		n.items = n.items[:len(n.items)-1]
+		return out
+	}
+	i := len(n.children) - 1
+	if len(n.children[i].items) <= minItems {
+		n.growChild(i, minItems)
+		i = len(n.children) - 1
+	}
+	return n.children[i].removeMax(minItems)
+}
+
+// growChild ensures child i has more than minItems items by stealing
+// from a sibling or merging with one.
+func (n *node) growChild(i, minItems int) {
+	switch {
+	case i > 0 && len(n.children[i-1].items) > minItems:
+		// Steal from left sibling.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, item{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if len(left.children) > 0 {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+	case i < len(n.children)-1 && len(n.children[i+1].items) > minItems:
+		// Steal from right sibling.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if len(right.children) > 0 {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+	default:
+		// Merge with a sibling.
+		if i >= len(n.children)-1 {
+			i--
+		}
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		child.items = append(child.items, right.items...)
+		child.children = append(child.children, right.children...)
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		n.children = append(n.children[:i+1], n.children[i+2:]...)
+	}
+}
+
+// Bound describes one end of a range scan. The zero value (and any
+// bound with a nil key) is open: keys are never empty, so a nil key
+// can only mean "unbounded".
+type Bound struct {
+	Key       []byte
+	Inclusive bool
+	// Unbounded scans from the smallest (lower bound) or to the
+	// largest (upper bound) key.
+	Unbounded bool
+}
+
+// open reports whether the bound does not constrain the scan.
+func (b Bound) open() bool { return b.Unbounded || b.Key == nil }
+
+// Include returns an inclusive bound at key.
+func Include(key []byte) Bound { return Bound{Key: key, Inclusive: true} }
+
+// Exclude returns an exclusive bound at key.
+func Exclude(key []byte) Bound { return Bound{Key: key} }
+
+// Unbounded returns an open bound.
+func Unbounded() Bound { return Bound{Unbounded: true} }
+
+// Scan visits keys in [lo, hi] (subject to inclusivity) in ascending
+// order, calling fn for each. fn returns false to stop early. Scan
+// returns the number of keys examined: every key the scan inspected,
+// including the key that terminated it, mirroring the server's
+// totalKeysExamined counter.
+func (t *Tree) Scan(lo, hi Bound, fn func(key []byte, value uint64) bool) int {
+	if t.root == nil {
+		return 0
+	}
+	examined := 0
+	t.root.scan(lo, hi, fn, &examined)
+	return examined
+}
+
+// scan returns false when iteration should stop.
+func (n *node) scan(lo, hi Bound, fn func([]byte, uint64) bool, examined *int) bool {
+	start := 0
+	if !lo.open() {
+		start = sort.Search(len(n.items), func(i int) bool {
+			c := bytes.Compare(n.items[i].key, lo.Key)
+			if lo.Inclusive {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	for i := start; i <= len(n.items); i++ {
+		if len(n.children) > 0 {
+			if !n.children[i].scan(lo, hi, fn, examined) {
+				return false
+			}
+		}
+		if i == len(n.items) {
+			break
+		}
+		it := n.items[i]
+		*examined++
+		if !hi.open() {
+			c := bytes.Compare(it.key, hi.Key)
+			if c > 0 || (c == 0 && !hi.Inclusive) {
+				return false
+			}
+		}
+		if !fn(it.key, it.value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the smallest key, or nil when the tree is empty.
+func (t *Tree) Min() []byte {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for len(n.children) > 0 {
+		n = n.children[0]
+	}
+	if len(n.items) == 0 {
+		return nil
+	}
+	return n.items[0].key
+}
+
+// Max returns the largest key, or nil when the tree is empty.
+func (t *Tree) Max() []byte {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for len(n.children) > 0 {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.items) == 0 {
+		return nil
+	}
+	return n.items[len(n.items)-1].key
+}
+
+// Height returns the tree height (0 for an empty tree, 1 for a
+// root-only tree).
+func (t *Tree) Height() int {
+	h, n := 0, t.root
+	for n != nil {
+		h++
+		if len(n.children) == 0 {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// perKeyOverhead models the per-entry bookkeeping bytes of an on-disk
+// B-tree page (cell pointer + record id).
+const perKeyOverhead = 12
+
+// Page-fill model: a B-tree bulk-loaded in key order packs its pages
+// (WiredTiger appends hit a ~90% fill), while out-of-order inserts
+// split pages and leave them part-filled (~65% in the random-insert
+// limit).
+const (
+	appendFill = 0.90
+	randomFill = 0.65
+)
+
+// SizeEstimate walks the tree in order and returns the estimated
+// on-disk size in bytes: each key is charged only the bytes that
+// differ from its in-order predecessor (prefix compression), plus a
+// fixed per-key overhead, divided by the page fill factor implied by
+// the observed insertion pattern. This is the model behind the
+// Fig. 14 / appendix A.3 index-size discussion: keys with long shared
+// prefixes compress well, and shuffling documents between shards
+// (zone migrations re-inserting old _id values out of order) both
+// weakens prefix sharing locality and fragments pages, growing the
+// _id indexes.
+func (t *Tree) SizeEstimate() int64 {
+	var size int64
+	var prev []byte
+	first := true
+	t.Scan(Unbounded(), Unbounded(), func(key []byte, _ uint64) bool {
+		if first {
+			size += int64(len(key)) + perKeyOverhead
+			first = false
+		} else {
+			shared := commonPrefixLen(prev, key)
+			size += int64(len(key)-shared) + perKeyOverhead
+		}
+		prev = key
+		return true
+	})
+	return int64(float64(size) / t.fillFactor())
+}
+
+// fillFactor interpolates between packed and fragmented page layouts
+// by the fraction of out-of-order inserts.
+func (t *Tree) fillFactor() float64 {
+	total := t.appends + t.nonAppends
+	if total == 0 {
+		return appendFill
+	}
+	frac := float64(t.nonAppends) / float64(total)
+	return appendFill - (appendFill-randomFill)*frac
+}
+
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// check validates the structural invariants of the tree; used by
+// tests.
+func (t *Tree) check() error {
+	if t.root == nil {
+		if t.length != 0 {
+			return fmt.Errorf("btree: empty root but length %d", t.length)
+		}
+		return nil
+	}
+	count, _, err := t.root.check(t.minItems(), t.maxItems(), true, nil, nil)
+	if err != nil {
+		return err
+	}
+	if count != t.length {
+		return fmt.Errorf("btree: length %d but %d reachable items", t.length, count)
+	}
+	return nil
+}
+
+func (n *node) check(minItems, maxItems int, isRoot bool, lo, hi []byte) (int, int, error) {
+	if !isRoot && len(n.items) < minItems {
+		return 0, 0, fmt.Errorf("btree: node underflow (%d items)", len(n.items))
+	}
+	if len(n.items) > maxItems {
+		return 0, 0, fmt.Errorf("btree: node overflow (%d items)", len(n.items))
+	}
+	for i := 0; i < len(n.items); i++ {
+		k := n.items[i].key
+		if lo != nil && bytes.Compare(k, lo) <= 0 {
+			return 0, 0, fmt.Errorf("btree: key out of order (below lower bound)")
+		}
+		if hi != nil && bytes.Compare(k, hi) >= 0 {
+			return 0, 0, fmt.Errorf("btree: key out of order (above upper bound)")
+		}
+		if i > 0 && bytes.Compare(n.items[i-1].key, k) >= 0 {
+			return 0, 0, fmt.Errorf("btree: keys not strictly increasing in node")
+		}
+	}
+	count := len(n.items)
+	if len(n.children) == 0 {
+		return count, 1, nil
+	}
+	if len(n.children) != len(n.items)+1 {
+		return 0, 0, fmt.Errorf("btree: %d children for %d items", len(n.children), len(n.items))
+	}
+	depth := -1
+	for i, c := range n.children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = n.items[i-1].key
+		}
+		if i < len(n.items) {
+			chi = n.items[i].key
+		}
+		cc, d, err := c.check(minItems, maxItems, false, clo, chi)
+		if err != nil {
+			return 0, 0, err
+		}
+		if depth == -1 {
+			depth = d
+		} else if d != depth {
+			return 0, 0, fmt.Errorf("btree: uneven leaf depth")
+		}
+		count += cc
+	}
+	return count, depth + 1, nil
+}

@@ -1,0 +1,89 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func benchKeys(n int, sequential bool) [][]byte {
+	keys := make([][]byte, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range keys {
+		var b [16]byte
+		if sequential {
+			binary.BigEndian.PutUint64(b[:8], uint64(i))
+		} else {
+			binary.BigEndian.PutUint64(b[:8], rng.Uint64())
+		}
+		binary.BigEndian.PutUint64(b[8:], uint64(i))
+		keys[i] = b[:]
+	}
+	return keys
+}
+
+func BenchmarkSetSequential(b *testing.B) {
+	keys := benchKeys(b.N, true)
+	tr := NewTree(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(keys[i], uint64(i))
+	}
+}
+
+func BenchmarkSetRandom(b *testing.B) {
+	keys := benchKeys(b.N, false)
+	tr := NewTree(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(keys[i], uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	keys := benchKeys(100000, false)
+	tr := NewTree(0)
+	for i, k := range keys {
+		tr.Set(k, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkScan1000(b *testing.B) {
+	keys := benchKeys(100000, true)
+	tr := NewTree(0)
+	for i, k := range keys {
+		tr.Set(k, uint64(i))
+	}
+	lo, hi := keys[40000], keys[41000]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Scan(Include(lo), Exclude(hi), func(_ []byte, _ uint64) bool {
+			n++
+			return true
+		})
+		if n != 1000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+func BenchmarkSizeEstimate(b *testing.B) {
+	keys := benchKeys(50000, true)
+	tr := NewTree(0)
+	for i, k := range keys {
+		tr.Set(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.SizeEstimate()
+	}
+}

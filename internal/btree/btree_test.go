@@ -1,0 +1,289 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestSetGetDelete(t *testing.T) {
+	tr := NewTree(4)
+	const n = 1000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if !tr.Set(key(i), uint64(i)) {
+			t.Fatalf("Set(%d) reported existing", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(key(n + 5)); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	// Replace does not grow the tree.
+	if tr.Set(key(0), 999) {
+		t.Fatal("Set of existing key reported new")
+	}
+	if v, _ := tr.Get(key(0)); v != 999 {
+		t.Fatalf("replaced value = %d", v)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+	// Delete everything in a different order.
+	perm2 := rand.New(rand.NewSource(2)).Perm(n)
+	for k, i := range perm2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+		if k%101 == 0 {
+			if err := tr.check(); err != nil {
+				t.Fatalf("after %d deletes: %v", k+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after full delete = %d", tr.Len())
+	}
+	if tr.Delete(key(1)) {
+		t.Fatal("Delete on empty tree = true")
+	}
+}
+
+func TestScanBounds(t *testing.T) {
+	tr := NewTree(3)
+	for i := 0; i < 100; i += 2 { // even keys 0..98
+		tr.Set(key(i), uint64(i))
+	}
+	collect := func(lo, hi Bound) []int {
+		var got []int
+		tr.Scan(lo, hi, func(k []byte, v uint64) bool {
+			got = append(got, int(v))
+			return true
+		})
+		return got
+	}
+	if got := collect(Include(key(10)), Include(key(14))); !equalInts(got, []int{10, 12, 14}) {
+		t.Fatalf("inclusive scan = %v", got)
+	}
+	if got := collect(Exclude(key(10)), Exclude(key(14))); !equalInts(got, []int{12}) {
+		t.Fatalf("exclusive scan = %v", got)
+	}
+	if got := collect(Include(key(11)), Include(key(15))); !equalInts(got, []int{12, 14}) {
+		t.Fatalf("between-keys scan = %v", got)
+	}
+	if got := collect(Unbounded(), Include(key(4))); !equalInts(got, []int{0, 2, 4}) {
+		t.Fatalf("lower-unbounded scan = %v", got)
+	}
+	if got := collect(Include(key(94)), Unbounded()); !equalInts(got, []int{94, 96, 98}) {
+		t.Fatalf("upper-unbounded scan = %v", got)
+	}
+	if got := collect(Include(key(200)), Unbounded()); len(got) != 0 {
+		t.Fatalf("past-end scan = %v", got)
+	}
+	if got := collect(Include(key(14)), Include(key(10))); len(got) != 0 {
+		t.Fatalf("inverted scan = %v", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := NewTree(3)
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	var got []int
+	tr.Scan(Unbounded(), Unbounded(), func(k []byte, v uint64) bool {
+		got = append(got, int(v))
+		return len(got) < 5
+	})
+	if !equalInts(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("early-stop scan = %v", got)
+	}
+}
+
+func TestScanKeysExaminedCounts(t *testing.T) {
+	tr := NewTree(4)
+	for i := 0; i < 1000; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	matched := 0
+	examined := tr.Scan(Include(key(100)), Include(key(199)), func(k []byte, v uint64) bool {
+		matched++
+		return true
+	})
+	if matched != 100 {
+		t.Fatalf("matched = %d", matched)
+	}
+	// Examined = all in-range keys plus at most one terminator key.
+	if examined < matched || examined > matched+1 {
+		t.Fatalf("examined = %d for %d matches", examined, matched)
+	}
+	// A scan ending at the tree max has no terminator key to touch.
+	matched = 0
+	examined = tr.Scan(Include(key(990)), Unbounded(), func(k []byte, v uint64) bool {
+		matched++
+		return true
+	})
+	if matched != 10 || examined != 10 {
+		t.Fatalf("tail scan: matched %d examined %d", matched, examined)
+	}
+}
+
+func TestMinMaxHeight(t *testing.T) {
+	tr := NewTree(2)
+	if tr.Min() != nil || tr.Max() != nil || tr.Height() != 0 {
+		t.Fatal("empty tree min/max/height wrong")
+	}
+	for i := 50; i < 150; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	if !bytes.Equal(tr.Min(), key(50)) || !bytes.Equal(tr.Max(), key(149)) {
+		t.Fatalf("min/max = %v/%v", tr.Min(), tr.Max())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d, want >= 2 for 100 keys at degree 2", tr.Height())
+	}
+}
+
+func TestSizeEstimatePrefixCompression(t *testing.T) {
+	// Sequential keys share long prefixes and must compress far better
+	// than random keys of the same count and length.
+	seq := NewTree(16)
+	rnd := NewTree(16)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		seq.Set(key(i), 0)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], rng.Uint64())
+		rnd.Set(b[:], 0)
+	}
+	if s, r := seq.SizeEstimate(), rnd.SizeEstimate(); s >= r {
+		t.Fatalf("sequential keys (%d) should compress below random keys (%d)", s, r)
+	}
+	if NewTree(4).SizeEstimate() != 0 {
+		t.Fatal("empty tree size != 0")
+	}
+}
+
+// TestAgainstReferenceModel drives the tree and a sorted-map model
+// with the same random operations and checks they agree.
+func TestAgainstReferenceModel(t *testing.T) {
+	for _, degree := range []int{2, 3, 8, 64} {
+		t.Run(fmt.Sprintf("degree=%d", degree), func(t *testing.T) {
+			tr := NewTree(degree)
+			model := map[string]uint64{}
+			rng := rand.New(rand.NewSource(int64(degree)))
+			for op := 0; op < 20000; op++ {
+				k := key(rng.Intn(500))
+				switch rng.Intn(3) {
+				case 0, 1:
+					v := rng.Uint64()
+					_, existed := model[string(k)]
+					if tr.Set(k, v) != !existed {
+						t.Fatalf("op %d: Set new/existing mismatch", op)
+					}
+					model[string(k)] = v
+				case 2:
+					_, existed := model[string(k)]
+					if tr.Delete(k) != existed {
+						t.Fatalf("op %d: Delete presence mismatch", op)
+					}
+					delete(model, string(k))
+				}
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+			}
+			if err := tr.check(); err != nil {
+				t.Fatal(err)
+			}
+			var wantKeys []string
+			for k := range model {
+				wantKeys = append(wantKeys, k)
+			}
+			sort.Strings(wantKeys)
+			var gotKeys []string
+			tr.Scan(Unbounded(), Unbounded(), func(k []byte, v uint64) bool {
+				gotKeys = append(gotKeys, string(k))
+				if model[string(k)] != v {
+					t.Fatalf("value mismatch at %x", k)
+				}
+				return true
+			})
+			if len(gotKeys) != len(wantKeys) {
+				t.Fatalf("scan yielded %d keys, want %d", len(gotKeys), len(wantKeys))
+			}
+			for i := range gotKeys {
+				if gotKeys[i] != wantKeys[i] {
+					t.Fatalf("key %d mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+// TestScanMatchesModelProperty checks random range scans against a
+// sorted-slice model.
+func TestScanMatchesModelProperty(t *testing.T) {
+	tr := NewTree(4)
+	var keys []int
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		k := rng.Intn(10000)
+		if tr.Set(key(k), uint64(k)) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	f := func(a, b uint16, loIncl, hiIncl bool) bool {
+		lo, hi := int(a)%10000, int(b)%10000
+		var want []int
+		for _, k := range keys {
+			if (k > lo || (loIncl && k == lo)) && (k < hi || (hiIncl && k == hi)) {
+				want = append(want, k)
+			}
+		}
+		var got []int
+		tr.Scan(Bound{Key: key(lo), Inclusive: loIncl}, Bound{Key: key(hi), Inclusive: hiIncl},
+			func(k []byte, v uint64) bool {
+				got = append(got, int(v))
+				return true
+			})
+		return equalInts(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

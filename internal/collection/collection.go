@@ -1,0 +1,180 @@
+// Package collection combines a record store with its secondary
+// indexes: the unit of data a single shard owns. It maintains the
+// mandatory _id index, keeps every index consistent on insert and
+// delete, and exposes the scan surface the query planner builds plans
+// against.
+package collection
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bson"
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// IDIndexName is the name of the mandatory _id index, which exists on
+// every collection and cannot be dropped.
+const IDIndexName = "_id_"
+
+// Collection is a set of documents with secondary indexes. It is safe
+// for concurrent readers; writes are serialised internally.
+type Collection struct {
+	mu      sync.RWMutex
+	name    string
+	store   *storage.Store
+	indexes []*index.Index
+
+	// PlanCache is an opaque query-shape → winning-plan cache owned
+	// by the query layer, stored here so its lifetime matches the
+	// collection's.
+	PlanCache sync.Map
+}
+
+// New returns an empty collection with its _id index.
+func New(name string) *Collection {
+	idIdx, err := index.New(index.Definition{
+		Name:   IDIndexName,
+		Fields: []index.Field{{Name: "_id", Kind: index.Ascending}},
+	})
+	if err != nil {
+		panic(err) // static definition, cannot fail
+	}
+	return &Collection{
+		name:    name,
+		store:   storage.NewStore(),
+		indexes: []*index.Index{idIdx},
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// CreateIndex adds a secondary index and backfills it from the
+// existing documents.
+func (c *Collection) CreateIndex(def index.Definition) (*index.Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ix := range c.indexes {
+		if ix.Def().Name == def.Name {
+			return nil, fmt.Errorf("collection %s: index %q already exists", c.name, def.Name)
+		}
+	}
+	ix, err := index.New(def)
+	if err != nil {
+		return nil, err
+	}
+	var backfillErr error
+	c.store.Walk(func(id storage.RecordID, raw []byte) bool {
+		doc, err := bson.Unmarshal(raw)
+		if err != nil {
+			backfillErr = err
+			return false
+		}
+		if err := ix.Insert(doc, id); err != nil {
+			backfillErr = err
+			return false
+		}
+		return true
+	})
+	if backfillErr != nil {
+		return nil, fmt.Errorf("collection %s: backfilling %q: %w", c.name, def.Name, backfillErr)
+	}
+	c.indexes = append(c.indexes, ix)
+	return ix, nil
+}
+
+// Indexes returns the current indexes; the slice must not be
+// modified.
+func (c *Collection) Indexes() []*index.Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*index.Index, len(c.indexes))
+	copy(out, c.indexes)
+	return out
+}
+
+// Index returns the index with the given name, or nil.
+func (c *Collection) Index(name string) *index.Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, ix := range c.indexes {
+		if ix.Def().Name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Insert stores the document and updates every index. The document
+// must already carry an _id field.
+func (c *Collection) Insert(doc *bson.Document) (storage.RecordID, error) {
+	if _, ok := doc.Lookup("_id"); !ok {
+		return 0, fmt.Errorf("collection %s: document missing _id", c.name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.store.Insert(doc)
+	for _, ix := range c.indexes {
+		if err := ix.Insert(doc, id); err != nil {
+			// Roll back what we did so the collection stays
+			// consistent.
+			for _, undo := range c.indexes {
+				if undo == ix {
+					break
+				}
+				_, _ = undo.Remove(doc, id)
+			}
+			c.store.Delete(id)
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Delete removes the document at id from the store and all indexes.
+func (c *Collection) Delete(id storage.RecordID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	doc, err := c.store.Fetch(id)
+	if err != nil {
+		return err
+	}
+	for _, ix := range c.indexes {
+		if _, err := ix.Remove(doc, id); err != nil {
+			return err
+		}
+	}
+	c.store.Delete(id)
+	return nil
+}
+
+// Fetch decodes the document at id.
+func (c *Collection) Fetch(id storage.RecordID) (*bson.Document, error) {
+	return c.store.Fetch(id)
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int { return c.store.Len() }
+
+// DataBytes returns the total encoded document size.
+func (c *Collection) DataBytes() int64 { return c.store.Bytes() }
+
+// CompressedDataBytes estimates the block-compressed document size.
+func (c *Collection) CompressedDataBytes() int64 { return c.store.CompressedBytes() }
+
+// IndexBytes returns the summed prefix-compressed size estimate of
+// every index.
+func (c *Collection) IndexBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total int64
+	for _, ix := range c.indexes {
+		total += ix.SizeEstimate()
+	}
+	return total
+}
+
+// Store exposes the underlying record store for full scans.
+func (c *Collection) Store() *storage.Store { return c.store }

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/geo"
+	"repro/internal/query"
+	"repro/internal/sfc"
+	"repro/internal/sthash"
+)
+
+// QueryStats are the paper's evaluation metrics for one query
+// execution (Section 5.1).
+type QueryStats struct {
+	// Nodes is the number of cluster nodes the query was routed to.
+	Nodes int
+	// MaxKeysExamined is the largest per-node index-key count.
+	MaxKeysExamined int
+	// MaxDocsExamined is the largest per-node fetched-document count.
+	MaxDocsExamined int
+	// NReturned is the result-set size.
+	NReturned int
+	// Duration is the scatter-gather execution time, excluding the
+	// Hilbert cell computation (the paper reports that separately in
+	// Table 8).
+	Duration time.Duration
+	// CoverDuration is the time spent computing the Hilbert cell
+	// ranges for the query (zero for the baselines) — Table 8.
+	CoverDuration time.Duration
+	// CoverRanges and CoverCells describe the generated hilbertIndex
+	// constraint: contiguous ranges and single-cell values.
+	CoverRanges int
+	CoverCells  int
+	// IndexesUsed lists the winning access path on each targeted
+	// shard, in shard order — the Table 7 observable.
+	IndexesUsed []string
+	// Broadcast reports whether routing degenerated to all shards.
+	Broadcast bool
+}
+
+// QueryResult carries the documents and the stats.
+type QueryResult struct {
+	Docs  []bson.Raw
+	Stats QueryStats
+}
+
+// STQuery is a spatio-temporal range query: a rectangle and a closed
+// time interval.
+type STQuery struct {
+	Rect geo.Rect
+	From time.Time
+	To   time.Time
+}
+
+// Filter builds the approach's query filter. For the baselines it is
+// the plain $geoWithin + date-range conjunction; for the Hilbert
+// approaches it additionally constrains hilbertIndex with a $or of
+// $gte/$lte ranges plus an $in of the isolated cells, exactly the
+// document shape shown in Section 4.2.2. The returned cover stats and
+// duration feed Table 8.
+func (s *Store) Filter(q STQuery) (query.Filter, sfc.RangeStats, time.Duration) {
+	base := []query.Filter{
+		query.GeoWithin{Field: FieldLoc, Rect: q.Rect},
+		query.TimeRangeFilter(FieldDate, q.From.UTC(), q.To.UTC()),
+	}
+	switch {
+	case s.grid != nil:
+		start := time.Now()
+		ranges := s.grid.Cover(q.Rect)
+		if s.cfg.MaxQueryRanges > 0 {
+			ranges = sfc.CoalesceRanges(ranges, s.cfg.MaxQueryRanges)
+		}
+		coverTime := time.Since(start)
+		base = append(base, HilbertConstraint(ranges))
+		return query.NewAnd(base...), sfc.StatsOf(ranges), coverTime
+	case s.sth != nil:
+		start := time.Now()
+		ranges := s.sth.Cover(q.Rect, q.From, q.To, 0)
+		coverTime := time.Since(start)
+		base = append(base, STHashConstraint(ranges))
+		st := sfc.RangeStats{Ranges: len(ranges)}
+		return query.NewAnd(base...), st, coverTime
+	default:
+		return query.NewAnd(base...), sfc.RangeStats{}, 0
+	}
+}
+
+// STHashConstraint translates ST-Hash key ranges into the disjunctive
+// string constraint on the stHash field.
+func STHashConstraint(ranges []sthash.Range) query.Filter {
+	if len(ranges) == 0 {
+		return query.NewAnd(
+			query.Cmp{Field: FieldSTHash, Op: query.OpGT, Value: "1"},
+			query.Cmp{Field: FieldSTHash, Op: query.OpLT, Value: "0"},
+		)
+	}
+	arms := make([]query.Filter, 0, len(ranges))
+	for _, r := range ranges {
+		arms = append(arms, query.NewAnd(
+			query.Cmp{Field: FieldSTHash, Op: query.OpGTE, Value: r.Lo},
+			query.Cmp{Field: FieldSTHash, Op: query.OpLTE, Value: r.Hi},
+		))
+	}
+	return query.NewOr(arms...)
+}
+
+// HilbertConstraint translates curve ranges into the disjunctive
+// hilbertIndex constraint: consecutive values become $gte/$lte pairs,
+// single cells collect into one $in.
+func HilbertConstraint(ranges []sfc.Range) query.Filter {
+	var arms []query.Filter
+	var singles []any
+	for _, r := range ranges {
+		if r.Lo == r.Hi {
+			singles = append(singles, int64(r.Lo))
+			continue
+		}
+		arms = append(arms, query.NewAnd(
+			query.Cmp{Field: FieldHilbert, Op: query.OpGTE, Value: int64(r.Lo)},
+			query.Cmp{Field: FieldHilbert, Op: query.OpLTE, Value: int64(r.Hi)},
+		))
+	}
+	if len(singles) > 0 {
+		arms = append(arms, query.In{Field: FieldHilbert, Values: singles})
+	}
+	if len(arms) == 0 {
+		// An empty cover matches nothing: an impossible point pair.
+		return query.NewAnd(
+			query.Cmp{Field: FieldHilbert, Op: query.OpGT, Value: int64(0)},
+			query.Cmp{Field: FieldHilbert, Op: query.OpLT, Value: int64(0)},
+		)
+	}
+	return query.NewOr(arms...)
+}
+
+// Query executes the spatio-temporal query and reports the paper's
+// metrics.
+func (s *Store) Query(q STQuery) *QueryResult {
+	f, coverStats, coverTime := s.Filter(q)
+	routed := s.cluster.Query(f)
+	stats := QueryStats{
+		Nodes:           routed.ShardsTargeted,
+		MaxKeysExamined: routed.MaxKeysExamined,
+		MaxDocsExamined: routed.MaxDocsExamined,
+		NReturned:       routed.TotalReturned,
+		Duration:        routed.Duration,
+		CoverDuration:   coverTime,
+		CoverRanges:     coverStats.Ranges - coverStats.Singles,
+		CoverCells:      coverStats.Singles,
+		Broadcast:       routed.Broadcast,
+	}
+	for _, st := range routed.PerShard {
+		stats.IndexesUsed = append(stats.IndexesUsed, st.IndexUsed)
+	}
+	return &QueryResult{Docs: routed.Docs, Stats: stats}
+}
+
+// Count runs the query and returns only the result count (used by the
+// result-set tables).
+func (s *Store) Count(q STQuery) int {
+	return s.Query(q).Stats.NReturned
+}
+
+// Delete removes every record matching the spatio-temporal query and
+// returns the number deleted — the retention operation the paper's
+// introduction motivates (fleet operators aging out historical data).
+func (s *Store) Delete(q STQuery) (int, error) {
+	f, _, _ := s.Filter(q)
+	return s.cluster.Delete(f)
+}
+
+// Explain returns the routing decision and each targeted shard's
+// plan explanation for the query — the store-level analogue of the
+// server's explain("executionStats").
+func (s *Store) Explain(q STQuery) (shards []int, exps []*query.Explanation) {
+	f, _, _ := s.Filter(q)
+	return s.cluster.Explain(f)
+}
+
+// STPolygonQuery is a spatio-temporal range query over an arbitrary
+// simple polygon (the paper's future-work geometry extension). Index
+// bounds and routing derive from the polygon's bounding rectangle;
+// the exact ring containment runs during refinement.
+type STPolygonQuery struct {
+	Polygon *geo.Polygon
+	From    time.Time
+	To      time.Time
+}
+
+// PolygonFilter builds the approach's filter for a polygon query.
+func (s *Store) PolygonFilter(q STPolygonQuery) (query.Filter, sfc.RangeStats, time.Duration) {
+	rectQ := STQuery{Rect: q.Polygon.BoundingRect(), From: q.From, To: q.To}
+	f, st, coverTime := s.Filter(rectQ)
+	// Swap the rectangle predicate for the exact polygon predicate;
+	// everything derived from the bounding rectangle (Hilbert cover,
+	// stHash cover) stays.
+	and := f.(query.And)
+	for i, c := range and.Children {
+		if gw, ok := c.(query.GeoWithin); ok && gw.Field == FieldLoc {
+			and.Children[i] = query.GeoWithinPolygon{Field: FieldLoc, Polygon: q.Polygon}
+		}
+	}
+	return and, st, coverTime
+}
+
+// QueryPolygon executes the polygon query and reports the same
+// metrics as Query.
+func (s *Store) QueryPolygon(q STPolygonQuery) *QueryResult {
+	f, coverStats, coverTime := s.PolygonFilter(q)
+	routed := s.cluster.Query(f)
+	stats := QueryStats{
+		Nodes:           routed.ShardsTargeted,
+		MaxKeysExamined: routed.MaxKeysExamined,
+		MaxDocsExamined: routed.MaxDocsExamined,
+		NReturned:       routed.TotalReturned,
+		Duration:        routed.Duration,
+		CoverDuration:   coverTime,
+		CoverRanges:     coverStats.Ranges - coverStats.Singles,
+		CoverCells:      coverStats.Singles,
+		Broadcast:       routed.Broadcast,
+	}
+	for _, st := range routed.PerShard {
+		stats.IndexesUsed = append(stats.IndexesUsed, st.IndexUsed)
+	}
+	return &QueryResult{Docs: routed.Docs, Stats: stats}
+}

@@ -1,0 +1,131 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// csv layout: lon, lat, date(RFC3339Nano), then one column per
+// payload field of the first record. The paper's loaders read CSV
+// files record-by-record and convert them to documents; cmd/stload
+// does the same.
+
+// WriteCSV writes the records with a header row. All records must
+// share the first record's payload schema.
+func WriteCSV(w io.Writer, recs []core.Record) error {
+	cw := csv.NewWriter(w)
+	header := []string{"lon", "lat", "date"}
+	var extras []string
+	if len(recs) > 0 {
+		for _, e := range recs[0].Fields {
+			extras = append(extras, e.Key)
+			header = append(header, e.Key)
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i, rec := range recs {
+		row[0] = strconv.FormatFloat(rec.Point.Lon, 'f', -1, 64)
+		row[1] = strconv.FormatFloat(rec.Point.Lat, 'f', -1, 64)
+		row[2] = rec.Time.UTC().Format(time.RFC3339Nano)
+		if len(rec.Fields) != len(extras) {
+			return fmt.Errorf("data: record %d has %d payload fields, header has %d",
+				i, len(rec.Fields), len(extras))
+		}
+		for j, e := range rec.Fields {
+			if e.Key != extras[j] {
+				return fmt.Errorf("data: record %d payload field %q does not match header %q",
+					i, e.Key, extras[j])
+			}
+			row[3+j] = formatCSVValue(e.Value)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatCSVValue(v any) string {
+	switch t := bson.Normalize(v).(type) {
+	case int64:
+		return strconv.FormatInt(t, 10)
+	case float64:
+		return strconv.FormatFloat(t, 'f', -1, 64)
+	case bool:
+		return strconv.FormatBool(t)
+	case string:
+		return t
+	case time.Time:
+		return t.UTC().Format(time.RFC3339Nano)
+	default:
+		return fmt.Sprintf("%v", t)
+	}
+}
+
+// ReadCSV parses records written by WriteCSV. Payload values are
+// type-inferred: int, then float, then bool, falling back to string.
+func ReadCSV(r io.Reader) ([]core.Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+	}
+	if len(header) < 3 || header[0] != "lon" || header[1] != "lat" || header[2] != "date" {
+		return nil, fmt.Errorf("data: unexpected CSV header %v", header)
+	}
+	var recs []core.Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: %w", line, err)
+		}
+		lon, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: bad lon: %w", line, err)
+		}
+		lat, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: bad lat: %w", line, err)
+		}
+		at, err := time.Parse(time.RFC3339Nano, row[2])
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: bad date: %w", line, err)
+		}
+		rec := core.Record{Point: geo.Point{Lon: lon, Lat: lat}, Time: at}
+		for j := 3; j < len(row) && j < len(header); j++ {
+			rec.Fields = append(rec.Fields, bson.Elem{
+				Key:   header[j],
+				Value: inferCSVValue(row[j]),
+			})
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func inferCSVValue(s string) any {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	if b, err := strconv.ParseBool(s); err == nil {
+		return b
+	}
+	return s
+}

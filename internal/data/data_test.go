@@ -1,0 +1,199 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/geo"
+)
+
+func TestGenerateRealBasics(t *testing.T) {
+	recs := GenerateReal(RealConfig{Records: 5000, Seed: 3})
+	if len(recs) != 5000 {
+		t.Fatalf("generated %d records", len(recs))
+	}
+	for i, r := range recs {
+		if !RExtent.Contains(r.Point) {
+			t.Fatalf("record %d outside extent: %v", i, r.Point)
+		}
+		if r.Time.Before(RStart) || r.Time.After(RStart.Add(RDuration)) {
+			t.Fatalf("record %d outside time span: %v", i, r.Time)
+		}
+	}
+	// Records come out roughly time-ordered (rounds overlap within a
+	// step but the overall trend is monotone).
+	firstQuarter, lastQuarter := recs[:len(recs)/4], recs[3*len(recs)/4:]
+	var earlyMax time.Time
+	lateMin := RStart.Add(10 * RDuration)
+	for _, r := range firstQuarter {
+		if r.Time.After(earlyMax) {
+			earlyMax = r.Time
+		}
+	}
+	for _, r := range lastQuarter {
+		if r.Time.Before(lateMin) {
+			lateMin = r.Time
+		}
+	}
+	if !earlyMax.Before(lateMin.Add(RDuration / 2)) {
+		t.Fatalf("records not time-trending: early max %v, late min %v", earlyMax, lateMin)
+	}
+}
+
+func TestGenerateRealDeterministic(t *testing.T) {
+	a := GenerateReal(RealConfig{Records: 500, Seed: 9})
+	b := GenerateReal(RealConfig{Records: 500, Seed: 9})
+	for i := range a {
+		if a[i].Point != b[i].Point || !a[i].Time.Equal(b[i].Time) {
+			t.Fatalf("record %d differs across runs", i)
+		}
+	}
+	c := GenerateReal(RealConfig{Records: 500, Seed: 10})
+	same := 0
+	for i := range a {
+		if a[i].Point == c[i].Point {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("different seeds produced %d identical points", same)
+	}
+}
+
+func TestGenerateRealSpatialSkew(t *testing.T) {
+	recs := GenerateReal(RealConfig{Records: 20000, Seed: 4})
+	athens := geo.NewRect(23.6, 37.8, 23.95, 38.1)
+	rural := geo.NewRect(26.0, 40.0, 26.35, 40.3) // same size, Thrace
+	inAthens, inRural := 0, 0
+	for _, r := range recs {
+		if athens.Contains(r.Point) {
+			inAthens++
+		}
+		if rural.Contains(r.Point) {
+			inRural++
+		}
+	}
+	if inAthens < 10*inRural+10 {
+		t.Fatalf("no urban skew: athens %d, rural %d", inAthens, inRural)
+	}
+	// The paper's small-query rectangle must receive some traffic so
+	// the Q^s workload is reproducible.
+	small := geo.NewRect(23.757495, 37.987295, 23.766958, 37.992997)
+	inSmall := 0
+	for _, r := range recs {
+		if small.Contains(r.Point) {
+			inSmall++
+		}
+	}
+	if inSmall == 0 {
+		t.Fatal("no records in the paper's small-query rectangle")
+	}
+}
+
+func TestGenerateRealPayload(t *testing.T) {
+	recs := GenerateReal(RealConfig{Records: 10, Seed: 1, ExtraFields: 16})
+	if len(recs[0].Fields) != 16 {
+		t.Fatalf("payload has %d fields", len(recs[0].Fields))
+	}
+	recs = GenerateReal(RealConfig{Records: 10, Seed: 1, ExtraFields: 4})
+	if len(recs[0].Fields) != 4 {
+		t.Fatalf("trimmed payload has %d fields", len(recs[0].Fields))
+	}
+	recs = GenerateReal(RealConfig{Records: 10, Seed: 1, ExtraFields: -1})
+	if len(recs[0].Fields) != 0 {
+		t.Fatalf("disabled payload has %d fields", len(recs[0].Fields))
+	}
+}
+
+func TestGenerateSyntheticBasics(t *testing.T) {
+	recs := GenerateSynthetic(SyntheticConfig{Records: 10000})
+	if len(recs) != 10000 {
+		t.Fatalf("generated %d records", len(recs))
+	}
+	for i, r := range recs {
+		if !SExtent.Contains(r.Point) {
+			t.Fatalf("record %d outside S extent", i)
+		}
+		if i > 0 && r.Time.Before(recs[i-1].Time) {
+			t.Fatalf("record %d not time-ordered", i)
+		}
+	}
+	// Uniformity: quadrant counts within 20% of each other.
+	center := SExtent.Center()
+	var q [4]int
+	for _, r := range recs {
+		i := 0
+		if r.Point.Lon >= center.Lon {
+			i |= 1
+		}
+		if r.Point.Lat >= center.Lat {
+			i |= 2
+		}
+		q[i]++
+	}
+	for i := 1; i < 4; i++ {
+		ratio := float64(q[i]) / float64(q[0])
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Fatalf("quadrant counts not uniform: %v", q)
+		}
+	}
+}
+
+func TestMBROf(t *testing.T) {
+	recs := GenerateSynthetic(SyntheticConfig{Records: 5000})
+	mbr := MBROf(recs)
+	if !SExtent.ContainsRect(mbr) {
+		t.Fatalf("MBR %v escapes extent %v", mbr, SExtent)
+	}
+	if mbr.Width() < SExtent.Width()*0.9 {
+		t.Fatalf("MBR suspiciously narrow: %v", mbr)
+	}
+	if (MBROf(nil) != geo.Rect{}) {
+		t.Fatal("MBR of empty input not zero")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := GenerateReal(RealConfig{Records: 50, Seed: 6})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip returned %d records", len(back))
+	}
+	for i := range recs {
+		if back[i].Point != recs[i].Point || !back[i].Time.Equal(recs[i].Time) {
+			t.Fatalf("record %d position/time mismatch", i)
+		}
+		if len(back[i].Fields) != len(recs[i].Fields) {
+			t.Fatalf("record %d payload count mismatch", i)
+		}
+		for j, e := range recs[i].Fields {
+			if bson.Compare(bson.Normalize(e.Value), back[i].Fields[j].Value) != 0 {
+				t.Fatalf("record %d field %s: %v != %v", i, e.Key, e.Value, back[i].Fields[j].Value)
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b,c\n1,2,3\n",
+		"lon,lat,date\nxx,37,2018-07-01T00:00:00Z\n",
+		"lon,lat,date\n23,yy,2018-07-01T00:00:00Z\n",
+		"lon,lat,date\n23,37,notadate\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bson"
+)
+
+// Polygon is a simple (non-self-intersecting) polygon given by its
+// outer ring, vertices in order, without a closing repeat of the
+// first vertex. Polygons extend the store's $geoWithin support beyond
+// rectangles — the "more complex data types" direction the paper
+// lists as future work.
+type Polygon struct {
+	ring []Point
+}
+
+// NewPolygon builds a polygon from at least three vertices. A closing
+// vertex equal to the first is tolerated and stripped.
+func NewPolygon(vertices ...Point) (*Polygon, error) {
+	if len(vertices) >= 2 && vertices[0] == vertices[len(vertices)-1] {
+		vertices = vertices[:len(vertices)-1]
+	}
+	if len(vertices) < 3 {
+		return nil, fmt.Errorf("geo: polygon needs at least 3 distinct vertices, got %d", len(vertices))
+	}
+	for i, v := range vertices {
+		if !v.Valid() {
+			return nil, fmt.Errorf("geo: polygon vertex %d invalid: %v", i, v)
+		}
+	}
+	p := &Polygon{ring: make([]Point, len(vertices))}
+	copy(p.ring, vertices)
+	return p, nil
+}
+
+// PolygonFromRect returns the rectangle as a 4-vertex polygon.
+func PolygonFromRect(r Rect) *Polygon {
+	p, err := NewPolygon(
+		r.Min,
+		Point{Lon: r.Max.Lon, Lat: r.Min.Lat},
+		r.Max,
+		Point{Lon: r.Min.Lon, Lat: r.Max.Lat},
+	)
+	if err != nil {
+		// A valid rectangle always yields a valid ring.
+		panic(err)
+	}
+	return p
+}
+
+// Vertices returns the ring; the slice must not be modified.
+func (p *Polygon) Vertices() []Point { return p.ring }
+
+// BoundingRect returns the polygon's minimum bounding rectangle,
+// which drives curve covering and routing; the exact ring test runs
+// in the refinement step.
+func (p *Polygon) BoundingRect() Rect {
+	out := Rect{Min: p.ring[0], Max: p.ring[0]}
+	for _, v := range p.ring[1:] {
+		out.Min.Lon = math.Min(out.Min.Lon, v.Lon)
+		out.Min.Lat = math.Min(out.Min.Lat, v.Lat)
+		out.Max.Lon = math.Max(out.Max.Lon, v.Lon)
+		out.Max.Lat = math.Max(out.Max.Lat, v.Lat)
+	}
+	return out
+}
+
+// Contains reports whether the point lies inside the polygon or on
+// its boundary, by the even-odd ray-casting rule with an explicit
+// boundary check (borders are inclusive, matching $geoWithin on
+// closed geometries).
+func (p *Polygon) Contains(pt Point) bool {
+	n := len(p.ring)
+	inside := false
+	for i := 0; i < n; i++ {
+		a, b := p.ring[i], p.ring[(i+1)%n]
+		if onSegment(pt, a, b) {
+			return true
+		}
+		// Ray toward +lon: count crossings of edges spanning pt.Lat.
+		if (a.Lat > pt.Lat) != (b.Lat > pt.Lat) {
+			xCross := a.Lon + (pt.Lat-a.Lat)/(b.Lat-a.Lat)*(b.Lon-a.Lon)
+			if pt.Lon < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// onSegment reports whether pt lies on the closed segment [a, b].
+func onSegment(pt, a, b Point) bool {
+	cross := (b.Lon-a.Lon)*(pt.Lat-a.Lat) - (b.Lat-a.Lat)*(pt.Lon-a.Lon)
+	if math.Abs(cross) > 1e-12 {
+		return false
+	}
+	return pt.Lon >= math.Min(a.Lon, b.Lon)-1e-12 && pt.Lon <= math.Max(a.Lon, b.Lon)+1e-12 &&
+		pt.Lat >= math.Min(a.Lat, b.Lat)-1e-12 && pt.Lat <= math.Max(a.Lat, b.Lat)+1e-12
+}
+
+// GeoJSON returns the polygon as a GeoJSON Polygon document (the ring
+// closed per the spec).
+func (p *Polygon) GeoJSON() *bson.Document {
+	ring := make(bson.A, 0, len(p.ring)+1)
+	for _, v := range p.ring {
+		ring = append(ring, bson.A{v.Lon, v.Lat})
+	}
+	ring = append(ring, bson.A{p.ring[0].Lon, p.ring[0].Lat})
+	return bson.FromD(bson.D{
+		{Key: "type", Value: "Polygon"},
+		{Key: "coordinates", Value: bson.A{ring}},
+	})
+}
+
+// PolygonFromGeoJSON parses a GeoJSON Polygon document's outer ring.
+func PolygonFromGeoJSON(v any) (*Polygon, bool) {
+	doc, ok := v.(*bson.Document)
+	if !ok {
+		return nil, false
+	}
+	if typ, _ := doc.Get("type").(string); typ != "Polygon" {
+		return nil, false
+	}
+	rings, ok := doc.Get("coordinates").(bson.A)
+	if !ok || len(rings) == 0 {
+		return nil, false
+	}
+	ring, ok := rings[0].(bson.A)
+	if !ok {
+		return nil, false
+	}
+	pts := make([]Point, 0, len(ring))
+	for _, corner := range ring {
+		pair, ok := corner.(bson.A)
+		if !ok || len(pair) != 2 {
+			return nil, false
+		}
+		lon, ok1 := bson.NumericValue(pair[0])
+		lat, ok2 := bson.NumericValue(pair[1])
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		pts = append(pts, Point{Lon: lon, Lat: lat})
+	}
+	p, err := NewPolygon(pts...)
+	if err != nil {
+		return nil, false
+	}
+	return p, true
+}

@@ -1,0 +1,138 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func triangle(t *testing.T) *Polygon {
+	t.Helper()
+	p, err := NewPolygon(
+		Point{Lon: 0, Lat: 0},
+		Point{Lon: 10, Lat: 0},
+		Point{Lon: 5, Lat: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPolygonValidation(t *testing.T) {
+	if _, err := NewPolygon(Point{}, Point{Lon: 1}); err == nil {
+		t.Fatal("2-vertex polygon accepted")
+	}
+	if _, err := NewPolygon(Point{}, Point{Lon: 1}, Point{Lon: 999, Lat: 0}); err == nil {
+		t.Fatal("invalid vertex accepted")
+	}
+	// Closing vertex stripped.
+	p, err := NewPolygon(Point{}, Point{Lon: 1}, Point{Lat: 1}, Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Vertices()) != 3 {
+		t.Fatalf("ring length %d", len(p.Vertices()))
+	}
+}
+
+func TestPolygonContainsTriangle(t *testing.T) {
+	p := triangle(t)
+	cases := []struct {
+		pt   Point
+		want bool
+	}{
+		{Point{Lon: 5, Lat: 3}, true},   // interior
+		{Point{Lon: 5, Lat: 0}, true},   // bottom edge
+		{Point{Lon: 0, Lat: 0}, true},   // vertex
+		{Point{Lon: 5, Lat: 10}, true},  // apex
+		{Point{Lon: -1, Lat: 0}, false}, // outside left
+		{Point{Lon: 5, Lat: 11}, false}, // above apex
+		{Point{Lon: 9, Lat: 9}, false},  // outside the slanted edge
+	}
+	for _, tc := range cases {
+		if got := p.Contains(tc.pt); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.pt, got, tc.want)
+		}
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// A "U" shape: the notch between the arms is outside.
+	p, err := NewPolygon(
+		Point{Lon: 0, Lat: 0},
+		Point{Lon: 10, Lat: 0},
+		Point{Lon: 10, Lat: 10},
+		Point{Lon: 7, Lat: 10},
+		Point{Lon: 7, Lat: 3},
+		Point{Lon: 3, Lat: 3},
+		Point{Lon: 3, Lat: 10},
+		Point{Lon: 0, Lat: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(Point{Lon: 1.5, Lat: 8}) {
+		t.Error("left arm not contained")
+	}
+	if !p.Contains(Point{Lon: 8.5, Lat: 8}) {
+		t.Error("right arm not contained")
+	}
+	if p.Contains(Point{Lon: 5, Lat: 8}) {
+		t.Error("notch contained")
+	}
+	if !p.Contains(Point{Lon: 5, Lat: 1.5}) {
+		t.Error("base not contained")
+	}
+}
+
+func TestPolygonMatchesRectSemantics(t *testing.T) {
+	rect := NewRect(23.6, 38.0, 24.0, 38.35)
+	poly := PolygonFromRect(rect)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		pt := Point{
+			Lon: 23.5 + rng.Float64()*0.7,
+			Lat: 37.9 + rng.Float64()*0.6,
+		}
+		if rect.Contains(pt) != poly.Contains(pt) {
+			t.Fatalf("rect/polygon disagree at %v", pt)
+		}
+	}
+}
+
+func TestPolygonBoundingRect(t *testing.T) {
+	p := triangle(t)
+	r := p.BoundingRect()
+	if r.Min.Lon != 0 || r.Min.Lat != 0 || r.Max.Lon != 10 || r.Max.Lat != 10 {
+		t.Fatalf("bounding rect = %v", r)
+	}
+	// Containment is consistent: polygon ⊂ bounding rect.
+	f := func(lonSeed, latSeed uint16) bool {
+		pt := Point{Lon: float64(lonSeed%1300)/100 - 1, Lat: float64(latSeed%1300)/100 - 1}
+		return !p.Contains(pt) || r.Contains(pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonGeoJSONRoundTrip(t *testing.T) {
+	p := triangle(t)
+	doc := p.GeoJSON()
+	back, ok := PolygonFromGeoJSON(doc)
+	if !ok {
+		t.Fatal("round trip failed")
+	}
+	if len(back.Vertices()) != len(p.Vertices()) {
+		t.Fatalf("vertex count %d != %d", len(back.Vertices()), len(p.Vertices()))
+	}
+	for i, v := range p.Vertices() {
+		if back.Vertices()[i] != v {
+			t.Fatalf("vertex %d mismatch", i)
+		}
+	}
+	if _, ok := PolygonFromGeoJSON("nope"); ok {
+		t.Fatal("non-document accepted")
+	}
+}

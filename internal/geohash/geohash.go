@@ -1,0 +1,198 @@
+// Package geohash implements the geohash encoding that backs the
+// baseline 2dsphere index: hierarchical bisection of the lon/lat
+// domain with bit interleaving (longitude first), the base32 string
+// form, and rectangle covering used to translate $geoWithin queries
+// into index ranges. Geohash is a z-order curve over the equirect-
+// angular projection of the globe; its weaker locality compared to
+// the Hilbert curve is exactly what the paper's evaluation surfaces.
+package geohash
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geo"
+)
+
+// DefaultBits is the index precision the server uses by default
+// (Section 3.2 of the paper: 26 bits, configurable up to 32).
+const DefaultBits = 26
+
+// MaxBits is the largest supported precision in bits.
+const MaxBits = 60
+
+// base32 is the standard geohash alphabet (digits plus lowercase
+// letters except a, i, l, o).
+const base32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+var base32Index = func() map[byte]uint64 {
+	m := make(map[byte]uint64, len(base32))
+	for i := 0; i < len(base32); i++ {
+		m[base32[i]] = uint64(i)
+	}
+	return m
+}()
+
+// EncodeBits returns the geohash of the point at the given precision:
+// the interleaved bisection bits, longitude first, packed into the low
+// `bits` bits of the result.
+func EncodeBits(p geo.Point, bits uint) uint64 {
+	if bits == 0 || bits > MaxBits {
+		bits = DefaultBits
+	}
+	lonLo, lonHi := -180.0, 180.0
+	latLo, latHi := -90.0, 90.0
+	var h uint64
+	for i := uint(0); i < bits; i++ {
+		h <<= 1
+		if i%2 == 0 { // longitude bit
+			mid := (lonLo + lonHi) / 2
+			if p.Lon >= mid {
+				h |= 1
+				lonLo = mid
+			} else {
+				lonHi = mid
+			}
+		} else { // latitude bit
+			mid := (latLo + latHi) / 2
+			if p.Lat >= mid {
+				h |= 1
+				latLo = mid
+			} else {
+				latHi = mid
+			}
+		}
+	}
+	return h
+}
+
+// DecodeBits returns the cell rectangle of a geohash at the given
+// precision.
+func DecodeBits(h uint64, bits uint) geo.Rect {
+	lonLo, lonHi := -180.0, 180.0
+	latLo, latHi := -90.0, 90.0
+	for i := uint(0); i < bits; i++ {
+		bit := (h >> (bits - 1 - i)) & 1
+		if i%2 == 0 {
+			mid := (lonLo + lonHi) / 2
+			if bit == 1 {
+				lonLo = mid
+			} else {
+				lonHi = mid
+			}
+		} else {
+			mid := (latLo + latHi) / 2
+			if bit == 1 {
+				latLo = mid
+			} else {
+				latHi = mid
+			}
+		}
+	}
+	return geo.Rect{Min: geo.Point{Lon: lonLo, Lat: latLo}, Max: geo.Point{Lon: lonHi, Lat: latHi}}
+}
+
+// Encode returns the classic base32 geohash string of the point with
+// the given number of characters (5 bits each). The paper's example:
+// Athens (37.983810, 23.727539) encodes to "swbb5" at 5 characters.
+func Encode(p geo.Point, chars int) string {
+	if chars < 1 {
+		chars = 5
+	}
+	bits := uint(chars * 5)
+	if bits > MaxBits {
+		bits = MaxBits
+		chars = int(bits / 5)
+		bits = uint(chars * 5)
+	}
+	h := EncodeBits(p, bits)
+	var b strings.Builder
+	for i := chars - 1; i >= 0; i-- {
+		b.WriteByte(base32[(h>>(uint(i)*5))&31])
+	}
+	return b.String()
+}
+
+// Decode returns the cell rectangle of a base32 geohash string.
+func Decode(s string) (geo.Rect, error) {
+	var h uint64
+	for i := 0; i < len(s); i++ {
+		v, ok := base32Index[s[i]]
+		if !ok {
+			return geo.Rect{}, fmt.Errorf("geohash: invalid character %q", s[i])
+		}
+		h = h<<5 | v
+	}
+	return DecodeBits(h, uint(len(s)*5)), nil
+}
+
+// Cell is a geohash prefix: the first Bits bits of a full-precision
+// hash. It denotes the rectangle of all points sharing that prefix.
+type Cell struct {
+	Value uint64 // prefix bits, right-aligned
+	Bits  uint   // number of meaningful bits
+}
+
+// Rect returns the geographic rectangle of the cell.
+func (c Cell) Rect() geo.Rect { return DecodeBits(c.Value, c.Bits) }
+
+// Range returns the inclusive range of full-precision hash values
+// (at totalBits) whose prefix is this cell.
+func (c Cell) Range(totalBits uint) (lo, hi uint64) {
+	shift := totalBits - c.Bits
+	lo = c.Value << shift
+	hi = lo | (1<<shift - 1)
+	return lo, hi
+}
+
+// Cover returns geohash cells covering the query rectangle: every
+// point inside the query lies in some returned cell. Cells are split
+// down to totalBits precision but the recursion stops early for cells
+// fully inside the query, and the precision adaptively coarsens so
+// that at most maxCells cells are returned (maxCells <= 0 means no
+// limit). This mirrors how the server turns a $geoWithin predicate
+// into a set of index intervals.
+func Cover(query geo.Rect, totalBits uint, maxCells int) []Cell {
+	if totalBits == 0 || totalBits > MaxBits {
+		totalBits = DefaultBits
+	}
+	target := totalBits
+	for {
+		cells := coverAt(query, target)
+		if maxCells <= 0 || len(cells) <= maxCells || target <= 2 {
+			return cells
+		}
+		target -= 2 // one level up in both dimensions
+	}
+}
+
+func coverAt(query geo.Rect, targetBits uint) []Cell {
+	var out []Cell
+	var rec func(c Cell, cellRect geo.Rect)
+	rec = func(c Cell, cellRect geo.Rect) {
+		if !cellRect.Intersects(query) {
+			return
+		}
+		if c.Bits >= targetBits || query.ContainsRect(cellRect) {
+			out = append(out, c)
+			return
+		}
+		// Split on the dimension this bit refines (even = lon).
+		mid := cellRect
+		if c.Bits%2 == 0 {
+			m := (cellRect.Min.Lon + cellRect.Max.Lon) / 2
+			lo, hi := cellRect, mid
+			lo.Max.Lon, hi.Min.Lon = m, m
+			rec(Cell{Value: c.Value << 1, Bits: c.Bits + 1}, lo)
+			rec(Cell{Value: c.Value<<1 | 1, Bits: c.Bits + 1}, hi)
+		} else {
+			m := (cellRect.Min.Lat + cellRect.Max.Lat) / 2
+			lo, hi := cellRect, mid
+			lo.Max.Lat, hi.Min.Lat = m, m
+			rec(Cell{Value: c.Value << 1, Bits: c.Bits + 1}, lo)
+			rec(Cell{Value: c.Value<<1 | 1, Bits: c.Bits + 1}, hi)
+		}
+	}
+	rec(Cell{}, geo.World)
+	return out
+}

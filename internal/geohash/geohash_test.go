@@ -1,0 +1,181 @@
+package geohash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// TestAthensExample checks the paper's worked example: Athens
+// (37.983810, 23.727539) at 5 characters is "swbb5". (The paper's
+// 10-character value "swbb5ftzes" has a typo in its last character:
+// that cell's latitude interval [37.983792, 37.983797] excludes the
+// stated coordinate, while "swbb5ftzex" contains it; the canonical
+// Wikipedia vector ezs42 ↔ (42.6, -5.6) is checked below to pin the
+// convention.)
+func TestAthensExample(t *testing.T) {
+	athens := geo.Point{Lon: 23.727539, Lat: 37.983810}
+	if got := Encode(athens, 10); got != "swbb5ftzex" {
+		t.Fatalf("Encode(athens, 10) = %q, want swbb5ftzex", got)
+	}
+	if got := Encode(geo.Point{Lon: -5.6, Lat: 42.6}, 5); got != "ezs42" {
+		t.Fatalf("Encode(ezs42 vector) = %q", got)
+	}
+	if got := Encode(athens, 5); got != "swbb5" {
+		t.Fatalf("Encode(athens, 5) = %q, want swbb5", got)
+	}
+}
+
+func TestEncodeDecodeCellContainsPoint(t *testing.T) {
+	f := func(lonSeed, latSeed uint32) bool {
+		p := geo.Point{
+			Lon: float64(lonSeed%36000)/100 - 180,
+			Lat: float64(latSeed%18000)/100 - 90,
+		}
+		for _, bits := range []uint{10, 26, 32} {
+			cell := DecodeBits(EncodeBits(p, bits), bits)
+			if !cell.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreBitsSmallerCell(t *testing.T) {
+	p := geo.Point{Lon: 23.7, Lat: 37.9}
+	prev := DecodeBits(EncodeBits(p, 2), 2)
+	for bits := uint(4); bits <= 32; bits += 2 {
+		cell := DecodeBits(EncodeBits(p, bits), bits)
+		if cell.AreaKm2() >= prev.AreaKm2() {
+			t.Fatalf("cell at %d bits not smaller than at %d", bits, bits-2)
+		}
+		if !prev.ContainsRect(cell) {
+			t.Fatalf("cell at %d bits not nested in parent", bits)
+		}
+		prev = cell
+	}
+}
+
+func TestDecodeStringRoundTrip(t *testing.T) {
+	p := geo.Point{Lon: 23.727539, Lat: 37.983810}
+	s := Encode(p, 7)
+	cell, err := Decode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cell.Contains(p) {
+		t.Fatalf("decoded cell %v does not contain %v", cell, p)
+	}
+	if _, err := Decode("swa"); err == nil { // 'a' not in alphabet
+		t.Error("Decode accepted invalid character")
+	}
+}
+
+func TestPrefixPropertyOfBase32(t *testing.T) {
+	// Lower precision gives a prefix of higher precision (paper §2.1).
+	p := geo.Point{Lon: -70.5, Lat: 42.1}
+	long := Encode(p, 10)
+	for chars := 1; chars < 10; chars++ {
+		if got := Encode(p, chars); got != long[:chars] {
+			t.Fatalf("Encode at %d chars = %q, not a prefix of %q", chars, got, long)
+		}
+	}
+}
+
+func TestCellRange(t *testing.T) {
+	c := Cell{Value: 0b101, Bits: 3}
+	lo, hi := c.Range(6)
+	if lo != 0b101000 || hi != 0b101111 {
+		t.Fatalf("Range = %b..%b", lo, hi)
+	}
+	// Full precision cell is a single value.
+	c = Cell{Value: 42, Bits: 6}
+	lo, hi = c.Range(6)
+	if lo != 42 || hi != 42 {
+		t.Fatalf("full-precision range = %d..%d", lo, hi)
+	}
+}
+
+func TestCoverContainsAllQueryPoints(t *testing.T) {
+	query := geo.NewRect(23.606039, 38.023982, 24.032754, 38.353926)
+	cells := Cover(query, 26, 0)
+	if len(cells) == 0 {
+		t.Fatal("empty cover")
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		p := geo.Point{
+			Lon: query.Min.Lon + rng.Float64()*query.Width(),
+			Lat: query.Min.Lat + rng.Float64()*query.Height(),
+		}
+		h := EncodeBits(p, 26)
+		ok := false
+		for _, c := range cells {
+			lo, hi := c.Range(26)
+			if h >= lo && h <= hi {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("point %v not covered", p)
+		}
+	}
+}
+
+func TestCoverCellsIntersectQuery(t *testing.T) {
+	query := geo.NewRect(10, 10, 11, 11)
+	for _, c := range Cover(query, 26, 0) {
+		if !c.Rect().Intersects(query) {
+			t.Fatalf("cover cell %v disjoint from query", c.Rect())
+		}
+	}
+}
+
+func TestCoverRespectsMaxCells(t *testing.T) {
+	query := geo.NewRect(23.0, 37.0, 25.0, 39.0)
+	unlimited := Cover(query, 26, 0)
+	if len(unlimited) <= 64 {
+		t.Skipf("query too small to exercise the cap (%d cells)", len(unlimited))
+	}
+	capped := Cover(query, 26, 64)
+	if len(capped) > 64 {
+		t.Fatalf("capped cover has %d cells", len(capped))
+	}
+	// The capped cover must still cover the query.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		p := geo.Point{
+			Lon: query.Min.Lon + rng.Float64()*query.Width(),
+			Lat: query.Min.Lat + rng.Float64()*query.Height(),
+		}
+		h := EncodeBits(p, 26)
+		ok := false
+		for _, c := range capped {
+			lo, hi := c.Range(26)
+			if h >= lo && h <= hi {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("capped cover misses %v", p)
+		}
+	}
+}
+
+func TestDefaultBitsFallback(t *testing.T) {
+	p := geo.Point{Lon: 1, Lat: 1}
+	if EncodeBits(p, 0) != EncodeBits(p, DefaultBits) {
+		t.Error("bits=0 does not fall back to default")
+	}
+	if EncodeBits(p, MaxBits+10) != EncodeBits(p, DefaultBits) {
+		t.Error("bits>max does not fall back to default")
+	}
+}

@@ -1,0 +1,74 @@
+package keyenc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/bson"
+)
+
+func TestComponentLenSplitsComposites(t *testing.T) {
+	values := []any{
+		nil,
+		bson.MinKey,
+		bson.MaxKey,
+		true,
+		int64(42),
+		-13.5,
+		"hello",
+		"with\x00nul",
+		"",
+		time.Date(2018, 7, 1, 0, 0, 0, 0, time.UTC),
+		bson.ObjectID{1, 2, 3},
+		bson.FromD(bson.D{{Key: "k", Value: int64(1)}}),
+		bson.A{int64(1), "x"},
+	}
+	for _, first := range values {
+		for _, second := range values {
+			key := EncodeComposite(first, second)
+			n, err := ComponentLen(key)
+			if err != nil {
+				t.Fatalf("ComponentLen(%v, %v): %v", bson.FormatValue(first), bson.FormatValue(second), err)
+			}
+			if !bytes.Equal(key[:n], Encode(first)) {
+				t.Fatalf("first component of (%v, %v) not recovered", bson.FormatValue(first), bson.FormatValue(second))
+			}
+			if !bytes.Equal(key[n:], Encode(second)) {
+				t.Fatalf("second component of (%v, %v) not recovered", bson.FormatValue(first), bson.FormatValue(second))
+			}
+		}
+	}
+}
+
+func TestComponentLenErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x20},             // truncated number
+		{0x30, 'a'},        // unterminated string
+		{0x30, 'a', 0x00},  // dangling escape/terminator start
+		{0xEE},             // unknown class byte
+		{0x70},             // truncated bool
+		{0x60, 0x01, 0x02}, // truncated objectid
+	}
+	for i, k := range cases {
+		if _, err := ComponentLen(k); err == nil {
+			t.Errorf("case %d: malformed component accepted", i)
+		}
+	}
+}
+
+func TestComponentLenStringProperty(t *testing.T) {
+	f := func(s string, tail int64) bool {
+		key := EncodeComposite(s, tail)
+		n, err := ComponentLen(key)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(key[:n], Encode(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,241 @@
+package query
+
+import (
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/btree"
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/keyenc"
+	"repro/internal/storage"
+)
+
+// ExecStats are the per-execution counters that the paper's
+// evaluation metrics are computed from.
+type ExecStats struct {
+	// KeysExamined counts index keys inspected, the server's
+	// totalKeysExamined.
+	KeysExamined int
+	// DocsExamined counts documents fetched from storage, the
+	// server's totalDocsExamined.
+	DocsExamined int
+	// NReturned counts documents that satisfied the filter.
+	NReturned int
+	// IndexUsed names the winning access path (or COLLSCAN).
+	IndexUsed string
+	// Duration is the wall-clock execution time, excluding planning.
+	Duration time.Duration
+}
+
+// Add accumulates counters (durations take the maximum, matching the
+// scatter-gather model where shards work in parallel).
+func (s *ExecStats) Add(o ExecStats) {
+	s.KeysExamined += o.KeysExamined
+	s.DocsExamined += o.DocsExamined
+	s.NReturned += o.NReturned
+	if o.Duration > s.Duration {
+		s.Duration = o.Duration
+	}
+}
+
+// Result is the outcome of a query execution. Docs hold the matching
+// documents in their stored binary form — the executor never decodes
+// a result, like a server shipping raw documents to the client; use
+// bson.Raw's Lookup/Get for field access or Decode for the full
+// document.
+type Result struct {
+	Docs   []bson.Raw
+	Stats  ExecStats
+	Trials []TrialResult
+}
+
+// Execute plans and runs the filter against the collection, returning
+// the matching documents and execution statistics. The reported
+// duration includes planning; after the first execution of a query
+// shape the plan cache makes planning a bounds rebuild without
+// trials, like the server's warm state.
+func Execute(coll *collection.Collection, f Filter, cfg *Config) *Result {
+	start := time.Now()
+	if plan, budget, ok := cachedPlan(coll, f, cfg); ok {
+		stats, docs, completed := runPlan(coll, plan, budget, true)
+		if completed {
+			stats.Duration = time.Since(start)
+			stats.IndexUsed = plan.Name()
+			return &Result{Docs: docs, Stats: stats}
+		}
+		// The cached plan blew its works budget: evict and replan,
+		// like the server.
+		evictPlan(coll, f)
+	}
+	plan, trials := ChoosePlan(coll, f, cfg)
+	stats, docs, _ := runPlan(coll, plan, 0, true)
+	rememberPlan(coll, f, plan, stats.KeysExamined+stats.DocsExamined)
+	stats.Duration = time.Since(start)
+	stats.IndexUsed = plan.Name()
+	return &Result{Docs: docs, Stats: stats, Trials: trials}
+}
+
+// MatchingRecords plans and runs the filter, returning the record ids
+// of the matching documents (the write path's lookup step: deletes
+// and updates resolve their targets through this).
+func MatchingRecords(coll *collection.Collection, f Filter, cfg *Config) []storage.RecordID {
+	plan, _ := ChoosePlan(coll, f, cfg)
+	var ids []storage.RecordID
+	collect := func(id storage.RecordID) bool {
+		raw, ok := coll.Store().FetchRaw(id)
+		if !ok {
+			return true
+		}
+		if plan.Filter == nil || plan.Filter.Matches(bson.Raw(raw)) {
+			ids = append(ids, id)
+		}
+		return true
+	}
+	if plan.Index == nil {
+		coll.Store().Walk(func(id storage.RecordID, raw []byte) bool {
+			if plan.Filter == nil || plan.Filter.Matches(bson.Raw(raw)) {
+				ids = append(ids, id)
+			}
+			return true
+		})
+		return ids
+	}
+	for _, seg := range plan.Segments {
+		if seg.SubLo == nil {
+			plan.Index.ScanInterval(seg.Interval,
+				func(_ []byte, id storage.RecordID) bool { return collect(id) })
+		} else {
+			skipScan(plan.Index, seg, collect)
+		}
+	}
+	return ids
+}
+
+// ExecutePlan runs a pre-chosen plan (used by benchmarks that want to
+// force an access path).
+func ExecutePlan(coll *collection.Collection, plan *Plan) *Result {
+	start := time.Now()
+	stats, docs, _ := runPlan(coll, plan, 0, true)
+	stats.Duration = time.Since(start)
+	stats.IndexUsed = plan.Name()
+	return &Result{Docs: docs, Stats: stats}
+}
+
+// runPlan executes the plan. maxWorks bounds keys examined plus
+// documents fetched (0 = unlimited); collect controls whether
+// matching documents are collected. completed reports whether the
+// plan ran to the end within the budget.
+func runPlan(coll *collection.Collection, p *Plan, maxWorks int, collect bool) (ExecStats, []bson.Raw, bool) {
+	var stats ExecStats
+	var docs []bson.Raw
+	if p.Index == nil {
+		completed := runCollScan(coll, p.Filter, maxWorks, collect, &stats, &docs)
+		return stats, docs, completed
+	}
+	budgetLeft := func() bool {
+		return maxWorks == 0 || stats.KeysExamined+stats.DocsExamined < maxWorks
+	}
+	emit := func(id storage.RecordID) bool {
+		stats.DocsExamined++
+		raw, ok := coll.Store().FetchRaw(id)
+		if !ok {
+			// An index entry pointing at a missing record means a
+			// concurrent delete; skip it like the server does.
+			return budgetLeft()
+		}
+		// Match on the encoded form; the stored bytes are immutable,
+		// so results alias them without copying.
+		if p.Filter == nil || p.Filter.Matches(bson.Raw(raw)) {
+			stats.NReturned++
+			if collect {
+				docs = append(docs, bson.Raw(raw))
+			}
+		}
+		return budgetLeft()
+	}
+	completed := true
+	for _, seg := range p.Segments {
+		if seg.SubLo == nil {
+			stats.KeysExamined += p.Index.ScanInterval(seg.Interval,
+				func(_ []byte, id storage.RecordID) bool { return emit(id) })
+		} else {
+			stats.KeysExamined += skipScan(p.Index, seg, emit)
+		}
+		if !budgetLeft() {
+			completed = false
+			break
+		}
+	}
+	return stats, docs, completed
+}
+
+// skipScan scans the segment's interval applying the sub-bounds on
+// the field after the leading component: keys whose second component
+// falls outside [SubLo, SubHiUpper) trigger a seek — forward to the
+// sub-range inside the same leading value, or to the next leading
+// value — instead of being emitted. Every inspected key (including
+// the ones that trigger seeks) counts as examined, like the server's
+// totalKeysExamined.
+func skipScan(ix *index.Index, seg Segment, emit func(storage.RecordID) bool) int {
+	examined := 0
+	low := seg.Interval.Low
+	for {
+		stopped := false
+		var resume []byte
+		examined += ix.ScanInterval(index.Interval{Low: low, High: seg.Interval.High},
+			func(key []byte, id storage.RecordID) bool {
+				compLen, err := keyenc.ComponentLen(key)
+				if err != nil || len(key) < compLen+8 {
+					// Malformed key; fall back to emitting so no
+					// result can be lost.
+					if !emit(id) {
+						stopped = true
+						return false
+					}
+					return true
+				}
+				rest := key[compLen : len(key)-8]
+				if keyenc.Compare(rest, seg.SubLo) < 0 {
+					// Below the sub-range: seek to it within this
+					// leading value.
+					resume = append(append([]byte{}, key[:compLen]...), seg.SubLo...)
+					return false
+				}
+				if keyenc.Compare(rest, seg.SubHiUpper) >= 0 {
+					// Past the sub-range: seek to the next leading
+					// value.
+					resume = keyenc.PrefixUpperBound(key[:compLen])
+					return false
+				}
+				if !emit(id) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+		if stopped || resume == nil {
+			return examined
+		}
+		low = btree.Include(resume)
+	}
+}
+
+func runCollScan(coll *collection.Collection, f Filter, maxWorks int, collect bool, stats *ExecStats, docs *[]bson.Raw) bool {
+	completed := true
+	coll.Store().Walk(func(id storage.RecordID, raw []byte) bool {
+		stats.DocsExamined++
+		if f == nil || f.Matches(bson.Raw(raw)) {
+			stats.NReturned++
+			if collect {
+				*docs = append(*docs, bson.Raw(raw))
+			}
+		}
+		if maxWorks > 0 && stats.DocsExamined >= maxWorks {
+			completed = false
+			return false
+		}
+		return true
+	})
+	return completed
+}

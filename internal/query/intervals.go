@@ -1,0 +1,359 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/geo"
+)
+
+// ValueInterval is an interval over document values in canonical
+// order. Unbounded ends are expressed with bson.MinKey / bson.MaxKey
+// (inclusive), which sort outside every ordinary value.
+type ValueInterval struct {
+	Lo, Hi         any
+	LoIncl, HiIncl bool
+}
+
+// PointInterval returns the degenerate interval [v, v].
+func PointInterval(v any) ValueInterval {
+	v = bson.Normalize(v)
+	return ValueInterval{Lo: v, Hi: v, LoIncl: true, HiIncl: true}
+}
+
+// FullInterval spans every value.
+func FullInterval() ValueInterval {
+	return ValueInterval{Lo: bson.MinKey, Hi: bson.MaxKey, LoIncl: true, HiIncl: true}
+}
+
+// IsPoint reports whether the interval holds exactly one value.
+func (iv ValueInterval) IsPoint() bool {
+	return iv.LoIncl && iv.HiIncl && bson.Compare(iv.Lo, iv.Hi) == 0
+}
+
+// Empty reports whether no value satisfies the interval.
+func (iv ValueInterval) Empty() bool {
+	c := bson.Compare(iv.Lo, iv.Hi)
+	if c > 0 {
+		return true
+	}
+	return c == 0 && !(iv.LoIncl && iv.HiIncl)
+}
+
+func (iv ValueInterval) String() string {
+	lo, hi := "(", ")"
+	if iv.LoIncl {
+		lo = "["
+	}
+	if iv.HiIncl {
+		hi = "]"
+	}
+	return fmt.Sprintf("%s%s, %s%s", lo, bson.FormatValue(iv.Lo), bson.FormatValue(iv.Hi), hi)
+}
+
+// Class extremes used to type-bracket open-ended comparisons on the
+// classes the store's range predicates actually target. A bracketed
+// interval represents its predicate exactly, which lets the planner
+// drop the predicate from the residual filter (a covered predicate);
+// other classes fall back to the key-space sentinels and keep their
+// residual.
+var (
+	minDateTime = time.UnixMilli(-(1 << 61)).UTC()
+	maxDateTime = time.UnixMilli(1 << 61).UTC()
+	minObjectID = bson.ObjectID{}
+	maxObjectID = bson.ObjectID{
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+	}
+)
+
+// classExtremes returns the smallest and largest values of v's
+// comparison class, and whether the class is bracketable.
+func classExtremes(v any) (lo, hi any, ok bool) {
+	switch bson.KindOf(v) {
+	case bson.KindInt32, bson.KindInt64, bson.KindFloat64:
+		return math.Inf(-1), math.Inf(1), true
+	case bson.KindDateTime:
+		return minDateTime, maxDateTime, true
+	case bson.KindObjectID:
+		return minObjectID, maxObjectID, true
+	}
+	return nil, nil, false
+}
+
+// realSameClassEnds reports whether both interval endpoints are
+// ordinary values of the same comparison class (no key-space
+// sentinels).
+func realSameClassEnds(iv ValueInterval) bool {
+	lk, hk := bson.KindOf(iv.Lo), bson.KindOf(iv.Hi)
+	if lk == bson.KindMinKey || lk == bson.KindMaxKey ||
+		hk == bson.KindMinKey || hk == bson.KindMaxKey {
+		return false
+	}
+	return bson.CanonicalClass(iv.Lo) == bson.CanonicalClass(iv.Hi)
+}
+
+// intervalFromCmp translates a comparison into an interval and
+// reports whether the interval represents the predicate exactly
+// (bracketed within the value's class). Inexact intervals over-scan
+// into neighbouring classes and rely on the residual filter.
+func intervalFromCmp(c Cmp) (ValueInterval, bool) {
+	v := bson.Normalize(c.Value)
+	if c.Op == OpEQ {
+		return PointInterval(v), true
+	}
+	clo, chi, bracketed := classExtremes(v)
+	if !bracketed {
+		clo, chi = bson.MinKey, bson.MaxKey
+	}
+	switch c.Op {
+	case OpGT:
+		return ValueInterval{Lo: v, Hi: chi, HiIncl: true}, bracketed
+	case OpGTE:
+		return ValueInterval{Lo: v, LoIncl: true, Hi: chi, HiIncl: true}, bracketed
+	case OpLT:
+		return ValueInterval{Lo: clo, LoIncl: true, Hi: v}, bracketed
+	case OpLTE:
+		return ValueInterval{Lo: clo, LoIncl: true, Hi: v, HiIncl: true}, bracketed
+	}
+	return FullInterval(), false
+}
+
+// normalizeIntervals sorts the intervals and merges overlapping or
+// touching ones, dropping empty intervals.
+func normalizeIntervals(ivs []ValueInterval) []ValueInterval {
+	live := ivs[:0]
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			live = append(live, iv)
+		}
+	}
+	if len(live) <= 1 {
+		return live
+	}
+	sort.Slice(live, func(i, j int) bool {
+		c := bson.Compare(live[i].Lo, live[j].Lo)
+		if c != 0 {
+			return c < 0
+		}
+		return live[i].LoIncl && !live[j].LoIncl
+	})
+	out := live[:1]
+	for _, iv := range live[1:] {
+		last := &out[len(out)-1]
+		c := bson.Compare(last.Hi, iv.Lo)
+		if c > 0 || (c == 0 && (last.HiIncl || iv.LoIncl)) {
+			// Overlapping or touching: extend.
+			hc := bson.Compare(iv.Hi, last.Hi)
+			if hc > 0 || (hc == 0 && iv.HiIncl) {
+				last.Hi, last.HiIncl = iv.Hi, iv.HiIncl
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// intersectInterval returns the overlap of two intervals (possibly
+// empty).
+func intersectInterval(a, b ValueInterval) ValueInterval {
+	out := a
+	if c := bson.Compare(b.Lo, a.Lo); c > 0 {
+		out.Lo, out.LoIncl = b.Lo, b.LoIncl
+	} else if c == 0 {
+		out.LoIncl = a.LoIncl && b.LoIncl
+	}
+	if c := bson.Compare(b.Hi, a.Hi); c < 0 {
+		out.Hi, out.HiIncl = b.Hi, b.HiIncl
+	} else if c == 0 {
+		out.HiIncl = a.HiIncl && b.HiIncl
+	}
+	return out
+}
+
+// intersectSets intersects two normalized interval sets.
+func intersectSets(a, b []ValueInterval) []ValueInterval {
+	var out []ValueInterval
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		iv := intersectInterval(a[i], b[j])
+		if !iv.Empty() {
+			out = append(out, iv)
+		}
+		// Advance the interval that ends first.
+		if c := bson.Compare(a[i].Hi, b[j].Hi); c < 0 || (c == 0 && !a[i].HiIncl) {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// bounds holds the per-field constraints extracted from a filter for
+// index-bounds planning: a disjunctive interval set per field and a
+// rectangle per geo field. exact records whether the interval set
+// represents every contributing predicate precisely, which is the
+// precondition for treating those predicates as covered by the index
+// bounds and dropping them from the residual filter.
+type bounds struct {
+	intervals  map[string][]ValueInterval
+	exact      map[string]bool
+	geoRects   map[string]geo.Rect
+	impossible bool // a constraint is unsatisfiable (e.g. disjoint rects)
+}
+
+// extractBounds derives index-usable constraints from a filter. It
+// understands conjunctions of comparisons, $in, $geoWithin, and one
+// special disjunctive shape: an $or whose arms all constrain the same
+// single field (the form the Hilbert approach generates for its cell
+// ranges, Section 4.2.2). Anything else contributes no bounds and is
+// handled by the residual filter.
+func extractBounds(f Filter) bounds {
+	b := bounds{
+		intervals: make(map[string][]ValueInterval),
+		exact:     make(map[string]bool),
+		geoRects:  make(map[string]geo.Rect),
+	}
+	b.addConjunct(f)
+	return b
+}
+
+func (b *bounds) constrain(field string, set []ValueInterval, strict bool) {
+	set = normalizeIntervals(set)
+	if cur, ok := b.intervals[field]; ok {
+		set = intersectSets(cur, set)
+		b.exact[field] = b.exact[field] && strict
+	} else {
+		b.exact[field] = strict
+	}
+	b.intervals[field] = set
+	if len(set) == 0 {
+		b.impossible = true
+	}
+}
+
+func (b *bounds) addConjunct(f Filter) {
+	switch t := f.(type) {
+	case And:
+		for _, c := range t.Children {
+			b.addConjunct(c)
+		}
+	case Cmp:
+		iv, strict := intervalFromCmp(t)
+		b.constrain(t.Field, []ValueInterval{iv}, strict)
+	case In:
+		set := make([]ValueInterval, 0, len(t.Values))
+		for _, v := range t.Values {
+			set = append(set, PointInterval(v))
+		}
+		b.constrain(t.Field, set, true)
+	case GeoWithin:
+		b.constrainGeo(t.Field, t.Rect)
+	case GeoWithinPolygon:
+		// Bounds planning sees the polygon's MBR; the ring itself is
+		// always re-checked by the residual filter.
+		b.constrainGeo(t.Field, t.Polygon.BoundingRect())
+	case Or:
+		if field, set, strict, ok := singleFieldIntervals(t); ok {
+			b.constrain(field, set, strict)
+		}
+	}
+}
+
+func (b *bounds) constrainGeo(field string, rect geo.Rect) {
+	if cur, ok := b.geoRects[field]; ok {
+		inter, any := cur.Intersection(rect)
+		if !any {
+			b.impossible = true
+			return
+		}
+		b.geoRects[field] = inter
+		return
+	}
+	b.geoRects[field] = rect
+}
+
+// singleFieldIntervals recognises filters that constrain exactly one
+// field and returns that field's disjunctive interval set, plus
+// whether the set represents the filter exactly.
+func singleFieldIntervals(f Filter) (string, []ValueInterval, bool, bool) {
+	switch t := f.(type) {
+	case Cmp:
+		iv, strict := intervalFromCmp(t)
+		return t.Field, []ValueInterval{iv}, strict, true
+	case In:
+		set := make([]ValueInterval, 0, len(t.Values))
+		for _, v := range t.Values {
+			set = append(set, PointInterval(v))
+		}
+		return t.Field, set, true, true
+	case And:
+		if len(t.Children) == 0 {
+			return "", nil, false, false
+		}
+		field := ""
+		strict := true
+		allCmpSameClass := true
+		cmpClass := -1
+		set := []ValueInterval{FullInterval()}
+		for _, c := range t.Children {
+			cf, cset, cstrict, ok := singleFieldIntervals(c)
+			if !ok {
+				return "", nil, false, false
+			}
+			if field == "" {
+				field = cf
+			} else if field != cf {
+				return "", nil, false, false
+			}
+			strict = strict && cstrict
+			if cmp, isCmp := c.(Cmp); isCmp {
+				cl := bson.CanonicalClass(bson.Normalize(cmp.Value))
+				if cmpClass == -1 {
+					cmpClass = cl
+				} else if cmpClass != cl {
+					allCmpSameClass = false
+				}
+			} else {
+				allCmpSameClass = false
+			}
+			set = intersectSets(normalizeIntervals(set), normalizeIntervals(cset))
+		}
+		if !strict && allCmpSameClass && len(set) == 1 && realSameClassEnds(set[0]) {
+			// A conjunction of comparisons against one class whose
+			// intersection closed both ends represents the predicate
+			// exactly even for classes without bracketing sentinels
+			// (e.g. {s: {$gte: "a", $lte: "m"}}): only values of that
+			// class can lie between two real same-class endpoints.
+			strict = true
+		}
+		return field, set, strict, true
+	case Or:
+		if len(t.Children) == 0 {
+			return "", nil, false, false
+		}
+		field := ""
+		strict := true
+		var set []ValueInterval
+		for _, c := range t.Children {
+			cf, cset, cstrict, ok := singleFieldIntervals(c)
+			if !ok {
+				return "", nil, false, false
+			}
+			if field == "" {
+				field = cf
+			} else if field != cf {
+				return "", nil, false, false
+			}
+			strict = strict && cstrict
+			set = append(set, cset...)
+		}
+		return field, normalizeIntervals(set), strict, true
+	}
+	return "", nil, false, false
+}

@@ -1,0 +1,132 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bson"
+	"repro/internal/collection"
+)
+
+// The plan cache mirrors the server's: after a multi-plan trial, the
+// winning access path is remembered for the query's *shape* (its
+// structure of fields and operators, independent of the constant
+// values), so repeated queries skip the trials. This is what makes
+// the paper's warm-state measurements reflect pure execution time.
+
+// ShapeOf renders the structural shape of a filter: operators, field
+// names and value type classes, but not the values.
+func ShapeOf(f Filter) string {
+	var b strings.Builder
+	writeShape(&b, f)
+	return b.String()
+}
+
+func writeShape(b *strings.Builder, f Filter) {
+	switch t := f.(type) {
+	case Cmp:
+		fmt.Fprintf(b, "%s:%s:%d", t.Field, t.Op, bson.CanonicalClass(bson.Normalize(t.Value)))
+	case In:
+		fmt.Fprintf(b, "%s:$in", t.Field)
+	case GeoWithin:
+		// Geo predicates are not parameterized: the geometry is part
+		// of the cache key (as on the server, where geo queries are
+		// excluded from auto-parameterization). Distinct query
+		// rectangles therefore plan independently — the precondition
+		// for the per-query optimizer choices of Table 7.
+		fmt.Fprintf(b, "%s:$geoWithin[%v]", t.Field, t.Rect)
+	case GeoWithinPolygon:
+		fmt.Fprintf(b, "%s:$geoWithin:poly[%v]", t.Field, t.Polygon.BoundingRect())
+	case And:
+		b.WriteString("and(")
+		for i, c := range t.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeShape(b, c)
+		}
+		b.WriteByte(')')
+	case Or:
+		// Disjunction arm counts vary with constant values (e.g. the
+		// Hilbert cell ranges), so the shape keeps only the set of
+		// distinct arm shapes.
+		shapes := map[string]bool{}
+		for _, c := range t.Children {
+			var cb strings.Builder
+			writeShape(&cb, c)
+			shapes[cb.String()] = true
+		}
+		keys := make([]string, 0, len(shapes))
+		for k := range shapes {
+			keys = append(keys, k)
+		}
+		// Deterministic order.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		b.WriteString("or(")
+		b.WriteString(strings.Join(keys, ","))
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "%T", f)
+	}
+}
+
+// cacheEntry is a remembered winner plus the work it took to win,
+// which bounds how long a cached plan may run before the executor
+// gives up on it and replans (the server's replanning mechanism).
+type cacheEntry struct {
+	name  string
+	works int
+}
+
+// replanFactor multiplies the decision works into the cached plan's
+// execution budget, like the server's internalQueryCacheEvictionRatio.
+const replanFactor = 10
+
+// cachedPlan looks up the remembered winner for the filter shape and
+// rebuilds its bounds for the current constant values. The returned
+// budget is the works allowance before the plan must be evicted.
+func cachedPlan(coll *collection.Collection, f Filter, cfg *Config) (*Plan, int, bool) {
+	v, ok := coll.PlanCache.Load(ShapeOf(f))
+	if !ok {
+		return nil, 0, false
+	}
+	entry := v.(cacheEntry)
+	for _, p := range CandidatePlans(coll, f, cfg) {
+		if p.Name() == entry.name {
+			budget := replanFactor * entry.works
+			if budget < minReplanBudget {
+				budget = minReplanBudget
+			}
+			return p, budget, true
+		}
+	}
+	return nil, 0, false
+}
+
+// minReplanBudget keeps trivial cached runs (decision works near
+// zero) from thrashing the planner.
+const minReplanBudget = 200
+
+// rememberPlan stores the winner for the filter shape along with the
+// works its winning execution consumed.
+func rememberPlan(coll *collection.Collection, f Filter, p *Plan, works int) {
+	coll.PlanCache.Store(ShapeOf(f), cacheEntry{name: p.Name(), works: works})
+}
+
+// evictPlan drops the cached winner for the filter shape.
+func evictPlan(coll *collection.Collection, f Filter) {
+	coll.PlanCache.Delete(ShapeOf(f))
+}
+
+// ClearPlanCache drops the collection's cached plans (tests and
+// benchmarks use it to measure cold planning).
+func ClearPlanCache(coll *collection.Collection) {
+	coll.PlanCache.Range(func(k, _ any) bool {
+		coll.PlanCache.Delete(k)
+		return true
+	})
+}

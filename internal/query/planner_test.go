@@ -1,0 +1,391 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/collection"
+	"repro/internal/geo"
+	"repro/internal/index"
+)
+
+// TestSkipScanEquivalentToFlatScan drives the same compound-index
+// query with and without sub-bounds and checks identical results with
+// fewer (or equal) keys examined.
+func TestSkipScanEquivalentToFlatScan(t *testing.T) {
+	c := collection.New("t")
+	mustIndex(t, c, index.Definition{Name: "hd", Fields: []index.Field{
+		{Name: "hilbertIndex", Kind: index.Ascending},
+		{Name: "date", Kind: index.Ascending},
+	}})
+	rng := rand.New(rand.NewSource(3))
+	for i := int64(0); i < 3000; i++ {
+		doc := bson.FromD(bson.D{
+			{Key: "_id", Value: i},
+			{Key: "hilbertIndex", Value: int64(rng.Intn(50))}, // heavy duplication
+			{Key: "date", Value: baseTime.Add(time.Duration(rng.Int63n(int64(100 * 24 * time.Hour))))},
+		})
+		if _, err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := NewAnd(
+		Cmp{Field: "hilbertIndex", Op: OpGTE, Value: int64(10)},
+		Cmp{Field: "hilbertIndex", Op: OpLTE, Value: int64(30)},
+		TimeRangeFilter("date", baseTime.Add(24*time.Hour), baseTime.Add(48*time.Hour)),
+	)
+	plans := CandidatePlans(c, f, nil)
+	if len(plans) != 1 {
+		t.Fatalf("got %d plans", len(plans))
+	}
+	skip := plans[0]
+	if len(skip.Segments) == 0 || skip.Segments[0].SubLo == nil {
+		t.Fatalf("plan has no skip-scan sub-bounds: %+v", skip.Segments)
+	}
+	// Flat variant: same segments with sub-bounds stripped, and the
+	// full filter (the sub-bounds covered the date predicate).
+	flat := &Plan{Index: skip.Index, Filter: f}
+	for _, s := range skip.Segments {
+		flat.Segments = append(flat.Segments, Segment{Interval: s.Interval})
+	}
+	rSkip := ExecutePlan(c, skip)
+	rFlat := ExecutePlan(c, flat)
+	if rSkip.Stats.NReturned != rFlat.Stats.NReturned {
+		t.Fatalf("skip scan returned %d, flat %d", rSkip.Stats.NReturned, rFlat.Stats.NReturned)
+	}
+	if rSkip.Stats.NReturned == 0 {
+		t.Fatal("empty result; test data broken")
+	}
+	if rSkip.Stats.KeysExamined >= rFlat.Stats.KeysExamined {
+		t.Fatalf("skip scan examined %d keys, flat %d", rSkip.Stats.KeysExamined, rFlat.Stats.KeysExamined)
+	}
+	if rSkip.Stats.DocsExamined >= rFlat.Stats.DocsExamined {
+		t.Fatalf("skip scan fetched %d docs, flat %d", rSkip.Stats.DocsExamined, rFlat.Stats.DocsExamined)
+	}
+}
+
+// TestSkipScanRandomizedAgainstReference fuzzes bounds over a skewed
+// two-field collection.
+func TestSkipScanRandomizedAgainstReference(t *testing.T) {
+	c := collection.New("t")
+	mustIndex(t, c, index.Definition{Name: "hd", Fields: []index.Field{
+		{Name: "a", Kind: index.Ascending},
+		{Name: "b", Kind: index.Ascending},
+	}})
+	rng := rand.New(rand.NewSource(11))
+	for i := int64(0); i < 2000; i++ {
+		doc := bson.FromD(bson.D{
+			{Key: "_id", Value: i},
+			{Key: "a", Value: int64(rng.Intn(40))},
+			{Key: "b", Value: int64(rng.Intn(1000))},
+		})
+		if _, err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(a0, a1 uint8, b0, b1 uint16) bool {
+		alo, ahi := int64(a0%40), int64(a1%40)
+		if alo > ahi {
+			alo, ahi = ahi, alo
+		}
+		blo, bhi := int64(b0%1000), int64(b1%1000)
+		if blo > bhi {
+			blo, bhi = bhi, blo
+		}
+		flt := NewAnd(
+			Cmp{Field: "a", Op: OpGTE, Value: alo},
+			Cmp{Field: "a", Op: OpLTE, Value: ahi},
+			Cmp{Field: "b", Op: OpGTE, Value: blo},
+			Cmp{Field: "b", Op: OpLTE, Value: bhi},
+		)
+		want := ExecutePlan(c, &Plan{Filter: flt}).Stats.NReturned
+		got := Execute(c, flt, nil).Stats.NReturned
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoveredPredicatesDropped checks that exact index bounds remove
+// the matching conjuncts from the residual filter.
+func TestCoveredPredicatesDropped(t *testing.T) {
+	c := newCollWithIndexes(t, 200)
+	f := NewAnd(
+		GeoWithin{Field: "location", Rect: geo.NewRect(23.6, 37.8, 23.9, 38.1)},
+		TimeRangeFilter("date", baseTime, baseTime.Add(24*time.Hour)),
+		NewOr(
+			NewAnd(
+				Cmp{Field: "hilbertIndex", Op: OpGTE, Value: int64(0)},
+				Cmp{Field: "hilbertIndex", Op: OpLTE, Value: int64(10000)},
+			),
+			In{Field: "hilbertIndex", Values: []any{int64(70000)}},
+		),
+	)
+	for _, p := range CandidatePlans(c, f, nil) {
+		res, ok := p.Filter.(And)
+		if !ok {
+			continue
+		}
+		switch p.Name() {
+		case "{hilbertIndex: 1, date: 1}":
+			// Both fields covered: only the geo predicate remains.
+			if len(res.Children) != 1 {
+				t.Fatalf("hd residual = %s", p.Filter)
+			}
+			if _, isGeo := res.Children[0].(GeoWithin); !isGeo {
+				t.Fatalf("hd residual kept %s", res.Children[0])
+			}
+		case "{date: 1}":
+			// The date range is covered; geo and hilbert constraints
+			// remain.
+			for _, child := range res.Children {
+				if cmp, isCmp := child.(Cmp); isCmp && cmp.Field == "date" {
+					t.Fatalf("date residual kept %s", child)
+				}
+			}
+		case "{location: 2dsphere, date: 1}":
+			// Geo bounds over-cover; everything stays.
+			if len(res.Children) != len(f.Children) {
+				t.Fatalf("geo plan dropped conjuncts: %s", p.Filter)
+			}
+		}
+	}
+}
+
+// TestCoveredPredicatesRespectTypeBracketing: an open range on a
+// string field must NOT be treated as covered (its bounds extend to
+// the class sentinels), so mixed-type collections stay correct.
+func TestCoveredPredicatesRespectTypeBracketing(t *testing.T) {
+	c := collection.New("t")
+	mustIndex(t, c, index.Definition{Name: "v", Fields: []index.Field{{Name: "v", Kind: index.Ascending}}})
+	vals := []any{int64(1), int64(9), "alpha", "zulu", true, time.Now()}
+	for i, v := range vals {
+		doc := bson.FromD(bson.D{{Key: "_id", Value: int64(i)}, {Key: "v", Value: v}})
+		if _, err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// {$gt: "m"} must match only "zulu", not the datetime or bool that
+	// sort above strings.
+	f := Cmp{Field: "v", Op: OpGT, Value: "m"}
+	res := Execute(c, f, nil)
+	if res.Stats.NReturned != 1 {
+		t.Fatalf("string range returned %d docs", res.Stats.NReturned)
+	}
+	if res.Docs[0].Get("v") != "zulu" {
+		t.Fatalf("string range returned %v", res.Docs[0])
+	}
+	// Numeric open range: covered but still correct across classes.
+	f2 := Cmp{Field: "v", Op: OpGTE, Value: int64(5)}
+	res2 := Execute(c, f2, nil)
+	if res2.Stats.NReturned != 1 || res2.Docs[0].Get("v") != int64(9) {
+		t.Fatalf("numeric range returned %v", res2.Docs)
+	}
+}
+
+func TestPlanCacheHitAndReplan(t *testing.T) {
+	c := newCollWithIndexes(t, 2000)
+	// Constrains both hilbertIndex and date so at least two indexes
+	// compete and a trial runs.
+	shapeA := func(lo, hi int64) Filter {
+		return NewAnd(
+			Cmp{Field: "hilbertIndex", Op: OpGTE, Value: lo},
+			Cmp{Field: "hilbertIndex", Op: OpLTE, Value: hi},
+			TimeRangeFilter("date", baseTime, baseTime.Add(20*24*time.Hour)),
+		)
+	}
+	// First execution trials and caches.
+	r1 := Execute(c, shapeA(100, 200), nil)
+	if len(r1.Trials) == 0 {
+		t.Fatal("first execution ran no trials")
+	}
+	// Same shape, different constants: cache hit, no trials.
+	r2 := Execute(c, shapeA(5000, 9000), nil)
+	if len(r2.Trials) != 0 {
+		t.Fatalf("cache hit still ran trials: %v", r2.Trials)
+	}
+	if r2.Stats.IndexUsed != r1.Stats.IndexUsed {
+		t.Fatalf("cached plan switched index: %s vs %s", r2.Stats.IndexUsed, r1.Stats.IndexUsed)
+	}
+	// A different shape (geo + date constrains two other indexes)
+	// misses the cache and trials again.
+	r3 := Execute(c, NewAnd(
+		GeoWithin{Field: "location", Rect: testArea},
+		TimeRangeFilter("date", baseTime, baseTime.Add(time.Hour)),
+	), nil)
+	if len(r3.Trials) == 0 {
+		t.Fatal("different shape hit the cache")
+	}
+	ClearPlanCache(c)
+	r4 := Execute(c, shapeA(100, 200), nil)
+	if len(r4.Trials) == 0 {
+		t.Fatal("cache not cleared")
+	}
+}
+
+func TestShapeOfIgnoresConstants(t *testing.T) {
+	// Ordinary comparisons are parameterized: only the value class is
+	// part of the shape.
+	f1 := NewAnd(
+		GeoWithin{Field: "location", Rect: geo.NewRect(0, 0, 1, 1)},
+		Cmp{Field: "date", Op: OpGTE, Value: baseTime},
+	)
+	f1b := NewAnd(
+		GeoWithin{Field: "location", Rect: geo.NewRect(0, 0, 1, 1)},
+		Cmp{Field: "date", Op: OpGTE, Value: baseTime.Add(99 * time.Hour)},
+	)
+	if ShapeOf(f1) != ShapeOf(f1b) {
+		t.Fatalf("date constants leaked into shape:\n%s\n%s", ShapeOf(f1), ShapeOf(f1b))
+	}
+	// Geo predicates are NOT parameterized (as on the server):
+	// distinct rectangles are distinct shapes.
+	f2 := NewAnd(
+		GeoWithin{Field: "location", Rect: geo.NewRect(50, 50, 60, 60)},
+		Cmp{Field: "date", Op: OpGTE, Value: baseTime.Add(time.Hour)},
+	)
+	if ShapeOf(f1) == ShapeOf(f2) {
+		t.Fatal("different geo rectangles share a shape")
+	}
+	// Different arm counts of the same single-field $or share a shape
+	// (the Hilbert cover varies per query rectangle).
+	or1 := NewOr(
+		NewAnd(Cmp{Field: "h", Op: OpGTE, Value: int64(1)}, Cmp{Field: "h", Op: OpLTE, Value: int64(2)}),
+	)
+	or2 := NewOr(
+		NewAnd(Cmp{Field: "h", Op: OpGTE, Value: int64(5)}, Cmp{Field: "h", Op: OpLTE, Value: int64(9)}),
+		NewAnd(Cmp{Field: "h", Op: OpGTE, Value: int64(20)}, Cmp{Field: "h", Op: OpLTE, Value: int64(30)}),
+		In{Field: "h", Values: []any{int64(77)}},
+	)
+	s1 := ShapeOf(NewAnd(or1, Cmp{Field: "date", Op: OpGTE, Value: baseTime}))
+	s2 := ShapeOf(NewAnd(or2, NewAnd(Cmp{Field: "date", Op: OpGTE, Value: baseTime})))
+	_ = s2
+	// or1 lacks the $in arm, so shapes may differ; what must hold is
+	// that identical structure with different constants is equal:
+	or3 := NewOr(
+		NewAnd(Cmp{Field: "h", Op: OpGTE, Value: int64(100)}, Cmp{Field: "h", Op: OpLTE, Value: int64(200)}),
+		NewAnd(Cmp{Field: "h", Op: OpGTE, Value: int64(300)}, Cmp{Field: "h", Op: OpLTE, Value: int64(400)}),
+		In{Field: "h", Values: []any{int64(55), int64(66)}},
+	)
+	s3 := ShapeOf(NewAnd(or2, Cmp{Field: "date", Op: OpGTE, Value: baseTime}))
+	s4 := ShapeOf(NewAnd(or3, Cmp{Field: "date", Op: OpGTE, Value: baseTime}))
+	if s3 != s4 {
+		t.Fatalf("or shapes with same arm structure differ:\n%s\n%s", s3, s4)
+	}
+	_ = s1
+}
+
+// TestTrialRespectsBudget ensures trials stop near the configured
+// work budget instead of running plans to completion.
+func TestTrialRespectsBudget(t *testing.T) {
+	c := newCollWithIndexes(t, 5000)
+	f := NewAnd(
+		GeoWithin{Field: "location", Rect: testArea},
+		TimeRangeFilter("date", baseTime, baseTime.Add(30*24*time.Hour)),
+	)
+	cfg := &Config{TrialWorks: 50}
+	_, trials := ChoosePlan(c, f, cfg)
+	for _, tr := range trials {
+		if !tr.Completed && tr.Works > 2*cfg.TrialWorks {
+			t.Fatalf("trial overshot budget: %+v", tr)
+		}
+	}
+}
+
+func TestCandidatePlanForEachUsableIndex(t *testing.T) {
+	c := newCollWithIndexes(t, 100)
+	f := NewAnd(
+		GeoWithin{Field: "location", Rect: testArea},
+		TimeRangeFilter("date", baseTime, baseTime.Add(time.Hour)),
+		Cmp{Field: "hilbertIndex", Op: OpGTE, Value: int64(0)},
+	)
+	plans := CandidatePlans(c, f, nil)
+	names := map[string]bool{}
+	for _, p := range plans {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{
+		"{hilbertIndex: 1, date: 1}",
+		"{location: 2dsphere, date: 1}",
+		"{date: 1}",
+	} {
+		if !names[want] {
+			t.Errorf("missing candidate %s (got %v)", want, names)
+		}
+	}
+	if names[CollScanName] {
+		t.Error("collscan offered despite usable indexes")
+	}
+}
+
+func TestSegmentStringAndPlanName(t *testing.T) {
+	p := &Plan{}
+	if p.Name() != CollScanName {
+		t.Fatalf("nil-index plan name = %s", p.Name())
+	}
+}
+
+func TestExecuteOnEmptyCollection(t *testing.T) {
+	c := collection.New("empty")
+	mustIndex(t, c, index.Definition{Name: "v", Fields: []index.Field{{Name: "v", Kind: index.Ascending}}})
+	res := Execute(c, Cmp{Field: "v", Op: OpGTE, Value: int64(0)}, nil)
+	if res.Stats.NReturned != 0 || res.Stats.KeysExamined != 0 {
+		t.Fatalf("empty collection stats: %+v", res.Stats)
+	}
+}
+
+// TestThreeFieldCompoundComposition checks point-chaining through a
+// three-field index: equality on the first two fields composes into a
+// prefix, the third field scans as a range.
+func TestThreeFieldCompoundComposition(t *testing.T) {
+	c := collection.New("t")
+	mustIndex(t, c, index.Definition{Name: "abc", Fields: []index.Field{
+		{Name: "a", Kind: index.Ascending},
+		{Name: "b", Kind: index.Ascending},
+		{Name: "c", Kind: index.Ascending},
+	}})
+	rng := rand.New(rand.NewSource(21))
+	for i := int64(0); i < 3000; i++ {
+		doc := bson.FromD(bson.D{
+			{Key: "_id", Value: i},
+			{Key: "a", Value: int64(rng.Intn(5))},
+			{Key: "b", Value: int64(rng.Intn(10))},
+			{Key: "c", Value: int64(rng.Intn(1000))},
+		})
+		if _, err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := NewAnd(
+		Cmp{Field: "a", Op: OpEQ, Value: int64(2)},
+		Cmp{Field: "b", Op: OpEQ, Value: int64(7)},
+		Cmp{Field: "c", Op: OpGTE, Value: int64(100)},
+		Cmp{Field: "c", Op: OpLTE, Value: int64(300)},
+	)
+	want := ExecutePlan(c, &Plan{Filter: f}).Stats.NReturned
+	res := Execute(c, f, nil)
+	if res.Stats.NReturned != want {
+		t.Fatalf("returned %d, want %d", res.Stats.NReturned, want)
+	}
+	if want == 0 {
+		t.Fatal("vacuous")
+	}
+	// The composed plan must be tight: keys examined close to results.
+	if res.Stats.KeysExamined > want+2 {
+		t.Fatalf("three-field composition loose: %d keys for %d results",
+			res.Stats.KeysExamined, want)
+	}
+	// $in on the leading field fans out across prefixes.
+	f2 := NewAnd(
+		In{Field: "a", Values: []any{int64(1), int64(3)}},
+		Cmp{Field: "b", Op: OpEQ, Value: int64(2)},
+		Cmp{Field: "c", Op: OpLTE, Value: int64(500)},
+	)
+	want2 := ExecutePlan(c, &Plan{Filter: f2}).Stats.NReturned
+	if got := Execute(c, f2, nil).Stats.NReturned; got != want2 {
+		t.Fatalf("$in fan-out returned %d, want %d", got, want2)
+	}
+}

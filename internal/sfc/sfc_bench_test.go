@@ -1,0 +1,79 @@
+package sfc
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func BenchmarkHilbertXY2D(b *testing.B) {
+	h, _ := NewHilbert(13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.XY2D(uint32(i)&8191, uint32(i>>13)&8191)
+	}
+}
+
+func BenchmarkHilbertD2XY(b *testing.B) {
+	h, _ := NewHilbert(13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = h.D2XY(uint64(i) & (h.Positions() - 1))
+	}
+}
+
+func BenchmarkZOrderXY2D(b *testing.B) {
+	z, _ := NewZOrder(13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = z.XY2D(uint32(i)&8191, uint32(i>>13)&8191)
+	}
+}
+
+// BenchmarkCoverBigQuery measures the Table 8 operation: covering the
+// paper's big query rectangle with Hilbert ranges over the world grid
+// (hil) and over the R data extent (hil*, far more cells).
+func BenchmarkCoverBigQuery(b *testing.B) {
+	big := geo.NewRect(23.606039, 38.023982, 24.032754, 38.353926)
+	h, _ := NewHilbert(13)
+	cases := []struct {
+		name   string
+		extent geo.Rect
+	}{
+		{"hil-world", geo.World},
+		{"hilstar-greece", geo.NewRect(19.632533, 34.929233, 28.245285, 41.757797)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			g, _ := NewGrid(h, tc.extent)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = g.Cover(big)
+			}
+		})
+	}
+}
+
+func BenchmarkCoverSmallQuery(b *testing.B) {
+	small := geo.NewRect(23.757495, 37.987295, 23.766958, 37.992997)
+	h, _ := NewHilbert(13)
+	g, _ := NewGrid(h, geo.World)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Cover(small)
+	}
+}
+
+func BenchmarkMergeRanges(b *testing.B) {
+	base := make([]Range, 0, 1024)
+	for i := uint64(0); i < 1024; i++ {
+		base = append(base, Range{Lo: i * 3, Hi: i*3 + 1})
+	}
+	buf := make([]Range, len(base))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, base)
+		_ = MergeRanges(buf)
+	}
+}

@@ -1,0 +1,116 @@
+package sfc
+
+import "fmt"
+
+// ZOrder is the z-order (Morton) curve of a fixed order: curve
+// positions are the bit-interleaving of the cell coordinates. It is
+// the curve underlying geohash; the store keeps it alongside Hilbert
+// for the clustering-quality ablation.
+type ZOrder struct {
+	order uint
+}
+
+// NewZOrder returns a z-order curve with the given order (bits per
+// dimension, 1..MaxOrder).
+func NewZOrder(order uint) (*ZOrder, error) {
+	if order < 1 || order > MaxOrder {
+		return nil, fmt.Errorf("sfc: order %d out of range [1,%d]", order, MaxOrder)
+	}
+	return &ZOrder{order: order}, nil
+}
+
+// Order returns the curve order.
+func (z *ZOrder) Order() uint { return z.order }
+
+// Cells returns the number of cells per dimension, 2^order.
+func (z *ZOrder) Cells() uint32 { return 1 << z.order }
+
+// Positions returns the number of curve positions, 4^order.
+func (z *ZOrder) Positions() uint64 { return 1 << (2 * z.order) }
+
+// XY2D interleaves the coordinate bits (x in the even positions
+// counting from bit 0, y in the odd ones).
+func (z *ZOrder) XY2D(x, y uint32) uint64 {
+	if max := z.Cells() - 1; x > max || y > max {
+		if x > max {
+			x = max
+		}
+		if y > max {
+			y = max
+		}
+	}
+	return spreadBits(x) | spreadBits(y)<<1
+}
+
+// D2XY deinterleaves a curve position back into coordinates.
+func (z *ZOrder) D2XY(d uint64) (x, y uint32) {
+	if d >= z.Positions() {
+		d = z.Positions() - 1
+	}
+	return compactBits(d), compactBits(d >> 1)
+}
+
+// spreadBits spaces the bits of v apart: bit i moves to bit 2i.
+func spreadBits(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// compactBits inverts spreadBits.
+func compactBits(x uint64) uint32 {
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return uint32(x)
+}
+
+// Cover returns the sorted, merged list of curve ranges whose cells
+// intersect the cell rectangle [x0,x1]×[y0,y1] (inclusive), by the
+// same quadrant recursion as Hilbert.Cover but with the z visit order
+// and no rotation.
+func (z *ZOrder) Cover(x0, y0, x1, y1 uint32) []Range {
+	max := z.Cells() - 1
+	x0, y0 = clip(x0, max), clip(y0, max)
+	x1, y1 = clip(x1, max), clip(y1, max)
+	if x0 > x1 || y0 > y1 {
+		return nil
+	}
+	var out []Range
+	z.coverRec(z.order, box{x0, y0, x1, y1}, 0, &out)
+	return MergeRanges(out)
+}
+
+func (z *ZOrder) coverRec(order uint, q box, d0 uint64, out *[]Range) {
+	if order == 0 {
+		*out = append(*out, Range{Lo: d0, Hi: d0})
+		return
+	}
+	s := uint32(1) << (order - 1)
+	area := uint64(s) * uint64(s)
+	// Z visit order: (0,0), (1,0), (0,1), (1,1) — digit = rx | ry<<1.
+	for digit := uint64(0); digit < 4; digit++ {
+		rx := uint32(digit & 1)
+		ry := uint32(digit >> 1)
+		qb := box{rx * s, ry * s, rx*s + s - 1, ry*s + s - 1}
+		ix0, iy0 := maxU32(q.x0, qb.x0), maxU32(q.y0, qb.y0)
+		ix1, iy1 := minU32(q.x1, qb.x1), minU32(q.y1, qb.y1)
+		if ix0 > ix1 || iy0 > iy1 {
+			continue
+		}
+		base := d0 + digit*area
+		if ix0 == qb.x0 && iy0 == qb.y0 && ix1 == qb.x1 && iy1 == qb.y1 {
+			*out = append(*out, Range{Lo: base, Hi: base + area - 1})
+			continue
+		}
+		cb := box{ix0 - rx*s, iy0 - ry*s, ix1 - rx*s, iy1 - ry*s}
+		z.coverRec(order-1, cb, base, out)
+	}
+}

@@ -1,0 +1,546 @@
+package sharding
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bson"
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Chunk is a contiguous range [Min, Max) of the encoded shard-key
+// tuple space, owned by one shard.
+type Chunk struct {
+	Min   []byte
+	Max   []byte
+	Shard int
+	Docs  int
+	Bytes int64
+}
+
+// Contains reports whether the tuple falls in the chunk.
+func (ch *Chunk) Contains(tuple []byte) bool {
+	return bytes.Compare(ch.Min, tuple) <= 0 && bytes.Compare(tuple, ch.Max) < 0
+}
+
+// Shard is one data-bearing node of the cluster.
+type Shard struct {
+	ID   int
+	Name string
+	Coll *collection.Collection
+}
+
+// Options configures a cluster.
+type Options struct {
+	// Shards is the number of data-bearing nodes (default 12, the
+	// paper's deployment).
+	Shards int
+	// ChunkMaxBytes is the split threshold (the paper's clusters use
+	// the 64 MB server default; the simulator default is 256 KiB so
+	// that scaled-down data sets still produce realistic chunk
+	// counts).
+	ChunkMaxBytes int64
+	// AutoBalanceEvery runs the balancer after this many inserts,
+	// emulating the background balancer that spreads chunks during
+	// loading. 0 means the default; negative disables.
+	AutoBalanceEvery int
+	// CollectionName is the sharded collection's name (default
+	// "traces").
+	CollectionName string
+	// QueryConfig tunes per-shard planning and execution.
+	QueryConfig *query.Config
+}
+
+// Defaults for Options.
+const (
+	DefaultShards           = 12
+	DefaultChunkMaxBytes    = 256 << 10
+	DefaultAutoBalanceEvery = 2048
+	DefaultCollectionName   = "traces"
+)
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	if o.ChunkMaxBytes <= 0 {
+		o.ChunkMaxBytes = DefaultChunkMaxBytes
+	}
+	if o.AutoBalanceEvery == 0 {
+		o.AutoBalanceEvery = DefaultAutoBalanceEvery
+	}
+	if o.CollectionName == "" {
+		o.CollectionName = DefaultCollectionName
+	}
+	return o
+}
+
+// ShardKeyIndexName is the name of the index the cluster creates on
+// the shard key of a sharded collection, mirroring the server's
+// automatic shard-key index (Section 4.1.2 / 4.2.2 of the paper: this
+// is where bsl gets its extra date index and hil gets its compound
+// spatio-temporal index "for free").
+const ShardKeyIndexName = "shardkey"
+
+// Cluster simulates a sharded deployment: shards, chunk metadata,
+// balancer and zones. The query router lives in router.go.
+type Cluster struct {
+	mu     sync.RWMutex
+	opts   Options
+	shards []*Shard
+
+	sharded bool
+	key     ShardKey
+	chunks  []*Chunk // sorted by Min
+	zones   []Zone   // sorted by Min; may be empty
+
+	sinceBalance int
+	splits       int
+	migrations   int
+	jumbo        int
+}
+
+// NewCluster creates the shards.
+func NewCluster(opts Options) *Cluster {
+	opts = opts.withDefaults()
+	c := &Cluster{opts: opts}
+	for i := 0; i < opts.Shards; i++ {
+		c.shards = append(c.shards, &Shard{
+			ID:   i,
+			Name: fmt.Sprintf("shard%02d", i),
+			Coll: collection.New(opts.CollectionName),
+		})
+	}
+	return c
+}
+
+// Shards returns the cluster's shards.
+func (c *Cluster) Shards() []*Shard { return c.shards }
+
+// Options returns the effective options.
+func (c *Cluster) Options() Options { return c.opts }
+
+// ShardCollection enables sharding with the given key: one initial
+// chunk covering the whole key space on shard 0, plus the automatic
+// shard-key index on every shard.
+func (c *Cluster) ShardCollection(key ShardKey) error {
+	if err := key.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sharded {
+		return fmt.Errorf("sharding: collection already sharded")
+	}
+	fields := make([]index.Field, len(key.Fields))
+	for i, f := range key.Fields {
+		fields[i] = index.Field{Name: f, Kind: index.Ascending}
+	}
+	for _, s := range c.shards {
+		if _, err := s.Coll.CreateIndex(index.Definition{Name: ShardKeyIndexName, Fields: fields}); err != nil {
+			return err
+		}
+	}
+	c.key = key
+	c.chunks = []*Chunk{{Min: key.MinTuple(), Max: key.MaxTuple(), Shard: 0}}
+	c.sharded = true
+	return nil
+}
+
+// ShardKeyOf returns the shard key; ok is false when the collection
+// is unsharded.
+func (c *Cluster) ShardKeyOf() (ShardKey, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.key, c.sharded
+}
+
+// CreateIndex creates a secondary index on every shard.
+func (c *Cluster) CreateIndex(def index.Definition) error {
+	for _, s := range c.shards {
+		if _, err := s.Coll.CreateIndex(def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert routes the document to the chunk owning its shard-key tuple
+// and stores it there, splitting the chunk when it exceeds the size
+// threshold and periodically running the balancer.
+func (c *Cluster) Insert(doc *bson.Document) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sharded {
+		_, err := c.shards[0].Coll.Insert(doc)
+		return err
+	}
+	tuple := c.key.TupleOf(doc)
+	ci := c.findChunk(tuple)
+	if ci < 0 {
+		return fmt.Errorf("sharding: no chunk for tuple (shard key %s)", c.key)
+	}
+	ch := c.chunks[ci]
+	if _, err := c.shards[ch.Shard].Coll.Insert(doc); err != nil {
+		return err
+	}
+	ch.Docs++
+	ch.Bytes += int64(bson.RawSize(doc))
+	if ch.Bytes > c.opts.ChunkMaxBytes {
+		c.splitChunkLocked(ci)
+	}
+	if c.opts.AutoBalanceEvery > 0 {
+		c.sinceBalance++
+		if c.sinceBalance >= c.opts.AutoBalanceEvery {
+			c.sinceBalance = 0
+			c.balanceLocked()
+		}
+	}
+	return nil
+}
+
+// findChunk returns the index of the chunk containing the tuple, or
+// -1. Chunks tile the key space, so a valid tuple always lands.
+func (c *Cluster) findChunk(tuple []byte) int {
+	// First chunk whose Max > tuple.
+	i := sort.Search(len(c.chunks), func(i int) bool {
+		return bytes.Compare(c.chunks[i].Max, tuple) > 0
+	})
+	if i < len(c.chunks) && c.chunks[i].Contains(tuple) {
+		return i
+	}
+	return -1
+}
+
+// chunkTuples returns the sorted shard-key tuples of the documents in
+// the chunk, read from the owning shard.
+func (c *Cluster) chunkTuples(ch *Chunk) [][]byte {
+	coll := c.shards[ch.Shard].Coll
+	var tuples [][]byte
+	if c.key.Strategy == RangeSharding {
+		ix := coll.Index(ShardKeyIndexName)
+		iv := index.Interval{
+			Low:  boundInclude(ch.Min),
+			High: boundExclude(ch.Max),
+		}
+		ix.ScanInterval(iv, func(key []byte, _ storage.RecordID) bool {
+			tuples = append(tuples, bytes.Clone(index.KeyPrefix(key)))
+			return true
+		})
+		return tuples
+	}
+	// Hashed: the index holds raw values, so recompute hashed tuples
+	// from the documents.
+	coll.Store().Walk(func(_ storage.RecordID, raw []byte) bool {
+		doc, err := bson.Unmarshal(raw)
+		if err != nil {
+			return true
+		}
+		t := c.key.TupleOf(doc)
+		if ch.Contains(t) {
+			tuples = append(tuples, t)
+		}
+		return true
+	})
+	sort.Slice(tuples, func(i, j int) bool { return bytes.Compare(tuples[i], tuples[j]) < 0 })
+	return tuples
+}
+
+// chunkRecords returns the record ids of the chunk's documents on its
+// owning shard.
+func (c *Cluster) chunkRecords(ch *Chunk) []storage.RecordID {
+	coll := c.shards[ch.Shard].Coll
+	var ids []storage.RecordID
+	if c.key.Strategy == RangeSharding {
+		ix := coll.Index(ShardKeyIndexName)
+		iv := index.Interval{Low: boundInclude(ch.Min), High: boundExclude(ch.Max)}
+		ix.ScanInterval(iv, func(key []byte, id storage.RecordID) bool {
+			ids = append(ids, id)
+			return true
+		})
+		return ids
+	}
+	coll.Store().Walk(func(id storage.RecordID, raw []byte) bool {
+		doc, err := bson.Unmarshal(raw)
+		if err != nil {
+			return true
+		}
+		if ch.Contains(c.key.TupleOf(doc)) {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	return ids
+}
+
+// splitChunkLocked splits chunk ci at the median shard-key value. A
+// chunk whose documents all share one tuple cannot be split — the
+// "jumbo" case the paper discusses for skewed Hilbert values (the
+// compound (hilbertIndex, date) key avoids it because dates have high
+// cardinality).
+func (c *Cluster) splitChunkLocked(ci int) {
+	ch := c.chunks[ci]
+	tuples := c.chunkTuples(ch)
+	if len(tuples) < 2 {
+		return
+	}
+	split := tuples[len(tuples)/2]
+	if bytes.Equal(split, tuples[0]) {
+		// Median equals the low end: advance to the first distinct
+		// tuple so both halves are non-empty.
+		i := sort.Search(len(tuples), func(i int) bool {
+			return bytes.Compare(tuples[i], split) > 0
+		})
+		if i == len(tuples) {
+			c.jumbo++
+			return
+		}
+		split = tuples[i]
+	}
+	split = bytes.Clone(split)
+	leftDocs := sort.Search(len(tuples), func(i int) bool {
+		return bytes.Compare(tuples[i], split) >= 0
+	})
+	perDoc := ch.Bytes / int64(max(ch.Docs, 1))
+	right := &Chunk{
+		Min:   split,
+		Max:   ch.Max,
+		Shard: ch.Shard,
+		Docs:  len(tuples) - leftDocs,
+		Bytes: perDoc * int64(len(tuples)-leftDocs),
+	}
+	ch.Max = split
+	ch.Docs = leftDocs
+	ch.Bytes = perDoc * int64(leftDocs)
+	c.chunks = append(c.chunks, nil)
+	copy(c.chunks[ci+2:], c.chunks[ci+1:])
+	c.chunks[ci+1] = right
+	c.splits++
+}
+
+// Delete removes every document matching the filter, keeping the
+// chunk metadata accurate, and returns the number deleted. The write
+// lock is held throughout, so deletes never interleave with splits,
+// migrations or queries.
+func (c *Cluster) Delete(f query.Filter) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deleted := 0
+	for _, s := range c.shards {
+		ids := query.MatchingRecords(s.Coll, f, c.opts.QueryConfig)
+		for _, id := range ids {
+			doc, err := s.Coll.Fetch(id)
+			if err != nil {
+				continue
+			}
+			if err := s.Coll.Delete(id); err != nil {
+				return deleted, err
+			}
+			deleted++
+			if c.sharded {
+				if ci := c.findChunk(c.key.TupleOf(doc)); ci >= 0 {
+					ch := c.chunks[ci]
+					ch.Docs--
+					ch.Bytes -= int64(bson.RawSize(doc))
+					if ch.Bytes < 0 {
+						ch.Bytes = 0
+					}
+				}
+			}
+		}
+	}
+	return deleted, nil
+}
+
+// Balance runs the balancer until the chunk counts are even (or no
+// legal move remains): repeatedly move a chunk from the
+// most-chunk-loaded shard to the least-loaded shard that may accept
+// it (zones constrain the legal destinations).
+func (c *Cluster) Balance() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.balanceLocked()
+}
+
+func (c *Cluster) balanceLocked() {
+	if !c.sharded {
+		return
+	}
+	for moved := true; moved; {
+		moved = false
+		counts := c.chunkCountsLocked()
+		// Consider donors from most to least loaded.
+		order := make([]int, len(c.shards))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+		for _, donor := range order {
+			if counts[donor] == 0 {
+				break
+			}
+			// Move the donor's lowest-range movable chunk. For a
+			// monotonically increasing shard key (date), inserts hit
+			// the top chunk, so the donor sheds its oldest ranges in
+			// contiguous runs — the real balancer's behaviour, and the
+			// reason the paper's short-window queries touch few nodes.
+			for ci := 0; ci < len(c.chunks); ci++ {
+				ch := c.chunks[ci]
+				if ch.Shard != donor {
+					continue
+				}
+				recipient := c.bestRecipientLocked(ch, counts)
+				if recipient < 0 || counts[donor]-counts[recipient] <= 1 {
+					continue
+				}
+				c.moveChunkLocked(ch, recipient)
+				moved = true
+				break
+			}
+			if moved {
+				break
+			}
+		}
+	}
+}
+
+// bestRecipientLocked returns the allowed shard with the fewest
+// chunks, or -1.
+func (c *Cluster) bestRecipientLocked(ch *Chunk, counts []int) int {
+	zoneShard := c.zoneShardFor(ch)
+	if zoneShard >= 0 {
+		if zoneShard == ch.Shard {
+			return -1
+		}
+		return zoneShard
+	}
+	best := -1
+	for i := range c.shards {
+		if i == ch.Shard {
+			continue
+		}
+		// A chunk outside every zone must not move onto a shard in a
+		// way that violates zone homing; any shard is fine in this
+		// simulator.
+		if best < 0 || counts[i] < counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// moveChunkLocked migrates the chunk's documents and reassigns
+// ownership.
+func (c *Cluster) moveChunkLocked(ch *Chunk, to int) {
+	from := ch.Shard
+	if from == to {
+		return
+	}
+	ids := c.chunkRecords(ch)
+	src, dst := c.shards[from].Coll, c.shards[to].Coll
+	for _, id := range ids {
+		doc, err := src.Fetch(id)
+		if err != nil {
+			continue
+		}
+		if _, err := dst.Insert(doc); err != nil {
+			continue
+		}
+		_ = src.Delete(id)
+	}
+	ch.Shard = to
+	c.migrations++
+}
+
+func (c *Cluster) chunkCountsLocked() []int {
+	counts := make([]int, len(c.shards))
+	for _, ch := range c.chunks {
+		counts[ch.Shard]++
+	}
+	return counts
+}
+
+// Chunks returns a snapshot of the chunk metadata.
+func (c *Cluster) Chunks() []Chunk {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Chunk, len(c.chunks))
+	for i, ch := range c.chunks {
+		out[i] = *ch
+	}
+	return out
+}
+
+// Stats summarises cluster state.
+type Stats struct {
+	Shards     int
+	Chunks     int
+	Docs       int
+	DataBytes  int64
+	IndexBytes int64
+	Splits     int
+	Migrations int
+	Jumbo      int
+	// PerShard is indexed by shard id.
+	PerShard []ShardStats
+}
+
+// CompressedDataBytes estimates the block-compressed size of the
+// whole sharded collection (computed on demand — it runs the
+// compressor over a sample of every shard).
+func (c *Cluster) CompressedDataBytes() int64 {
+	var total int64
+	for _, s := range c.shards {
+		total += s.Coll.CompressedDataBytes()
+	}
+	return total
+}
+
+// ShardStats summarises one shard.
+type ShardStats struct {
+	Docs       int
+	Chunks     int
+	DataBytes  int64
+	IndexBytes int64
+}
+
+// ClusterStats computes the current Stats.
+func (c *Cluster) ClusterStats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := Stats{
+		Shards:     len(c.shards),
+		Chunks:     len(c.chunks),
+		Splits:     c.splits,
+		Migrations: c.migrations,
+		Jumbo:      c.jumbo,
+		PerShard:   make([]ShardStats, len(c.shards)),
+	}
+	for i, s := range c.shards {
+		ss := ShardStats{
+			Docs:       s.Coll.Len(),
+			DataBytes:  s.Coll.DataBytes(),
+			IndexBytes: s.Coll.IndexBytes(),
+		}
+		st.PerShard[i] = ss
+		st.Docs += ss.Docs
+		st.DataBytes += ss.DataBytes
+		st.IndexBytes += ss.IndexBytes
+	}
+	for _, ch := range c.chunks {
+		st.PerShard[ch.Shard].Chunks++
+	}
+	return st
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package sharding
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/geo"
+	"repro/internal/keyenc"
+	"repro/internal/query"
+)
+
+// checkInvariants verifies the cluster's metadata against its actual
+// data: chunks tile the key space, every chunk's documents live on
+// its shard, chunk doc counts are accurate, and no document exists
+// outside its chunk.
+func checkInvariants(t *testing.T, c *Cluster) {
+	t.Helper()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.sharded {
+		return
+	}
+	// Tiling.
+	if !bytes.Equal(c.chunks[0].Min, c.key.MinTuple()) {
+		t.Fatal("invariant: first chunk min != MinKey tuple")
+	}
+	if !bytes.Equal(c.chunks[len(c.chunks)-1].Max, c.key.MaxTuple()) {
+		t.Fatal("invariant: last chunk max != MaxKey tuple")
+	}
+	for i := 1; i < len(c.chunks); i++ {
+		if !bytes.Equal(c.chunks[i-1].Max, c.chunks[i].Min) {
+			t.Fatalf("invariant: chunk gap at %d", i)
+		}
+	}
+	// Per-chunk document placement and counts.
+	totalMeta := 0
+	for ci, ch := range c.chunks {
+		if ch.Shard < 0 || ch.Shard >= len(c.shards) {
+			t.Fatalf("invariant: chunk %d on unknown shard %d", ci, ch.Shard)
+		}
+		totalMeta += ch.Docs
+		got := len(c.chunkRecords(ch))
+		if got != ch.Docs {
+			t.Fatalf("invariant: chunk %d metadata says %d docs, shard holds %d", ci, ch.Docs, got)
+		}
+	}
+	totalActual := 0
+	for _, s := range c.shards {
+		totalActual += s.Coll.Len()
+	}
+	if totalMeta != totalActual {
+		t.Fatalf("invariant: chunk doc counts sum to %d, shards hold %d", totalMeta, totalActual)
+	}
+	// Zones: every zoned chunk sits on its zone's shard.
+	for _, ch := range c.chunks {
+		if home := c.zoneShardFor(ch); home >= 0 && home != ch.Shard {
+			t.Fatalf("invariant: chunk on shard %d but zoned to %d", ch.Shard, home)
+		}
+	}
+}
+
+// TestClusterInvariantsUnderRandomOperations drives a cluster with a
+// random mix of inserts, explicit balances and zone reconfigurations,
+// checking the metadata invariants throughout.
+func TestClusterInvariantsUnderRandomOperations(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c := NewCluster(Options{Shards: 4, ChunkMaxBytes: 8 << 10, AutoBalanceEvery: 200})
+			if err := c.ShardCollection(hilbertDateKey()); err != nil {
+				t.Fatal(err)
+			}
+			gen := bson.NewObjectIDGen(uint64(seed))
+			inserted := 0
+			for step := 0; step < 30; step++ {
+				switch rng.Intn(10) {
+				case 8:
+					c.Balance()
+				case 9:
+					// Re-zone on random split points.
+					n := 2 + rng.Intn(3)
+					var splits []any
+					last := int64(0)
+					for i := 0; i < n-1; i++ {
+						last += int64(1 + rng.Intn(2000))
+						splits = append(splits, last)
+					}
+					zones := ZonesFromSplits("hilbertIndex", splits, 4)
+					if err := c.SetZones(zones); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					for i := 0; i < 100; i++ {
+						doc := stDoc(gen,
+							geo.Point{Lon: 23 + rng.Float64(), Lat: 37 + rng.Float64()},
+							baseTime.Add(time.Duration(rng.Int63n(int64(30*24*time.Hour)))),
+							int64(rng.Intn(4096)))
+						if err := c.Insert(doc); err != nil {
+							t.Fatal(err)
+						}
+						inserted++
+					}
+				}
+				checkInvariants(t, c)
+			}
+			if got := c.ClusterStats().Docs; got != inserted {
+				t.Fatalf("cluster holds %d docs, inserted %d", got, inserted)
+			}
+		})
+	}
+}
+
+// TestZonesFromSplitsCoverKeySpace verifies the generated zones tile
+// the single-field prefix space.
+func TestZonesFromSplitsCoverKeySpace(t *testing.T) {
+	zones := ZonesFromSplits("f", []any{int64(10), int64(20)}, 3)
+	if len(zones) != 3 {
+		t.Fatalf("%d zones", len(zones))
+	}
+	if !bytes.Equal(zones[0].Min, keyenc.Encode(bson.MinKey)) {
+		t.Fatal("first zone does not start at MinKey")
+	}
+	if !bytes.Equal(zones[len(zones)-1].Max, keyenc.Encode(bson.MaxKey)) {
+		t.Fatal("last zone does not end at MaxKey")
+	}
+	for i := 1; i < len(zones); i++ {
+		if !bytes.Equal(zones[i-1].Max, zones[i].Min) {
+			t.Fatalf("zone gap at %d", i)
+		}
+	}
+	// Shards assigned round-robin.
+	if zones[0].Shard != 0 || zones[1].Shard != 1 || zones[2].Shard != 2 {
+		t.Fatalf("zone shards: %d %d %d", zones[0].Shard, zones[1].Shard, zones[2].Shard)
+	}
+}
+
+// TestDeleteMaintainsChunkMetadata removes a time slice and checks
+// counts and invariants.
+func TestDeleteMaintainsChunkMetadata(t *testing.T) {
+	c, ref := loadCluster(t, 2000, hilbertDateKey(), smallOpts())
+	cutoff := baseTime.Add(10 * 24 * time.Hour)
+	f := query.Cmp{Field: "date", Op: query.OpLT, Value: cutoff}
+	want := query.Execute(ref, f, nil).Stats.NReturned
+	if want == 0 {
+		t.Fatal("vacuous: nothing to delete")
+	}
+	deleted, err := c.Delete(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != want {
+		t.Fatalf("deleted %d, want %d", deleted, want)
+	}
+	checkInvariants(t, c)
+	if got := c.ClusterStats().Docs; got != 2000-want {
+		t.Fatalf("cluster holds %d docs after delete", got)
+	}
+	// The deleted slice is gone; the rest is intact.
+	if n := c.Query(f).TotalReturned; n != 0 {
+		t.Fatalf("deleted records still returned: %d", n)
+	}
+	rest := query.Cmp{Field: "date", Op: query.OpGTE, Value: cutoff}
+	wantRest := query.Execute(ref, rest, nil).Stats.NReturned
+	if n := c.Query(rest).TotalReturned; n != wantRest {
+		t.Fatalf("remaining records: %d, want %d", n, wantRest)
+	}
+	// Deleting again is a no-op.
+	again, err := c.Delete(f)
+	if err != nil || again != 0 {
+		t.Fatalf("second delete: %d, %v", again, err)
+	}
+}
+
+// TestDeleteOnUnshardedCluster exercises the single-shard delete
+// path.
+func TestDeleteOnUnshardedCluster(t *testing.T) {
+	c := NewCluster(smallOpts())
+	gen := bson.NewObjectIDGen(3)
+	for i := 0; i < 20; i++ {
+		doc := stDoc(gen, geo.Point{Lon: 23, Lat: 37}, baseTime.Add(time.Duration(i)*time.Hour), int64(i))
+		if err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := c.Delete(query.Cmp{Field: "hilbertIndex", Op: query.OpLT, Value: int64(10)})
+	if err != nil || n != 10 {
+		t.Fatalf("Delete = %d, %v", n, err)
+	}
+	if got := c.Query(query.Cmp{Field: "hilbertIndex", Op: query.OpGTE, Value: int64(0)}).TotalReturned; got != 10 {
+		t.Fatalf("%d docs remain", got)
+	}
+}

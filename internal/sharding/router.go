@@ -1,0 +1,219 @@
+package sharding
+
+import (
+	"bytes"
+	"sort"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/keyenc"
+	"repro/internal/query"
+)
+
+// RoutedResult is the outcome of a cluster query: the merged
+// documents plus the routing and per-shard execution statistics the
+// paper's four evaluation metrics come from.
+type RoutedResult struct {
+	Docs []bson.Raw
+	// ShardsTargeted is the number of nodes the query was routed to —
+	// the paper's "Nodes" metric.
+	ShardsTargeted int
+	// TargetedShards lists the shard ids, ascending.
+	TargetedShards []int
+	// PerShard holds each targeted shard's execution stats, in
+	// TargetedShards order.
+	PerShard []query.ExecStats
+	// MaxKeysExamined and MaxDocsExamined are the maxima over the
+	// targeted shards — the paper's "keys examined" and "documents
+	// examined" metrics (maximum per node, Section 5.1).
+	MaxKeysExamined int
+	MaxDocsExamined int
+	// TotalReturned is the merged result count.
+	TotalReturned int
+	// Duration models the scatter-gather wall time on dedicated
+	// nodes: the maximum per-shard execution time (shards work in
+	// parallel on their own machines in the paper's deployment) plus
+	// the router's merge time.
+	Duration time.Duration
+	// Broadcast reports whether the router could not constrain the
+	// shard key and had to target every shard owning chunks.
+	Broadcast bool
+}
+
+// tupleRange is a half-open range [Lo, Hi) over encoded shard-key
+// tuple space; nil means open on that side.
+type tupleRange struct {
+	Lo []byte
+	Hi []byte
+}
+
+func (r tupleRange) overlapsChunk(ch *Chunk) bool {
+	if r.Lo != nil && bytes.Compare(ch.Max, r.Lo) <= 0 {
+		return false
+	}
+	if r.Hi != nil && bytes.Compare(r.Hi, ch.Min) <= 0 {
+		return false
+	}
+	return true
+}
+
+// Query routes the filter to the shards owning potentially matching
+// chunks, executes it on each, and merges the results. Shards execute
+// sequentially — in the simulated deployment every shard is a
+// dedicated node, so the modelled wall time is the slowest shard's
+// execution time plus the router's merge work, not the sum.
+//
+// The cluster read-lock is held for the whole scatter-gather: queries
+// run concurrently with each other but never interleave with a chunk
+// migration, standing in for the ownership filtering a real cluster
+// applies to in-flight migrations.
+func (c *Cluster) Query(f query.Filter) *RoutedResult {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	targets, broadcast := c.routeLocked(f)
+	res := &RoutedResult{
+		ShardsTargeted: len(targets),
+		TargetedShards: targets,
+		Broadcast:      broadcast,
+	}
+	perShard := make([]*query.Result, len(targets))
+	var slowest time.Duration
+	for i, sid := range targets {
+		perShard[i] = query.Execute(c.shards[sid].Coll, f, c.opts.QueryConfig)
+		if d := perShard[i].Stats.Duration; d > slowest {
+			slowest = d
+		}
+	}
+	mergeStart := time.Now()
+	for _, r := range perShard {
+		res.PerShard = append(res.PerShard, r.Stats)
+		res.Docs = append(res.Docs, r.Docs...)
+		res.TotalReturned += r.Stats.NReturned
+		if r.Stats.KeysExamined > res.MaxKeysExamined {
+			res.MaxKeysExamined = r.Stats.KeysExamined
+		}
+		if r.Stats.DocsExamined > res.MaxDocsExamined {
+			res.MaxDocsExamined = r.Stats.DocsExamined
+		}
+	}
+	res.Duration = slowest + time.Since(mergeStart)
+	return res
+}
+
+// Explain routes the filter and returns each targeted shard's full
+// plan explanation, in TargetedShards order.
+func (c *Cluster) Explain(f query.Filter) (targets []int, exps []*query.Explanation) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	targets, _ = c.routeLocked(f)
+	for _, sid := range targets {
+		exps = append(exps, query.Explain(c.shards[sid].Coll, f, c.opts.QueryConfig))
+	}
+	return targets, exps
+}
+
+// routeLocked computes the target shard ids for a filter; the caller
+// holds at least the cluster read-lock. It mirrors mongos: extract
+// the filter's bounds on the shard-key fields, map them to tuple
+// ranges, and collect the shards owning chunks that intersect any
+// range. A filter that does not constrain the leading shard-key field
+// becomes a broadcast (Section 4.1.2: "broadcast operations occur if
+// a query's field constraints are not found in the shard key").
+func (c *Cluster) routeLocked(f query.Filter) (shards []int, broadcast bool) {
+	if !c.sharded {
+		return []int{0}, false
+	}
+	b := query.BoundsOf(f)
+	if b.Impossible() {
+		return nil, false
+	}
+	ranges := c.shardKeyRanges(b)
+	target := make(map[int]bool)
+	if ranges == nil {
+		broadcast = true
+		for _, ch := range c.chunks {
+			if ch.Docs > 0 {
+				target[ch.Shard] = true
+			}
+		}
+	} else {
+		for _, ch := range c.chunks {
+			if ch.Docs == 0 {
+				continue
+			}
+			for _, r := range ranges {
+				if r.overlapsChunk(ch) {
+					target[ch.Shard] = true
+					break
+				}
+			}
+		}
+	}
+	for sid := range target {
+		shards = append(shards, sid)
+	}
+	sort.Ints(shards)
+	return shards, broadcast
+}
+
+// shardKeyRanges translates the filter bounds into tuple ranges; nil
+// means the shard key is unconstrained (broadcast).
+func (c *Cluster) shardKeyRanges(b query.FieldBounds) []tupleRange {
+	set, ok := b.Intervals(c.key.Fields[0])
+	if !ok || len(set) == 0 {
+		return nil
+	}
+	if c.key.Strategy == HashedSharding {
+		// Only equality predicates route under hashed sharding; any
+		// range forces a broadcast.
+		var out []tupleRange
+		for _, iv := range set {
+			if !iv.IsPoint() {
+				return nil
+			}
+			enc := keyenc.Encode(HashValue(iv.Lo))
+			out = append(out, prefixRange(enc))
+		}
+		return out
+	}
+	var out []tupleRange
+	for _, iv := range set {
+		// For a point on the leading field, the next field's bounds
+		// can narrow the range further (compound shard keys).
+		if iv.IsPoint() && len(c.key.Fields) > 1 {
+			if nextSet, ok := b.Intervals(c.key.Fields[1]); ok && len(nextSet) > 0 {
+				prefix := keyenc.Encode(iv.Lo)
+				for _, niv := range nextSet {
+					out = append(out, composeRange(prefix, niv))
+				}
+				continue
+			}
+		}
+		out = append(out, composeRange(nil, iv))
+	}
+	return out
+}
+
+// composeRange builds the [Lo, Hi) byte range of one value interval
+// under an encoded tuple prefix.
+func composeRange(prefix []byte, iv query.ValueInterval) tupleRange {
+	loKey := keyenc.AppendValue(append([]byte{}, prefix...), iv.Lo)
+	hiKey := keyenc.AppendValue(append([]byte{}, prefix...), iv.Hi)
+	var r tupleRange
+	if iv.LoIncl {
+		r.Lo = loKey
+	} else {
+		r.Lo = keyenc.PrefixUpperBound(loKey)
+	}
+	if iv.HiIncl {
+		r.Hi = keyenc.PrefixUpperBound(hiKey)
+	} else {
+		r.Hi = hiKey
+	}
+	return r
+}
+
+// prefixRange covers every tuple extending the encoded prefix.
+func prefixRange(prefix []byte) tupleRange {
+	return tupleRange{Lo: prefix, Hi: keyenc.PrefixUpperBound(prefix)}
+}

@@ -1,0 +1,161 @@
+package sharding
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/bson"
+	"repro/internal/btree"
+	"repro/internal/keyenc"
+)
+
+// Zone pins a range [Min, Max) of the encoded shard-key tuple space
+// to one shard. Ranges may be expressed over a prefix of the shard
+// key (e.g. only hilbertIndex of the {hilbertIndex, date} key), which
+// is how Section 4.2.4 of the paper configures them.
+type Zone struct {
+	Name  string
+	Min   []byte
+	Max   []byte
+	Shard int
+}
+
+// Contains reports whether the tuple falls in the zone.
+func (z Zone) Contains(tuple []byte) bool {
+	return bytes.Compare(z.Min, tuple) <= 0 && bytes.Compare(tuple, z.Max) < 0
+}
+
+// SetZones installs the zones: ranges are validated to be ordered and
+// non-overlapping, chunks are split at zone boundaries so each chunk
+// lies in at most one zone, and affected chunks migrate to their
+// zone's shard (the cluster rebalancing the server performs when
+// zones change on a sharded collection).
+func (c *Cluster) SetZones(zones []Zone) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sharded {
+		return fmt.Errorf("sharding: collection is not sharded")
+	}
+	sorted := make([]Zone, len(zones))
+	copy(sorted, zones)
+	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i].Min, sorted[j].Min) < 0 })
+	for i, z := range sorted {
+		if bytes.Compare(z.Min, z.Max) >= 0 {
+			return fmt.Errorf("sharding: zone %q has empty range", z.Name)
+		}
+		if z.Shard < 0 || z.Shard >= len(c.shards) {
+			return fmt.Errorf("sharding: zone %q names unknown shard %d", z.Name, z.Shard)
+		}
+		if i > 0 && bytes.Compare(sorted[i-1].Max, z.Min) > 0 {
+			return fmt.Errorf("sharding: zones %q and %q overlap", sorted[i-1].Name, z.Name)
+		}
+	}
+	// Split chunks at every zone boundary.
+	for _, z := range sorted {
+		c.splitAtLocked(z.Min)
+		c.splitAtLocked(z.Max)
+	}
+	c.zones = sorted
+	// Home every zoned chunk.
+	for _, ch := range c.chunks {
+		if home := c.zoneShardFor(ch); home >= 0 && home != ch.Shard {
+			c.moveChunkLocked(ch, home)
+		}
+	}
+	return nil
+}
+
+// Zones returns the installed zones.
+func (c *Cluster) Zones() []Zone {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Zone, len(c.zones))
+	copy(out, c.zones)
+	return out
+}
+
+// zoneShardFor returns the shard a chunk is pinned to, or -1 when the
+// chunk lies outside every zone. Chunks are split at zone borders, so
+// testing Min suffices.
+func (c *Cluster) zoneShardFor(ch *Chunk) int {
+	for _, z := range c.zones {
+		if z.Contains(ch.Min) {
+			return z.Shard
+		}
+	}
+	return -1
+}
+
+// splitAtLocked splits the chunk straddling the boundary (if any) so
+// that the boundary becomes a chunk edge.
+func (c *Cluster) splitAtLocked(boundary []byte) {
+	for ci, ch := range c.chunks {
+		if bytes.Compare(ch.Min, boundary) < 0 && bytes.Compare(boundary, ch.Max) < 0 {
+			// Count the docs below the boundary to apportion stats.
+			leftDocs := c.countRangeLocked(ch, ch.Min, boundary)
+			perDoc := int64(0)
+			if ch.Docs > 0 {
+				perDoc = ch.Bytes / int64(ch.Docs)
+			}
+			right := &Chunk{
+				Min:   bytes.Clone(boundary),
+				Max:   ch.Max,
+				Shard: ch.Shard,
+				Docs:  ch.Docs - leftDocs,
+				Bytes: perDoc * int64(ch.Docs-leftDocs),
+			}
+			ch.Max = bytes.Clone(boundary)
+			ch.Docs = leftDocs
+			ch.Bytes = perDoc * int64(leftDocs)
+			c.chunks = append(c.chunks, nil)
+			copy(c.chunks[ci+2:], c.chunks[ci+1:])
+			c.chunks[ci+1] = right
+			c.splits++
+			return
+		}
+	}
+}
+
+// countRangeLocked counts the chunk's documents with tuple in
+// [lo, hi).
+func (c *Cluster) countRangeLocked(ch *Chunk, lo, hi []byte) int {
+	n := 0
+	for _, t := range c.chunkTuples(ch) {
+		if bytes.Compare(lo, t) <= 0 && bytes.Compare(t, hi) < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func boundInclude(k []byte) btree.Bound { return btree.Include(k) }
+func boundExclude(k []byte) btree.Bound { return btree.Exclude(k) }
+
+// ZonesFromSplits builds the paper's zone configuration from
+// $bucketAuto split values over the leading shard-key field: one zone
+// per bucket, covering [MinKey, s1), [s1, s2), …, [sk, MaxKey),
+// assigned to shards in order (one zone per shard when len(splits) ==
+// shards-1, which is how both Section 4.2.4 configurations are
+// derived).
+func ZonesFromSplits(field string, splits []any, shards int) []Zone {
+	lo := keyenc.Encode(bson.MinKey)
+	var zones []Zone
+	for i, s := range splits {
+		hi := keyenc.Encode(bson.Normalize(s))
+		zones = append(zones, Zone{
+			Name:  fmt.Sprintf("%s-zone%02d", field, i),
+			Min:   lo,
+			Max:   hi,
+			Shard: i % shards,
+		})
+		lo = hi
+	}
+	zones = append(zones, Zone{
+		Name:  fmt.Sprintf("%s-zone%02d", field, len(splits)),
+		Min:   lo,
+		Max:   keyenc.Encode(bson.MaxKey),
+		Shard: len(splits) % shards,
+	})
+	return zones
+}

@@ -1,0 +1,133 @@
+// Package sthash implements an ST-Hash-style spatio-temporal string
+// encoding, after Guan et al., "ST-hash: An efficient spatiotemporal
+// index for massive trajectory data in a NoSQL database"
+// (Geoinformatics 2017) — the closest related-work alternative the
+// paper discusses in Section 2.2. A point's position and timestamp
+// combine into ONE string whose prefix is temporal (year, then
+// day-of-year) and whose suffix is the spatial geohash plus an
+// hour-of-day refinement:
+//
+//	YYYY DDD <geohash chars> HH
+//
+// Keys therefore cluster time-major: all of one day's data is
+// contiguous regardless of location. The paper's critique — "queries
+// with high spatial selectivity but low temporal selectivity cannot
+// exploit the encoding" — falls straight out of this layout: a
+// street-sized rectangle over three months decomposes into
+// (days × cells) disjoint key ranges, while a time-selective query is
+// a handful of prefix ranges. The stindex comparison benchmark
+// (BenchmarkAblationSTHash) quantifies exactly that trade-off against
+// the Hilbert layout.
+package sthash
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/geohash"
+)
+
+// DefaultSpatialChars is the default geohash precision (5 characters
+// ≈ 4.9 km cells, the precision class the ST-Hash paper evaluates).
+const DefaultSpatialChars = 5
+
+// Encoder builds and covers ST-Hash strings.
+type Encoder struct {
+	// SpatialChars is the geohash length embedded in each key
+	// (1..12; default DefaultSpatialChars).
+	SpatialChars int
+}
+
+func (e Encoder) spatialChars() int {
+	if e.SpatialChars <= 0 {
+		return DefaultSpatialChars
+	}
+	if e.SpatialChars > 12 {
+		return 12
+	}
+	return e.SpatialChars
+}
+
+// Encode returns the ST-Hash string of a position at a time.
+func (e Encoder) Encode(p geo.Point, t time.Time) string {
+	t = t.UTC()
+	return fmt.Sprintf("%04d%03d%s%02d",
+		t.Year(), t.YearDay(), geohash.Encode(p, e.spatialChars()), t.Hour())
+}
+
+// Decode recovers the day (UTC midnight), the hour and the spatial
+// cell from an ST-Hash string.
+func (e Encoder) Decode(s string) (day time.Time, hour int, cell geo.Rect, err error) {
+	k := e.spatialChars()
+	if len(s) != 4+3+k+2 {
+		return time.Time{}, 0, geo.Rect{}, fmt.Errorf("sthash: bad key length %d", len(s))
+	}
+	var year, yday int
+	if _, err := fmt.Sscanf(s[:7], "%4d%3d", &year, &yday); err != nil {
+		return time.Time{}, 0, geo.Rect{}, fmt.Errorf("sthash: bad temporal prefix: %w", err)
+	}
+	cell, err = geohash.Decode(s[7 : 7+k])
+	if err != nil {
+		return time.Time{}, 0, geo.Rect{}, err
+	}
+	if _, err := fmt.Sscanf(s[7+k:], "%2d", &hour); err != nil {
+		return time.Time{}, 0, geo.Rect{}, fmt.Errorf("sthash: bad hour suffix: %w", err)
+	}
+	day = time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, yday-1)
+	return day, hour, cell, nil
+}
+
+// Range is an inclusive string-key interval [Lo, Hi].
+type Range struct {
+	Lo string
+	Hi string
+}
+
+// Cover decomposes a spatio-temporal range query into ST-Hash key
+// ranges: for every UTC day intersecting [from, to], one range per
+// geohash covering cell of the rectangle (whole days are over-covered
+// at the hour level; the residual filter restores exactness).
+// maxCellsPerDay bounds the spatial covering (0 = the geohash
+// default adaptive limit of 64).
+func (e Encoder) Cover(rect geo.Rect, from, to time.Time, maxCellsPerDay int) []Range {
+	if maxCellsPerDay <= 0 {
+		maxCellsPerDay = 64
+	}
+	k := e.spatialChars()
+	cells := geohash.Cover(rect, uint(k*5), maxCellsPerDay)
+	from, to = from.UTC(), to.UTC()
+	var out []Range
+	for day := from.Truncate(24 * time.Hour); !day.After(to); day = day.AddDate(0, 0, 1) {
+		prefix := fmt.Sprintf("%04d%03d", day.Year(), day.YearDay())
+		for _, c := range cells {
+			loCell, hiCell := cellBase32Bounds(c, k)
+			out = append(out, Range{
+				Lo: prefix + loCell + "00",
+				Hi: prefix + hiCell + "23",
+			})
+		}
+	}
+	return out
+}
+
+// base32 alphabet, as used by package geohash.
+const base32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+// cellBase32Bounds expands a covering cell (a bit prefix) to the
+// lexicographically smallest and largest k-character geohash strings
+// inside it.
+func cellBase32Bounds(c geohash.Cell, k int) (lo, hi string) {
+	totalBits := uint(k * 5)
+	lov, hiv := c.Range(totalBits)
+	return base32OfBits(lov, k), base32OfBits(hiv, k)
+}
+
+func base32OfBits(v uint64, chars int) string {
+	buf := make([]byte, chars)
+	for i := chars - 1; i >= 0; i-- {
+		buf[i] = base32[v&31]
+		v >>= 5
+	}
+	return string(buf)
+}

@@ -1,0 +1,117 @@
+// Package storage implements the per-shard record store: documents
+// are kept in their binary encoding, addressed by record ids, exactly
+// like heap storage under a document store's B-tree indexes. Keeping
+// the encoded form (rather than decoded documents) makes the "fetch a
+// document" step of query execution carry a realistic decode cost,
+// which is what the docsExamined metric charges for.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bson"
+)
+
+// RecordID identifies a stored document within one Store. Ids are
+// never reused; a deleted slot stays dead.
+type RecordID uint64
+
+// Store is an append-only record store with deletion, safe for
+// concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	records map[RecordID][]byte
+	nextID  RecordID
+	bytes   int64
+}
+
+// NewStore returns an empty record store.
+func NewStore() *Store {
+	return &Store{records: make(map[RecordID][]byte)}
+}
+
+// Insert stores the document and returns its record id.
+func (s *Store) Insert(doc *bson.Document) RecordID {
+	raw := bson.Marshal(doc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.records[id] = raw
+	s.bytes += int64(len(raw))
+	return id
+}
+
+// InsertRaw stores an already-encoded document. The caller guarantees
+// raw is a valid encoding and will not be modified afterwards.
+func (s *Store) InsertRaw(raw []byte) RecordID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.records[id] = raw
+	s.bytes += int64(len(raw))
+	return id
+}
+
+// Fetch decodes and returns the document at id.
+func (s *Store) Fetch(id RecordID) (*bson.Document, error) {
+	s.mu.RLock()
+	raw, ok := s.records[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: record %d not found", id)
+	}
+	return bson.Unmarshal(raw)
+}
+
+// FetchRaw returns the encoded form of the document at id. The
+// returned slice must not be modified.
+func (s *Store) FetchRaw(id RecordID) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	raw, ok := s.records[id]
+	return raw, ok
+}
+
+// Delete removes the record, reporting whether it existed.
+func (s *Store) Delete(id RecordID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.records[id]
+	if !ok {
+		return false
+	}
+	s.bytes -= int64(len(raw))
+	delete(s.records, id)
+	return true
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Bytes returns the total encoded size of live records — the
+// "data size" the Table 6 experiment reports.
+func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Walk visits every live record in unspecified order, stopping early
+// if fn returns false. It holds the read lock during the walk; fn
+// must not call back into the store.
+func (s *Store) Walk(fn func(id RecordID, raw []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, raw := range s.records {
+		if !fn(id, raw) {
+			return
+		}
+	}
+}
