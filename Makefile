@@ -1,0 +1,34 @@
+GO ?= go
+
+# Tier-1: everything must build and every test must pass.
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+# The packages the parallel query router exercises concurrently; their
+# stress tests must stay race-clean.
+RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/...
+
+.PHONY: race
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# The canonical pre-commit check (also available as scripts/check.sh).
+.PHONY: check
+check: build test vet race
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+.PHONY: throughput
+throughput:
+	$(GO) run ./cmd/stbench -exp throughput

@@ -4,18 +4,22 @@
 // Usage:
 //
 //	stbench [-exp id[,id...]] [-records n] [-shards n] [-runs n] [-list] [-quiet]
+//	        [-clients n,n,...] [-parallel n] [-out path]
 //
 // Examples:
 //
 //	stbench -list                 # show every experiment id
 //	stbench -exp fig6             # one figure at the default scale
 //	stbench -exp all -records 80000
+//	stbench -exp throughput -clients 1,4,16 -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +34,11 @@ func main() {
 		runs    = flag.Int("runs", 0, "measured repetitions per query (default 3)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
+
+		// Throughput-experiment options (used by -exp throughput only).
+		clients  = flag.String("clients", "", "throughput: comma-separated client counts (default 1,4,16)")
+		parallel = flag.Int("parallel", 0, "throughput: pool width of the parallel arm (default GOMAXPROCS)")
+		out      = flag.String("out", "", "throughput: JSON report path (default BENCH_throughput.json, '-' disables)")
 	)
 	flag.Parse()
 
@@ -60,11 +69,12 @@ func main() {
 	var selected []bench.Experiment
 	if *expIDs == "all" {
 		selected = bench.Experiments()
-		// The ablations rebuild large stores; keep the default run to
-		// the paper's own tables and figures.
+		// The ablations rebuild large stores and the throughput
+		// experiment measures this machine rather than the paper; keep
+		// the default run to the paper's own tables and figures.
 		var core []bench.Experiment
 		for _, e := range selected {
-			if !strings.HasPrefix(e.ID, "abl-") {
+			if !strings.HasPrefix(e.ID, "abl-") && e.ID != "throughput" {
 				core = append(core, e)
 			}
 		}
@@ -83,9 +93,27 @@ func main() {
 
 	fmt.Printf("stbench: %d shards, R=%d records, S=%d records, %d+%d runs/query\n\n",
 		scale.Shards, scale.RRecords, 2*scale.RRecords, scale.Warmup, scale.Runs)
+	topts := bench.ThroughputOptions{Parallel: *parallel, OutPath: *out}
+	if *clients != "" {
+		for _, part := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "stbench: bad -clients %q\n", *clients)
+				os.Exit(2)
+			}
+			topts.Clients = append(topts.Clients, n)
+		}
+	}
+
 	for _, e := range selected {
 		start := time.Now()
-		if err := e.Run(env, os.Stdout); err != nil {
+		run := e.Run
+		if e.ID == "throughput" {
+			run = func(env *bench.Env, w io.Writer) error {
+				return bench.RunThroughput(env, w, topts)
+			}
+		}
+		if err := run(env, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}

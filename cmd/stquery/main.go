@@ -8,7 +8,13 @@
 //	        -rect 23.606039,38.023982,24.032754,38.353926 \
 //	        -from 2018-07-11T00:00:00Z -to 2018-07-12T00:00:00Z
 //
-// Omitting -rect/-from/-to runs the paper's eight queries (Q1s..Q4b).
+// With -f, each non-empty line of the file is one query
+// ("lon1,lat1,lon2,lat2 from to", # starts a comment) and the whole
+// file executes as one batch through the parallel scatter-gather
+// pool (-parallel sets its width; 1 = sequential).
+//
+// Omitting -rect/-from/-to/-f runs the paper's eight queries
+// (Q1s..Q4b).
 package main
 
 import (
@@ -36,6 +42,8 @@ func main() {
 		toStr    = flag.String("to", "", "query end (RFC 3339)")
 		verbose  = flag.Bool("v", false, "print matching documents")
 		explain  = flag.Bool("explain", false, "print per-shard plan explanations")
+		file     = flag.String("f", "", "file of queries to run as one batch")
+		parallel = flag.Int("parallel", 0, "scatter-gather pool width (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -49,6 +57,7 @@ func main() {
 		Approach:   a,
 		Shards:     *shards,
 		DataExtent: data.MBROf(recs),
+		Parallel:   *parallel,
 	})
 	if err != nil {
 		fatal("stquery: %v", err)
@@ -62,6 +71,12 @@ func main() {
 		}
 	}
 
+	if *file != "" {
+		if err := runQueryFile(s, *file); err != nil {
+			fatal("stquery: %v", err)
+		}
+		return
+	}
 	if *rectStr == "" {
 		runPaperQueries(s)
 		return
@@ -96,6 +111,53 @@ func main() {
 			fmt.Println(doc)
 		}
 	}
+}
+
+// runQueryFile parses the file (one query per line:
+// "lon1,lat1,lon2,lat2 from to") and executes all of it as a single
+// batch through the scatter-gather pool.
+func runQueryFile(s *core.Store, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var qs []core.STQuery
+	var names []string
+	for ln, line := range strings.Split(string(blob), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return fmt.Errorf("%s:%d: want \"rect from to\", got %q", path, ln+1, line)
+		}
+		rect, err := parseRect(fields[0])
+		if err != nil {
+			return fmt.Errorf("%s:%d: %w", path, ln+1, err)
+		}
+		from, err := time.Parse(time.RFC3339, fields[1])
+		if err != nil {
+			return fmt.Errorf("%s:%d: bad from: %w", path, ln+1, err)
+		}
+		to, err := time.Parse(time.RFC3339, fields[2])
+		if err != nil {
+			return fmt.Errorf("%s:%d: bad to: %w", path, ln+1, err)
+		}
+		qs = append(qs, core.STQuery{Rect: rect, From: from, To: to})
+		names = append(names, fmt.Sprintf("q%d", len(qs)))
+	}
+	if len(qs) == 0 {
+		return fmt.Errorf("%s: no queries", path)
+	}
+	start := time.Now()
+	results := s.QueryBatch(qs)
+	elapsed := time.Since(start)
+	for i, res := range results {
+		printResult(names[i], res)
+	}
+	fmt.Printf("batch: %d queries in %v (wall)\n", len(qs), elapsed)
+	return nil
 }
 
 func runPaperQueries(s *core.Store) {

@@ -77,6 +77,13 @@ func Experiments() []Experiment {
 		Experiment{ID: "abl-hashed", Title: "Ablation: range vs hashed sharding", Run: runAblHashed},
 		Experiment{ID: "abl-zones", Title: "Ablation: zone count vs locality", Run: runAblZones},
 		Experiment{ID: "abl-sthash", Title: "Ablation: Hilbert vs ST-Hash encoding", Run: runAblSTHash},
+		Experiment{
+			ID:    "throughput",
+			Title: "Throughput: concurrent clients over the parallel router",
+			Run: func(e *Env, w io.Writer) error {
+				return RunThroughput(e, w, ThroughputOptions{})
+			},
+		},
 	)
 	return exps
 }

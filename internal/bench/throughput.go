@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The throughput experiment is not one of the paper's figures: it
+// measures the concurrent query capacity the parallel scatter-gather
+// router adds, which the paper's single-query metrics cannot show. N
+// client goroutines issue the paper's mixed Q1s..Q4b workload against
+// one loaded store; the harness reports queries/second and latency
+// percentiles per (pool width, client count) cell plus the big-query
+// speedup of the parallel pool over the sequential router.
+
+// ThroughputOptions configures the throughput experiment.
+type ThroughputOptions struct {
+	// Clients is the set of concurrent client counts (default 1, 4, 16).
+	Clients []int
+	// Parallel is the pool width of the parallel arm; 0 means
+	// GOMAXPROCS. The sequential arm is always parallel=1.
+	Parallel int
+	// OpsPerClient is the number of queries each client issues per
+	// cell (default 24).
+	OpsPerClient int
+	// OutPath is where the JSON report is written; empty means
+	// BENCH_throughput.json, "-" disables the file.
+	OutPath string
+}
+
+func (o ThroughputOptions) withDefaults() ThroughputOptions {
+	if len(o.Clients) == 0 {
+		o.Clients = []int{1, 4, 16}
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.OpsPerClient <= 0 {
+		o.OpsPerClient = 24
+	}
+	if o.OutPath == "" {
+		o.OutPath = "BENCH_throughput.json"
+	}
+	return o
+}
+
+// ThroughputCell is one measured (workload, pool width, clients)
+// combination.
+type ThroughputCell struct {
+	Workload string  `json:"workload"` // "mixed" or "big"
+	Parallel int     `json:"parallel"`
+	Clients  int     `json:"clients"`
+	Ops      int     `json:"ops"`
+	QPS      float64 `json:"qps"`
+	P50ms    float64 `json:"p50_ms"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
+}
+
+// ThroughputReport is the experiment's JSON artifact.
+type ThroughputReport struct {
+	Records    int              `json:"records"`
+	Shards     int              `json:"shards"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Parallel   int              `json:"parallel"` // the parallel arm's pool width
+	Cells      []ThroughputCell `json:"cells"`
+	// BigQuerySpeedup is QPS(parallel arm)/QPS(parallel=1) on the
+	// big-query workload at one client — pure scatter-gather speedup,
+	// no cross-query concurrency.
+	BigQuerySpeedup float64 `json:"big_query_speedup"`
+	// Note flags host conditions that bound the measurement (e.g. a
+	// single-CPU host, where the pool cannot beat sequential
+	// execution of CPU-bound scans).
+	Note string `json:"note,omitempty"`
+}
+
+// RunThroughput executes the concurrent-throughput experiment on the
+// R data set under the hil approach and writes the human-readable
+// table to w plus the JSON report to opts.OutPath.
+// storeApproachForThroughput is the approach the throughput workload
+// runs under: hil, the paper's proposal, whose shard-key index serves
+// every query without extra index builds.
+const storeApproachForThroughput = core.Hil
+
+func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
+	opts = opts.withDefaults()
+	s, err := e.Store(e.DatasetR(), storeApproachForThroughput, false)
+	if err != nil {
+		return err
+	}
+	defer s.SetParallel(0) // leave the cached store at its default width
+
+	d := e.DatasetR()
+	small := d.Queries(true)
+	big := d.Queries(false)
+	mixed := append(append([]core.STQuery{}, small[:]...), big[:]...)
+
+	// Warm every plan cache so the cells measure execution, not
+	// planning (the paper's warm-state protocol).
+	for _, q := range mixed {
+		s.Query(q)
+	}
+
+	report := ThroughputReport{
+		Records:    len(d.Recs),
+		Shards:     e.Scale.Shards,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Parallel:   opts.Parallel,
+	}
+	if report.GOMAXPROCS == 1 {
+		report.Note = "single-CPU host: goroutines cannot run simultaneously, " +
+			"so wall-clock speedup over parallel=1 is bounded at ~1x; " +
+			"re-run on a multi-core machine for the pool's real effect"
+	}
+
+	widths := []int{1, opts.Parallel}
+	if opts.Parallel == 1 {
+		widths = widths[:1]
+	}
+
+	for _, width := range widths {
+		s.SetParallel(width)
+		for _, clients := range opts.Clients {
+			e.progress("throughput: mixed workload, parallel=%d, clients=%d", width, clients)
+			cell := runThroughputCell("mixed", s, mixed, width, clients, opts.OpsPerClient)
+			report.Cells = append(report.Cells, cell)
+		}
+		// The big-query arm at one client isolates the per-query
+		// scatter-gather speedup (the acceptance observable).
+		e.progress("throughput: big workload, parallel=%d, clients=1", width)
+		report.Cells = append(report.Cells,
+			runThroughputCell("big", s, big[:], width, 1, opts.OpsPerClient))
+	}
+
+	var seqBigQPS, parBigQPS float64
+	for _, c := range report.Cells {
+		if c.Workload == "big" && c.Clients == 1 {
+			switch c.Parallel {
+			case 1:
+				seqBigQPS = c.QPS
+			case opts.Parallel:
+				parBigQPS = c.QPS
+			}
+		}
+	}
+	if seqBigQPS > 0 {
+		report.BigQuerySpeedup = parBigQPS / seqBigQPS
+	}
+
+	if err := writeThroughputReport(w, &report); err != nil {
+		return err
+	}
+	if opts.OutPath != "-" {
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.OutPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  (JSON written to %s)\n\n", opts.OutPath)
+	}
+	return nil
+}
+
+// runThroughputCell measures one cell: `clients` goroutines each
+// issuing ops queries round-robin over the workload (offset by the
+// client index so concurrent clients mix query types).
+func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width, clients, ops int) ThroughputCell {
+	latencies := make([]time.Duration, clients*ops)
+	var idx atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				q := qs[(c+i)%len(qs)]
+				t0 := time.Now()
+				s.Query(q)
+				latencies[idx.Add(1)-1] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) float64 {
+		i := int(q*float64(len(latencies))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i].Seconds() * 1000
+	}
+	return ThroughputCell{
+		Workload: workload,
+		Parallel: width,
+		Clients:  clients,
+		Ops:      len(latencies),
+		QPS:      float64(len(latencies)) / wall.Seconds(),
+		P50ms:    pct(0.50),
+		P95ms:    pct(0.95),
+		P99ms:    pct(0.99),
+	}
+}
+
+// writeThroughputReport renders the human-readable table.
+func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
+	fmt.Fprintf(w, "Throughput: concurrent clients over the parallel scatter-gather router\n")
+	fmt.Fprintf(w, "  R=%d records, %d shards, GOMAXPROCS=%d\n",
+		r.Records, r.Shards, r.GOMAXPROCS)
+	header := []string{"Workload", "Parallel", "Clients", "QPS", "p50", "p95", "p99"}
+	var rows [][]string
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Workload,
+			fmt.Sprintf("%d", c.Parallel),
+			fmt.Sprintf("%d", c.Clients),
+			fmt.Sprintf("%.1f", c.QPS),
+			fmt.Sprintf("%.2fms", c.P50ms),
+			fmt.Sprintf("%.2fms", c.P95ms),
+			fmt.Sprintf("%.2fms", c.P99ms),
+		})
+	}
+	if err := writeSimpleTable(w, header, rows); err != nil {
+		return err
+	}
+	if r.BigQuerySpeedup > 0 {
+		fmt.Fprintf(w, "  big-query speedup (parallel=%d vs 1, single client): %.2fx\n",
+			r.Parallel, r.BigQuerySpeedup)
+	}
+	if r.Note != "" {
+		fmt.Fprintf(w, "  note: %s\n", r.Note)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestThroughputOptionsDefaults(t *testing.T) {
+	o := ThroughputOptions{}.withDefaults()
+	if len(o.Clients) != 3 || o.Clients[0] != 1 || o.Clients[2] != 16 {
+		t.Fatalf("default clients = %v", o.Clients)
+	}
+	if o.Parallel < 1 || o.OpsPerClient <= 0 || o.OutPath != "BENCH_throughput.json" {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+}
+
+func TestRunThroughputTiny(t *testing.T) {
+	env := NewEnv(tinyScale())
+	var buf bytes.Buffer
+	opts := ThroughputOptions{
+		Clients:      []int{1, 2},
+		Parallel:     2,
+		OpsPerClient: 4,
+		OutPath:      "-", // no file from tests
+	}
+	if err := RunThroughput(env, &buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Both arms, both workloads, and the speedup line must appear.
+	for _, want := range []string{"mixed", "big", "Parallel", "QPS", "speedup (parallel=2 vs 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The cached store must be back at its default pool width so later
+	// experiments sharing the Env are unaffected.
+	s, err := env.Store(env.DatasetR(), storeApproachForThroughput, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Cluster().Options().Parallel; got < 1 {
+		t.Fatalf("store left with Parallel=%d", got)
+	}
+}

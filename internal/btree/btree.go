@@ -37,6 +37,17 @@ type node struct {
 // appending the record id to the encoded key of non-unique indexes.
 // A Tree is not safe for concurrent mutation; the owning index
 // serialises access.
+//
+// Concurrency: Get, Scan, Min, Max, Height and SizeEstimate are pure
+// reads — any number of goroutines may call them concurrently as long
+// as no mutation (Set/Delete) runs, which is the regime the parallel
+// query router operates in (mutations only happen under the cluster
+// write lock). Scan statistics are scan-local by construction: the
+// examined counter lives on the Scan call's stack and is threaded
+// through the recursion by pointer, never stored on the tree, so
+// concurrent scans cannot corrupt each other's keys-examined counts.
+// The only tree-resident counters (appends/nonAppends/maxSeen) mutate
+// exclusively in Set, i.e. on the write path.
 type Tree struct {
 	degree int
 	root   *node

@@ -20,6 +20,15 @@ const IDIndexName = "_id_"
 
 // Collection is a set of documents with secondary indexes. It is safe
 // for concurrent readers; writes are serialised internally.
+//
+// Concurrency: mu guards the index *list* (CreateIndex appends,
+// Index/Indexes copy under RLock); the store has its own internal
+// lock, and each index's tree is read-only outside Insert/Delete/
+// CreateIndex. The parallel query router executes on many collections
+// (and, for batches, many queries on one collection) from concurrent
+// goroutines — all of them pure readers here. The PlanCache is a
+// sync.Map so those readers may also record plan-cache decisions
+// without taking mu.
 type Collection struct {
 	mu      sync.RWMutex
 	name    string

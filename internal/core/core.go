@@ -112,6 +112,11 @@ type Config struct {
 	Hashed bool
 	// AutoBalanceEvery forwards to sharding.Options.
 	AutoBalanceEvery int
+	// Parallel is the scatter-gather worker-pool width (forwards to
+	// sharding.Options.Parallel): 0 means GOMAXPROCS, 1 forces the
+	// sequential execution the paper-metric experiments are defined
+	// on (the metrics themselves are identical at every width).
+	Parallel int
 	// QueryConfig tunes per-shard planning.
 	QueryConfig *query.Config
 	// Seed drives deterministic _id generation (default 1).
@@ -159,6 +164,7 @@ func Open(cfg Config) (*Store, error) {
 		Shards:           cfg.Shards,
 		ChunkMaxBytes:    cfg.ChunkMaxBytes,
 		AutoBalanceEvery: cfg.AutoBalanceEvery,
+		Parallel:         cfg.Parallel,
 		QueryConfig:      cfg.QueryConfig,
 	})
 	strategy := sharding.RangeSharding
@@ -246,6 +252,12 @@ func (s *Store) Config() Config { return s.cfg }
 // Cluster exposes the underlying cluster for statistics and
 // inspection.
 func (s *Store) Cluster() *sharding.Cluster { return s.cluster }
+
+// SetParallel changes the scatter-gather pool width on the loaded
+// store (0 restores the GOMAXPROCS default, 1 forces sequential
+// execution) — the throughput experiment uses it to compare widths
+// without rebuilding the cluster.
+func (s *Store) SetParallel(n int) { s.cluster.SetParallel(n) }
 
 // Grid returns the Hilbert grid (nil for the baselines).
 func (s *Store) Grid() *sfc.Grid { return s.grid }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/query"
 	"repro/internal/sfc"
+	"repro/internal/sharding"
 	"repro/internal/sthash"
 )
 
@@ -134,11 +135,9 @@ func HilbertConstraint(ranges []sfc.Range) query.Filter {
 	return query.NewOr(arms...)
 }
 
-// Query executes the spatio-temporal query and reports the paper's
-// metrics.
-func (s *Store) Query(q STQuery) *QueryResult {
-	f, coverStats, coverTime := s.Filter(q)
-	routed := s.cluster.Query(f)
+// assembleResult folds a routed result plus the filter-construction
+// observables into the paper's per-query metrics.
+func assembleResult(routed *sharding.RoutedResult, coverStats sfc.RangeStats, coverTime time.Duration) *QueryResult {
 	stats := QueryStats{
 		Nodes:           routed.ShardsTargeted,
 		MaxKeysExamined: routed.MaxKeysExamined,
@@ -154,6 +153,34 @@ func (s *Store) Query(q STQuery) *QueryResult {
 		stats.IndexesUsed = append(stats.IndexesUsed, st.IndexUsed)
 	}
 	return &QueryResult{Docs: routed.Docs, Stats: stats}
+}
+
+// Query executes the spatio-temporal query and reports the paper's
+// metrics.
+func (s *Store) Query(q STQuery) *QueryResult {
+	f, coverStats, coverTime := s.Filter(q)
+	routed := s.cluster.Query(f)
+	return assembleResult(routed, coverStats, coverTime)
+}
+
+// QueryBatch executes independent spatio-temporal queries through the
+// cluster's shared scatter-gather pool: every (query, shard)
+// execution is one pool task, so a file of queries saturates the pool
+// even when each query touches few shards. Results are in input
+// order, each identical to what Query would have returned.
+func (s *Store) QueryBatch(qs []STQuery) []*QueryResult {
+	fs := make([]query.Filter, len(qs))
+	covers := make([]sfc.RangeStats, len(qs))
+	coverTimes := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		fs[i], covers[i], coverTimes[i] = s.Filter(q)
+	}
+	routed := s.cluster.QueryBatch(fs)
+	out := make([]*QueryResult, len(qs))
+	for i, r := range routed {
+		out[i] = assembleResult(r, covers[i], coverTimes[i])
+	}
+	return out
 }
 
 // Count runs the query and returns only the result count (used by the
@@ -209,19 +236,5 @@ func (s *Store) PolygonFilter(q STPolygonQuery) (query.Filter, sfc.RangeStats, t
 func (s *Store) QueryPolygon(q STPolygonQuery) *QueryResult {
 	f, coverStats, coverTime := s.PolygonFilter(q)
 	routed := s.cluster.Query(f)
-	stats := QueryStats{
-		Nodes:           routed.ShardsTargeted,
-		MaxKeysExamined: routed.MaxKeysExamined,
-		MaxDocsExamined: routed.MaxDocsExamined,
-		NReturned:       routed.TotalReturned,
-		Duration:        routed.Duration,
-		CoverDuration:   coverTime,
-		CoverRanges:     coverStats.Ranges - coverStats.Singles,
-		CoverCells:      coverStats.Singles,
-		Broadcast:       routed.Broadcast,
-	}
-	for _, st := range routed.PerShard {
-		stats.IndexesUsed = append(stats.IndexesUsed, st.IndexUsed)
-	}
-	return &QueryResult{Docs: routed.Docs, Stats: stats}
+	return assembleResult(routed, coverStats, coverTime)
 }

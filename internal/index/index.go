@@ -73,6 +73,14 @@ func (d Definition) geoBits() uint {
 }
 
 // Index is one secondary index over a collection.
+//
+// Concurrency: the definition is immutable after New, and the scan
+// surface (ScanInterval, Len, SizeEstimate) only performs read-only
+// tree walks, so concurrent readers are safe whenever no writer runs.
+// Insert/Remove mutate the tree and must be serialised against both
+// writers and readers — the collection's lock (and above it the
+// cluster's) provides exactly that: queries hold read locks, inserts,
+// deletes and chunk migrations hold write locks.
 type Index struct {
 	def  Definition
 	tree *btree.Tree

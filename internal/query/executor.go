@@ -57,7 +57,7 @@ type Result struct {
 // trials, like the server's warm state.
 func Execute(coll *collection.Collection, f Filter, cfg *Config) *Result {
 	start := time.Now()
-	if plan, budget, ok := cachedPlan(coll, f, cfg); ok {
+	if plan, budget, entry, ok := cachedPlan(coll, f, cfg); ok {
 		stats, docs, completed := runPlan(coll, plan, budget, true)
 		if completed {
 			stats.Duration = time.Since(start)
@@ -65,8 +65,10 @@ func Execute(coll *collection.Collection, f Filter, cfg *Config) *Result {
 			return &Result{Docs: docs, Stats: stats}
 		}
 		// The cached plan blew its works budget: evict and replan,
-		// like the server.
-		evictPlan(coll, f)
+		// like the server. The eviction is conditional on the entry we
+		// ran with, so concurrent trials of the same shape never evict
+		// each other's fresh winners.
+		evictPlan(coll, f, entry)
 	}
 	plan, trials := ChoosePlan(coll, f, cfg)
 	stats, docs, _ := runPlan(coll, plan, 0, true)

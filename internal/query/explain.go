@@ -67,7 +67,7 @@ func Explain(coll *collection.Collection, f Filter, cfg *Config) *Explanation {
 		Filter: f.String(),
 		Shape:  ShapeOf(f),
 	}
-	if plan, budget, ok := cachedPlan(coll, f, cfg); ok {
+	if plan, budget, entry, ok := cachedPlan(coll, f, cfg); ok {
 		start := time.Now()
 		stats, _, completed := runPlan(coll, plan, budget, false)
 		if completed {
@@ -78,7 +78,7 @@ func Explain(coll *collection.Collection, f Filter, cfg *Config) *Explanation {
 			ex.Execution = stats
 			return ex
 		}
-		evictPlan(coll, f)
+		evictPlan(coll, f, entry)
 	}
 	start := time.Now()
 	plan, trials := ChoosePlan(coll, f, cfg)

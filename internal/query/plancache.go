@@ -77,6 +77,14 @@ func writeShape(b *strings.Builder, f Filter) {
 // cacheEntry is a remembered winner plus the work it took to win,
 // which bounds how long a cached plan may run before the executor
 // gives up on it and replans (the server's replanning mechanism).
+//
+// Entries are stored in the collection's sync.Map keyed by shape, so
+// lookups and stores are safe under the concurrent executions the
+// parallel router issues. The struct is comparable on purpose:
+// eviction uses CompareAndDelete with the entry the evicting
+// execution saw, so a replanner that lost a race (another execution
+// already evicted and re-remembered a fresh winner) leaves the newer
+// entry in place instead of evicting it.
 type cacheEntry struct {
 	name  string
 	works int
@@ -88,11 +96,12 @@ const replanFactor = 10
 
 // cachedPlan looks up the remembered winner for the filter shape and
 // rebuilds its bounds for the current constant values. The returned
-// budget is the works allowance before the plan must be evicted.
-func cachedPlan(coll *collection.Collection, f Filter, cfg *Config) (*Plan, int, bool) {
+// budget is the works allowance before the plan must be evicted; the
+// returned entry is what evictPlan needs for its compare-and-delete.
+func cachedPlan(coll *collection.Collection, f Filter, cfg *Config) (*Plan, int, cacheEntry, bool) {
 	v, ok := coll.PlanCache.Load(ShapeOf(f))
 	if !ok {
-		return nil, 0, false
+		return nil, 0, cacheEntry{}, false
 	}
 	entry := v.(cacheEntry)
 	for _, p := range CandidatePlans(coll, f, cfg) {
@@ -101,10 +110,10 @@ func cachedPlan(coll *collection.Collection, f Filter, cfg *Config) (*Plan, int,
 			if budget < minReplanBudget {
 				budget = minReplanBudget
 			}
-			return p, budget, true
+			return p, budget, entry, true
 		}
 	}
-	return nil, 0, false
+	return nil, 0, cacheEntry{}, false
 }
 
 // minReplanBudget keeps trivial cached runs (decision works near
@@ -112,14 +121,20 @@ func cachedPlan(coll *collection.Collection, f Filter, cfg *Config) (*Plan, int,
 const minReplanBudget = 200
 
 // rememberPlan stores the winner for the filter shape along with the
-// works its winning execution consumed.
+// works its winning execution consumed. Concurrent replans of the
+// same shape race last-writer-wins, which is safe: every writer
+// stores a winner it just validated against the live data, so any of
+// them is a correct cache entry.
 func rememberPlan(coll *collection.Collection, f Filter, p *Plan, works int) {
 	coll.PlanCache.Store(ShapeOf(f), cacheEntry{name: p.Name(), works: works})
 }
 
-// evictPlan drops the cached winner for the filter shape.
-func evictPlan(coll *collection.Collection, f Filter) {
-	coll.PlanCache.Delete(ShapeOf(f))
+// evictPlan drops the cached winner for the filter shape, but only if
+// it is still the entry the caller's execution ran with — a plain
+// Delete here could throw away the fresh winner a concurrently
+// replanning execution just remembered.
+func evictPlan(coll *collection.Collection, f Filter, seen cacheEntry) {
+	coll.PlanCache.CompareAndDelete(ShapeOf(f), seen)
 }
 
 // ClearPlanCache drops the collection's cached plans (tests and

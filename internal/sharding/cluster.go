@@ -3,6 +3,7 @@ package sharding
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -54,6 +55,15 @@ type Options struct {
 	CollectionName string
 	// QueryConfig tunes per-shard planning and execution.
 	QueryConfig *query.Config
+	// Parallel is the scatter-gather worker-pool width: how many
+	// per-shard executions of one routed query (or one batch) may run
+	// concurrently. 0 means GOMAXPROCS — in the paper's deployment
+	// every shard is a dedicated machine, so real fan-out is the
+	// faithful execution model. 1 reproduces the historical sequential
+	// behaviour exactly; the paper-metric counters (keys/docs examined,
+	// nodes, result counts, the modelled max-duration) are
+	// order-independent and identical at every pool width.
+	Parallel int
 }
 
 // Defaults for Options.
@@ -76,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CollectionName == "" {
 		o.CollectionName = DefaultCollectionName
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -123,7 +136,23 @@ func NewCluster(opts Options) *Cluster {
 func (c *Cluster) Shards() []*Shard { return c.shards }
 
 // Options returns the effective options.
-func (c *Cluster) Options() Options { return c.opts }
+func (c *Cluster) Options() Options {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.opts
+}
+
+// SetParallel changes the scatter-gather pool width (0 restores the
+// GOMAXPROCS default, 1 forces sequential execution). Benchmarks use
+// it to compare pool widths on one loaded cluster without reloading.
+func (c *Cluster) SetParallel(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c.mu.Lock()
+	c.opts.Parallel = n
+	c.mu.Unlock()
+}
 
 // ShardCollection enables sharding with the given key: one initial
 // chunk covering the whole key space on shard 0, plus the automatic

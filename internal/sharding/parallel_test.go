@@ -1,0 +1,228 @@
+package sharding
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/geo"
+	"repro/internal/keyenc"
+	"repro/internal/query"
+)
+
+// stressFilters is the mixed workload the parallel-execution tests
+// run: targeted ranges, a point lookup, a compound-key narrowing, and
+// two broadcasts (date-only and geo-only).
+func stressFilters() []query.Filter {
+	return []query.Filter{
+		query.NewAnd(
+			query.Cmp{Field: "hilbertIndex", Op: query.OpGTE, Value: int64(100)},
+			query.Cmp{Field: "hilbertIndex", Op: query.OpLTE, Value: int64(900)},
+		),
+		query.Cmp{Field: "hilbertIndex", Op: query.OpEQ, Value: int64(250)},
+		query.NewAnd(
+			query.Cmp{Field: "hilbertIndex", Op: query.OpEQ, Value: int64(250)},
+			query.TimeRangeFilter("date", baseTime, baseTime.Add(15*24*time.Hour)),
+		),
+		query.TimeRangeFilter("date", baseTime, baseTime.Add(48*time.Hour)),
+		query.GeoWithin{Field: "location", Rect: geo.NewRect(23.2, 37.2, 23.6, 37.6)},
+		query.NewAnd(
+			query.Cmp{Field: "hilbertIndex", Op: query.OpGTE, Value: int64(3000)},
+			query.Cmp{Field: "hilbertIndex", Op: query.OpLTE, Value: int64(4095)},
+			query.TimeRangeFilter("date", baseTime, baseTime.Add(10*24*time.Hour)),
+		),
+	}
+}
+
+// idSetOf reduces a routed result to a sorted multiset of _id values,
+// the representation that is invariant under chunk migrations (which
+// reshuffle shard ownership and therefore merge order).
+func idSetOf(res *RoutedResult) []string {
+	ids := make([]string, 0, len(res.Docs))
+	for _, d := range res.Docs {
+		ids = append(ids, fmt.Sprintf("%v", d.Get("_id")))
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TestParallelQueryIdenticalToSequential: at every pool width the
+// merged docs (order included), per-shard stats and all paper metrics
+// must be byte-identical to the parallel=1 execution.
+func TestParallelQueryIdenticalToSequential(t *testing.T) {
+	c, _ := loadCluster(t, 3000, hilbertDateKey(), smallOpts())
+	for _, f := range stressFilters() {
+		c.SetParallel(1)
+		seq := c.Query(f)
+		for _, width := range []int{2, 4, 8} {
+			c.SetParallel(width)
+			par := c.Query(f)
+			if !reflect.DeepEqual(par.Docs, seq.Docs) {
+				t.Fatalf("parallel=%d: doc stream differs from sequential for %s", width, f)
+			}
+			if par.TotalReturned != seq.TotalReturned ||
+				par.MaxKeysExamined != seq.MaxKeysExamined ||
+				par.MaxDocsExamined != seq.MaxDocsExamined ||
+				par.ShardsTargeted != seq.ShardsTargeted ||
+				par.Broadcast != seq.Broadcast ||
+				!reflect.DeepEqual(par.TargetedShards, seq.TargetedShards) {
+				t.Fatalf("parallel=%d: metrics differ from sequential for %s", width, f)
+			}
+			if len(par.PerShard) != len(seq.PerShard) {
+				t.Fatalf("parallel=%d: PerShard length differs", width)
+			}
+			for i := range par.PerShard {
+				p, s := par.PerShard[i], seq.PerShard[i]
+				if p.KeysExamined != s.KeysExamined || p.DocsExamined != s.DocsExamined ||
+					p.NReturned != s.NReturned || p.IndexUsed != s.IndexUsed {
+					t.Fatalf("parallel=%d: per-shard stats differ at %d", width, i)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryBatchMatchesIndividualQueries: the batch path must return,
+// per entry, exactly what the one-at-a-time path returns.
+func TestQueryBatchMatchesIndividualQueries(t *testing.T) {
+	c, _ := loadCluster(t, 2000, hilbertDateKey(), smallOpts())
+	fs := stressFilters()
+	c.SetParallel(1)
+	want := make([]*RoutedResult, len(fs))
+	for i, f := range fs {
+		want[i] = c.Query(f)
+	}
+	for _, width := range []int{1, 4} {
+		c.SetParallel(width)
+		got := c.QueryBatch(fs)
+		if len(got) != len(fs) {
+			t.Fatalf("batch returned %d results for %d filters", len(got), len(fs))
+		}
+		for i := range fs {
+			if !reflect.DeepEqual(got[i].Docs, want[i].Docs) {
+				t.Fatalf("parallel=%d: batch entry %d doc stream differs", width, i)
+			}
+			if got[i].TotalReturned != want[i].TotalReturned ||
+				got[i].MaxKeysExamined != want[i].MaxKeysExamined ||
+				got[i].MaxDocsExamined != want[i].MaxDocsExamined ||
+				!reflect.DeepEqual(got[i].TargetedShards, want[i].TargetedShards) {
+				t.Fatalf("parallel=%d: batch entry %d metrics differ", width, i)
+			}
+		}
+	}
+	// An empty batch is legal.
+	if got := c.QueryBatch(nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestConcurrentQueryExplainMigrationStress is the router's
+// concurrency contract, meant to run under -race: many goroutines
+// issue parallel queries, batches and explains while the main
+// goroutine keeps migrating chunks back and forth between two zone
+// layouts. Every single query observation must equal the sequential
+// pre-stress baseline — migrations may reshuffle ownership (and hence
+// merge order and per-node maxima) but never results.
+func TestConcurrentQueryExplainMigrationStress(t *testing.T) {
+	c, _ := loadCluster(t, 2000, hilbertDateKey(), smallOpts())
+	c.SetParallel(4)
+	fs := stressFilters()
+
+	// Sequential baseline before any stress.
+	baseline := make([][]string, len(fs))
+	for i, f := range fs {
+		baseline[i] = idSetOf(c.Query(f))
+	}
+
+	mk := func(v any) []byte { return keyenc.Encode(v) }
+	layoutA := []Zone{
+		{Name: "a0", Min: mk(bson.MinKey), Max: mk(int64(2048)), Shard: 1},
+		{Name: "a1", Min: mk(int64(2048)), Max: mk(bson.MaxKey), Shard: 2},
+	}
+	layoutB := []Zone{
+		{Name: "b0", Min: mk(bson.MinKey), Max: mk(int64(1024)), Shard: 3},
+		{Name: "b1", Min: mk(int64(1024)), Max: mk(bson.MaxKey), Shard: 0},
+	}
+
+	const goroutines = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g + i) % len(fs)
+				switch {
+				case i%7 == 3:
+					// Planner path under concurrency.
+					c.Explain(fs[qi])
+				case i%5 == 4:
+					for bi, res := range c.QueryBatch(fs) {
+						if got := idSetOf(res); !reflect.DeepEqual(got, baseline[bi]) {
+							t.Errorf("goroutine %d iter %d: batch entry %d diverged from baseline", g, i, bi)
+							return
+						}
+					}
+				default:
+					if got := idSetOf(c.Query(fs[qi])); !reflect.DeepEqual(got, baseline[qi]) {
+						t.Errorf("goroutine %d iter %d: query %d diverged from baseline", g, i, qi)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Interleave chunk migrations: toggle between the two zone
+	// layouts, forcing moveChunkLocked traffic, plus balancer passes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 6; round++ {
+			layout := layoutA
+			if round%2 == 1 {
+				layout = layoutB
+			}
+			if err := c.SetZones(layout); err != nil {
+				t.Errorf("SetZones round %d: %v", round, err)
+				return
+			}
+			c.Balance()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if c.ClusterStats().Migrations == 0 {
+		t.Fatal("stress ran without a single chunk migration")
+	}
+	// After the dust settles every query still matches the baseline.
+	c.SetParallel(1)
+	for i, f := range fs {
+		if got := idSetOf(c.Query(f)); !reflect.DeepEqual(got, baseline[i]) {
+			t.Fatalf("post-stress query %d diverged from baseline", i)
+		}
+	}
+}
+
+// TestSetParallelNormalizes: non-positive widths restore the
+// GOMAXPROCS default rather than wedging the pool.
+func TestSetParallelNormalizes(t *testing.T) {
+	c := NewCluster(Options{Shards: 2})
+	if got := c.Options().Parallel; got < 1 {
+		t.Fatalf("default Parallel = %d", got)
+	}
+	c.SetParallel(-3)
+	if got := c.Options().Parallel; got < 1 {
+		t.Fatalf("SetParallel(-3) left Parallel = %d", got)
+	}
+	c.SetParallel(1)
+	if got := c.Options().Parallel; got != 1 {
+		t.Fatalf("SetParallel(1) left Parallel = %d", got)
+	}
+}

@@ -3,6 +3,8 @@ package sharding
 import (
 	"bytes"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bson"
@@ -58,15 +60,19 @@ func (r tupleRange) overlapsChunk(ch *Chunk) bool {
 }
 
 // Query routes the filter to the shards owning potentially matching
-// chunks, executes it on each, and merges the results. Shards execute
-// sequentially — in the simulated deployment every shard is a
-// dedicated node, so the modelled wall time is the slowest shard's
-// execution time plus the router's merge work, not the sum.
+// chunks, executes it on each, and merges the results. The per-shard
+// executions fan out over a bounded worker pool of Options.Parallel
+// goroutines (1 = sequential) — in the simulated deployment every
+// shard is a dedicated node, so genuine fan-out is the faithful
+// execution model, and the modelled wall time stays the slowest
+// shard's execution time plus the router's merge work, not the sum.
 //
 // The cluster read-lock is held for the whole scatter-gather: queries
 // run concurrently with each other but never interleave with a chunk
 // migration, standing in for the ownership filtering a real cluster
-// applies to in-flight migrations.
+// applies to in-flight migrations. The merge is deterministic: docs
+// and per-shard stats are assembled in TargetedShards order, so the
+// output is byte-identical regardless of shard completion order.
 func (c *Cluster) Query(f query.Filter) *RoutedResult {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -77,14 +83,106 @@ func (c *Cluster) Query(f query.Filter) *RoutedResult {
 		Broadcast:      broadcast,
 	}
 	perShard := make([]*query.Result, len(targets))
-	var slowest time.Duration
-	for i, sid := range targets {
-		perShard[i] = query.Execute(c.shards[sid].Coll, f, c.opts.QueryConfig)
-		if d := perShard[i].Stats.Duration; d > slowest {
-			slowest = d
+	c.scatterLocked(len(targets), func(i int) {
+		perShard[i] = query.Execute(c.shards[targets[i]].Coll, f, c.opts.QueryConfig)
+	})
+	mergeLocked(res, perShard)
+	return res
+}
+
+// QueryBatch routes and executes independent filters through one
+// routing pass and one shared worker pool: every (query, shard)
+// execution is a pool task, so a batch of single-shard queries and a
+// single broadcast query parallelise equally well. Results are in
+// input order; each entry is merged deterministically exactly like
+// Query's. The throughput experiment and cmd/stquery -f drive this.
+func (c *Cluster) QueryBatch(fs []query.Filter) []*RoutedResult {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	results := make([]*RoutedResult, len(fs))
+	perQuery := make([][]*query.Result, len(fs))
+	type task struct{ q, t int }
+	var tasks []task
+	for qi, f := range fs {
+		targets, broadcast := c.routeLocked(f)
+		results[qi] = &RoutedResult{
+			ShardsTargeted: len(targets),
+			TargetedShards: targets,
+			Broadcast:      broadcast,
+		}
+		perQuery[qi] = make([]*query.Result, len(targets))
+		for ti := range targets {
+			tasks = append(tasks, task{qi, ti})
 		}
 	}
+	c.scatterLocked(len(tasks), func(i int) {
+		qi, ti := tasks[i].q, tasks[i].t
+		sid := results[qi].TargetedShards[ti]
+		perQuery[qi][ti] = query.Execute(c.shards[sid].Coll, fs[qi], c.opts.QueryConfig)
+	})
+	for qi := range results {
+		mergeLocked(results[qi], perQuery[qi])
+	}
+	return results
+}
+
+// scatterLocked runs fn(0..n-1) on the cluster's bounded worker pool.
+// The caller holds at least the read lock (so opts.Parallel is
+// stable). With a pool width of 1 — or a single task — it degenerates
+// to the plain sequential loop the simulator always had, keeping the
+// parallel=1 configuration bit-identical to the historical behaviour.
+func (c *Cluster) scatterLocked(n int, fn func(i int)) {
+	workers := c.opts.Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeLocked folds the per-shard results into res in TargetedShards
+// order. Docs and PerShard are preallocated to their exact final
+// sizes (Σ NReturned / number of targets) so large broadcasts do not
+// pay repeated append growth. The modelled Duration is the maximum
+// per-shard execution time (shards are dedicated nodes working in
+// parallel) plus the router's own merge time — order-independent, so
+// identical at every pool width.
+func mergeLocked(res *RoutedResult, perShard []*query.Result) {
+	var slowest time.Duration
+	total := 0
+	for _, r := range perShard {
+		if r.Stats.Duration > slowest {
+			slowest = r.Stats.Duration
+		}
+		total += r.Stats.NReturned
+	}
 	mergeStart := time.Now()
+	if len(perShard) > 0 {
+		res.PerShard = make([]query.ExecStats, 0, len(perShard))
+	}
+	if total > 0 {
+		res.Docs = make([]bson.Raw, 0, total)
+	}
 	for _, r := range perShard {
 		res.PerShard = append(res.PerShard, r.Stats)
 		res.Docs = append(res.Docs, r.Docs...)
@@ -97,7 +195,6 @@ func (c *Cluster) Query(f query.Filter) *RoutedResult {
 		}
 	}
 	res.Duration = slowest + time.Since(mergeStart)
-	return res
 }
 
 // Explain routes the filter and returns each targeted shard's full

@@ -55,7 +55,7 @@ func (s *Store) CompressedBytes() int64 {
 		}
 	}
 	flush()
-	total := s.bytes
+	total := s.bytes.Load()
 	s.mu.RUnlock()
 
 	if sampledIn == 0 {

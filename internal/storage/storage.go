@@ -8,7 +8,9 @@ package storage
 
 import (
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bson"
 )
@@ -19,11 +21,19 @@ type RecordID uint64
 
 // Store is an append-only record store with deletion, safe for
 // concurrent use.
+//
+// Concurrency: the records map is guarded by mu (writes exclusive,
+// reads shared). The size and fetch counters are atomics, NOT
+// mu-guarded fields — the fetch counter in particular mutates on the
+// *read* path (every Fetch/FetchRaw), which under the cluster's
+// parallel scatter-gather runs from many goroutines holding only read
+// locks; a plain field there would be a data race.
 type Store struct {
 	mu      sync.RWMutex
 	records map[RecordID][]byte
 	nextID  RecordID
-	bytes   int64
+	bytes   atomic.Int64
+	fetches atomic.Int64
 }
 
 // NewStore returns an empty record store.
@@ -39,7 +49,7 @@ func (s *Store) Insert(doc *bson.Document) RecordID {
 	s.nextID++
 	id := s.nextID
 	s.records[id] = raw
-	s.bytes += int64(len(raw))
+	s.bytes.Add(int64(len(raw)))
 	return id
 }
 
@@ -51,7 +61,7 @@ func (s *Store) InsertRaw(raw []byte) RecordID {
 	s.nextID++
 	id := s.nextID
 	s.records[id] = raw
-	s.bytes += int64(len(raw))
+	s.bytes.Add(int64(len(raw)))
 	return id
 }
 
@@ -60,6 +70,7 @@ func (s *Store) Fetch(id RecordID) (*bson.Document, error) {
 	s.mu.RLock()
 	raw, ok := s.records[id]
 	s.mu.RUnlock()
+	s.fetches.Add(1)
 	if !ok {
 		return nil, fmt.Errorf("storage: record %d not found", id)
 	}
@@ -70,8 +81,9 @@ func (s *Store) Fetch(id RecordID) (*bson.Document, error) {
 // returned slice must not be modified.
 func (s *Store) FetchRaw(id RecordID) ([]byte, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	raw, ok := s.records[id]
+	s.mu.RUnlock()
+	s.fetches.Add(1)
 	return raw, ok
 }
 
@@ -83,7 +95,7 @@ func (s *Store) Delete(id RecordID) bool {
 	if !ok {
 		return false
 	}
-	s.bytes -= int64(len(raw))
+	s.bytes.Add(-int64(len(raw)))
 	delete(s.records, id)
 	return true
 }
@@ -98,19 +110,33 @@ func (s *Store) Len() int {
 // Bytes returns the total encoded size of live records — the
 // "data size" the Table 6 experiment reports.
 func (s *Store) Bytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.bytes
+	return s.bytes.Load()
 }
 
-// Walk visits every live record in unspecified order, stopping early
-// if fn returns false. It holds the read lock during the walk; fn
-// must not call back into the store.
+// Fetches returns the cumulative number of Fetch/FetchRaw calls — the
+// store's lifetime document-access counter (per-query docsExamined
+// lives in the executor's scan-local ExecStats; this is the
+// shard-level aggregate a server would expose in serverStatus).
+func (s *Store) Fetches() int64 {
+	return s.fetches.Load()
+}
+
+// Walk visits every live record in RecordID (insertion) order,
+// stopping early if fn returns false. The deterministic order is what
+// makes collection-scan results, index backfills and delete lookups
+// reproducible run to run — the parallel router's "same answer at
+// every pool width" guarantee builds on it. It holds the read lock
+// during the walk; fn must not call back into the store.
 func (s *Store) Walk(fn func(id RecordID, raw []byte) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for id, raw := range s.records {
-		if !fn(id, raw) {
+	ids := make([]RecordID, 0, len(s.records))
+	for id := range s.records {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		if !fn(id, s.records[id]) {
 			return
 		}
 	}
