@@ -13,9 +13,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The packages the parallel query router exercises concurrently; their
-# stress tests must stay race-clean.
-RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/...
+# The packages the parallel query router exercises concurrently, plus
+# the durability subsystem (group commit shares journal state across
+# writers); their stress tests must stay race-clean.
+RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/...
 
 .PHONY: race
 race:
@@ -24,6 +25,12 @@ race:
 # The canonical pre-commit check (also available as scripts/check.sh).
 .PHONY: check
 check: build test vet race
+
+# A short shake of the fuzz targets (the BSON decoder must be total:
+# crash recovery feeds it torn and bit-flipped journal bytes).
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 30s
 
 .PHONY: bench
 bench:

@@ -34,6 +34,7 @@ func main() {
 		runs    = flag.Int("runs", 0, "measured repetitions per query (default 3)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		dir     = flag.String("dir", "", "persist loaded stores under this directory and reopen them on later runs")
 
 		// Throughput-experiment options (used by -exp throughput only).
 		clients  = flag.String("clients", "", "throughput: comma-separated client counts (default 1,4,16)")
@@ -60,6 +61,7 @@ func main() {
 		scale.Runs = *runs
 	}
 	env := bench.NewEnv(scale)
+	env.Dir = *dir
 	if !*quiet {
 		env.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  .. "+format+"\n", args...)

@@ -7,6 +7,12 @@
 //	stload -gen real -records 40000 -out r.csv
 //	stload -gen synthetic -records 80000 -out s.csv
 //	stload -load r.csv -approach hil -shards 12
+//	stload -load r.csv -approach hil -dir ./store   # persist: journal + checkpoint
+//
+// With -dir the store is durable: writes are journaled under the
+// directory and a checkpoint snapshot is taken after the load, so
+// `stquery -dir` (or a later `stload -load -dir`) reopens it without
+// re-ingesting.
 package main
 
 import (
@@ -28,6 +34,7 @@ func main() {
 		records  = flag.Int("records", 40000, "records to generate")
 		shards   = flag.Int("shards", 12, "shards for -load")
 		zones    = flag.Bool("zones", false, "configure zones after loading")
+		dir      = flag.String("dir", "", "durable store directory (journal + checkpoint)")
 	)
 	flag.Parse()
 
@@ -73,6 +80,7 @@ func main() {
 			Approach:   a,
 			Shards:     *shards,
 			DataExtent: data.MBROf(recs),
+			Dir:        *dir,
 		})
 		if err != nil {
 			fatal("stload: %v", err)
@@ -85,6 +93,17 @@ func main() {
 			if err := s.ConfigureZones(); err != nil {
 				fatal("stload: zones: %v", err)
 			}
+		}
+		if *dir != "" {
+			if err := s.Checkpoint(); err != nil {
+				fatal("stload: checkpoint: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				fatal("stload: close: %v", err)
+			}
+			docs, sum := s.Fingerprint()
+			fmt.Printf("persisted to %s (lsn %d, fingerprint %d/%016x)\n",
+				*dir, s.Cluster().LSN(), docs, sum)
 		}
 		st := s.Cluster().ClusterStats()
 		fmt.Printf("loaded %d documents in %v under %s (%d shards)\n",

@@ -8,6 +8,13 @@
 //	        -rect 23.606039,38.023982,24.032754,38.353926 \
 //	        -from 2018-07-11T00:00:00Z -to 2018-07-12T00:00:00Z
 //
+// With -dir, instead of generating and loading a data set the store
+// is reopened from a durable directory created by `stload -dir`
+// (crash recovery included); the approach and data configuration come
+// from the directory's manifest:
+//
+//	stquery -dir ./store -rect ... -from ... -to ...
+//
 // With -f, each non-empty line of the file is one query
 // ("lon1,lat1,lon2,lat2 from to", # starts a comment) and the whole
 // file executes as one batch through the parallel scatter-gather
@@ -44,30 +51,44 @@ func main() {
 		explain  = flag.Bool("explain", false, "print per-shard plan explanations")
 		file     = flag.String("f", "", "file of queries to run as one batch")
 		parallel = flag.Int("parallel", 0, "scatter-gather pool width (0 = GOMAXPROCS, 1 = sequential)")
+		dir      = flag.String("dir", "", "reopen a durable store directory instead of loading")
 	)
 	flag.Parse()
 
-	a, ok := parseApproach(*approach)
-	if !ok {
-		fatal("stquery: unknown approach %q", *approach)
-	}
-	fmt.Fprintf(os.Stderr, "generating and loading %d records under %s...\n", *records, a)
-	recs := data.GenerateReal(data.RealConfig{Records: *records})
-	s, err := core.Open(core.Config{
-		Approach:   a,
-		Shards:     *shards,
-		DataExtent: data.MBROf(recs),
-		Parallel:   *parallel,
-	})
-	if err != nil {
-		fatal("stquery: %v", err)
-	}
-	if err := s.Load(recs); err != nil {
-		fatal("stquery: %v", err)
-	}
-	if *zones {
-		if err := s.ConfigureZones(); err != nil {
+	var s *core.Store
+	if *dir != "" {
+		var err error
+		s, err = core.OpenDir(*dir, core.Config{Parallel: *parallel})
+		if err != nil {
 			fatal("stquery: %v", err)
+		}
+		docs, sum := s.Fingerprint()
+		fmt.Fprintf(os.Stderr, "recovered %d documents under %s from %s (lsn %d, fingerprint %016x)\n",
+			docs, s.Config().Approach, *dir, s.Cluster().LSN(), sum)
+	} else {
+		a, ok := parseApproach(*approach)
+		if !ok {
+			fatal("stquery: unknown approach %q", *approach)
+		}
+		fmt.Fprintf(os.Stderr, "generating and loading %d records under %s...\n", *records, a)
+		recs := data.GenerateReal(data.RealConfig{Records: *records})
+		var err error
+		s, err = core.Open(core.Config{
+			Approach:   a,
+			Shards:     *shards,
+			DataExtent: data.MBROf(recs),
+			Parallel:   *parallel,
+		})
+		if err != nil {
+			fatal("stquery: %v", err)
+		}
+		if err := s.Load(recs); err != nil {
+			fatal("stquery: %v", err)
+		}
+		if *zones {
+			if err := s.ConfigureZones(); err != nil {
+				fatal("stquery: %v", err)
+			}
 		}
 	}
 

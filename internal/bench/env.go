@@ -7,6 +7,9 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -138,6 +141,12 @@ type Env struct {
 	stores   map[string]*core.Store
 	// Progress, when set, receives harness progress lines.
 	Progress func(format string, args ...any)
+	// Dir, when non-empty, persists each loaded store in a
+	// subdirectory (journal + checkpoint) and reopens it on later
+	// runs — even across processes — instead of re-ingesting the
+	// data set. The reopened store must match the Scale that loaded
+	// it; delete the directory after changing -records or -shards.
+	Dir string
 }
 
 // NewEnv returns an Env at the given scale.
@@ -213,12 +222,28 @@ func (e *Env) Store(d *Dataset, a core.Approach, zones bool) (*core.Store, error
 	if s, ok := e.stores[key]; ok {
 		return s, nil
 	}
+	var dir string
+	if e.Dir != "" {
+		dir = filepath.Join(e.Dir, storeDirName(d, a, zones))
+		if _, err := os.Stat(filepath.Join(dir, core.ManifestName)); err == nil {
+			e.progress("reopening %s from %s", key, dir)
+			s, err := core.OpenDir(dir, core.Config{})
+			if err != nil {
+				return nil, err
+			}
+			docs, sum := s.Fingerprint()
+			e.progress("recovered %d docs (fingerprint %016x)", docs, sum)
+			e.stores[key] = s
+			return s, nil
+		}
+	}
 	e.progress("loading %s", key)
 	s, err := core.Open(core.Config{
 		Approach:      a,
 		Shards:        e.Scale.Shards,
 		ChunkMaxBytes: e.Scale.ChunkMaxBytes,
 		DataExtent:    d.Extent,
+		Dir:           dir,
 	})
 	if err != nil {
 		return nil, err
@@ -231,13 +256,41 @@ func (e *Env) Store(d *Dataset, a core.Approach, zones bool) (*core.Store, error
 			return nil, err
 		}
 	}
+	if dir != "" {
+		// Snapshot the loaded state so the next run recovers from the
+		// checkpoint instead of replaying the whole load.
+		if err := s.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
 	e.stores[key] = s
 	return s, nil
 }
 
+// storeDirName maps one cached-store key onto a file-system-safe
+// subdirectory name ("hil*" would not survive as a path).
+func storeDirName(d *Dataset, a core.Approach, zones bool) string {
+	name := strings.ReplaceAll(a.String(), "*", "star")
+	if zones {
+		name += "-zones"
+	}
+	return strings.ToLower(d.Name) + "-" + name
+}
+
+// datasetFingerprint formats a store's content fingerprint for
+// reports.
+func datasetFingerprint(s *core.Store) (int, string) {
+	docs, sum := s.Fingerprint()
+	return docs, fmt.Sprintf("%016x", sum)
+}
+
 // Reset drops every cached store (and optionally the data sets) to
-// bound memory between experiment groups.
+// bound memory between experiment groups. Durable stores are closed
+// so a later Store call can reopen their directories.
 func (e *Env) Reset(dropData bool) {
+	for _, s := range e.stores {
+		_ = s.Close()
+	}
 	e.stores = make(map[string]*core.Store)
 	if dropData {
 		e.datasets = make(map[string]*Dataset)

@@ -68,11 +68,17 @@ type ThroughputCell struct {
 
 // ThroughputReport is the experiment's JSON artifact.
 type ThroughputReport struct {
-	Records    int              `json:"records"`
-	Shards     int              `json:"shards"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	Parallel   int              `json:"parallel"` // the parallel arm's pool width
-	Cells      []ThroughputCell `json:"cells"`
+	Records int `json:"records"`
+	Shards  int `json:"shards"`
+	// DatasetDocs and DatasetChecksum fingerprint the loaded data set
+	// (live document count + order-independent content checksum), so
+	// two reports are known to measure identical data — in particular
+	// a run on a recovered durable store versus a freshly loaded one.
+	DatasetDocs     int              `json:"dataset_docs"`
+	DatasetChecksum string           `json:"dataset_checksum"`
+	GOMAXPROCS      int              `json:"gomaxprocs"`
+	Parallel        int              `json:"parallel"` // the parallel arm's pool width
+	Cells           []ThroughputCell `json:"cells"`
 	// BigQuerySpeedup is QPS(parallel arm)/QPS(parallel=1) on the
 	// big-query workload at one client — pure scatter-gather speedup,
 	// no cross-query concurrency.
@@ -116,6 +122,7 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Parallel:   opts.Parallel,
 	}
+	report.DatasetDocs, report.DatasetChecksum = datasetFingerprint(s)
 	if report.GOMAXPROCS == 1 {
 		report.Note = "single-CPU host: goroutines cannot run simultaneously, " +
 			"so wall-clock speedup over parallel=1 is bounded at ~1x; " +

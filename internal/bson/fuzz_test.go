@@ -1,0 +1,59 @@
+package bson
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzDocumentRoundTrip feeds arbitrary bytes to Unmarshal. Inputs the
+// decoder rejects are fine; inputs it accepts must re-encode to a
+// stable fixed point: Marshal(doc) must decode to a semantically equal
+// document whose own encoding is byte-identical. (First-generation
+// byte identity is not required — array elements are re-keyed
+// canonically, so a decodable input with gap-keyed arrays may
+// re-encode differently once.)
+func FuzzDocumentRoundTrip(f *testing.F) {
+	seed := FromD(D{
+		{Key: "_id", Value: NewObjectIDGen(7).New(time.Unix(1_531_000_000, 0))},
+		{Key: "location", Value: FromD(D{
+			{Key: "type", Value: "Point"},
+			{Key: "coordinates", Value: A{23.72, 37.98}},
+		})},
+		{Key: "date", Value: time.UnixMilli(1_531_000_000_123).UTC()},
+		{Key: "hilbertIndex", Value: int64(123456)},
+		{Key: "count", Value: int32(-5)},
+		{Key: "ok", Value: true},
+		{Key: "note", Value: "αθήνα\x00embedded"},
+		{Key: "none", Value: nil},
+		{Key: "min", Value: MinKey},
+		{Key: "max", Value: MaxKey},
+	})
+	f.Add(Marshal(seed))
+	f.Add([]byte{5, 0, 0, 0, 0}) // empty document
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 255, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Unmarshal(data)
+		if err != nil {
+			return // rejected input: fine, as long as we didn't panic
+		}
+		enc := Marshal(doc)
+		doc2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-decode of Marshal output failed: %v\ninput: %x\nenc:   %x", err, data, enc)
+		}
+		if !reflect.DeepEqual(doc.Elems(), doc2.Elems()) {
+			t.Fatalf("round trip changed the document\n was: %v\n got: %v", doc, doc2)
+		}
+		enc2 := Marshal(doc2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point\nenc1: %x\nenc2: %x", enc, enc2)
+		}
+		if got := RawSize(doc); got != len(enc) {
+			t.Fatalf("RawSize = %d, want %d", got, len(enc))
+		}
+	})
+}

@@ -142,6 +142,30 @@ func (c *Collection) Insert(doc *bson.Document) (storage.RecordID, error) {
 	return id, nil
 }
 
+// RestoreRaw re-stores an encoded document under its original record
+// id and indexes it — the snapshot-restore path. Restores must run
+// before secondary indexes are recreated (CreateIndex backfills them
+// from the store), so typically only the _id index is live here; any
+// index that does exist is kept consistent.
+func (c *Collection) RestoreRaw(id storage.RecordID, raw []byte) error {
+	doc, err := bson.Unmarshal(raw)
+	if err != nil {
+		return fmt.Errorf("collection %s: restoring record %d: %w", c.name, id, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.store.PutRaw(id, raw); err != nil {
+		return fmt.Errorf("collection %s: %w", c.name, err)
+	}
+	for _, ix := range c.indexes {
+		if err := ix.Insert(doc, id); err != nil {
+			return fmt.Errorf("collection %s: restoring record %d into %q: %w",
+				c.name, id, ix.Def().Name, err)
+		}
+	}
+	return nil
+}
+
 // Delete removes the document at id from the store and all indexes.
 func (c *Collection) Delete(id storage.RecordID) error {
 	c.mu.Lock()

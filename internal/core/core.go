@@ -30,6 +30,7 @@ import (
 	"repro/internal/sfc"
 	"repro/internal/sharding"
 	"repro/internal/sthash"
+	"repro/internal/wal"
 )
 
 // Approach selects one of the paper's four configurations.
@@ -124,6 +125,18 @@ type Config struct {
 	// STHashChars is the spatial precision of the STHash approach
 	// (default sthash.DefaultSpatialChars).
 	STHashChars int
+	// Dir, when non-empty, makes the store durable: every write is
+	// journaled under this directory, Checkpoint() snapshots the full
+	// state there, and reopening the same directory recovers the store
+	// (see OpenDir). A store.json manifest in the directory records
+	// the structural configuration; on reopen it takes precedence over
+	// the structural fields of this Config.
+	Dir string
+	// Sync is the journal fsync policy for a durable store (default
+	// wal.SyncBatch, group commit); SyncBatchBytes overrides the
+	// group-commit threshold.
+	Sync           wal.SyncPolicy
+	SyncBatchBytes int
 }
 
 // DefaultHilbertOrder is the paper's 13-bit curve precision.
@@ -153,53 +166,50 @@ type Store struct {
 }
 
 // Open creates the cluster, shards the collection and creates the
-// approach's indexes.
+// approach's indexes. With Config.Dir set the store is durable:
+// opening an empty directory creates a journaled store, opening a
+// populated one recovers it (snapshot + journal replay) and skips the
+// DDL, which the journal already carries.
 func Open(cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Dir != "" {
+		return openDurable(cfg)
+	}
+	s, err := newStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = sharding.NewCluster(cfg.clusterOptions())
+	if err := s.createDDL(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// clusterOptions maps the config onto the sharding layer's options.
+func (c Config) clusterOptions() sharding.Options {
+	return sharding.Options{
+		Shards:           c.Shards,
+		ChunkMaxBytes:    c.ChunkMaxBytes,
+		AutoBalanceEvery: c.AutoBalanceEvery,
+		Parallel:         c.Parallel,
+		QueryConfig:      c.QueryConfig,
+		Dir:              c.Dir,
+		Sync:             c.Sync,
+		SyncBatchBytes:   c.SyncBatchBytes,
+	}
+}
+
+// newStore validates the approach and builds its in-memory encoders
+// (Hilbert grid, ST-Hash encoder, id generator) without touching any
+// cluster — shared by the fresh-open and recovery paths.
+func newStore(cfg Config) (*Store, error) {
 	s := &Store{
 		cfg:   cfg,
 		idGen: bson.NewObjectIDGen(cfg.Seed),
 	}
-	s.cluster = sharding.NewCluster(sharding.Options{
-		Shards:           cfg.Shards,
-		ChunkMaxBytes:    cfg.ChunkMaxBytes,
-		AutoBalanceEvery: cfg.AutoBalanceEvery,
-		Parallel:         cfg.Parallel,
-		QueryConfig:      cfg.QueryConfig,
-	})
-	strategy := sharding.RangeSharding
-	if cfg.Hashed {
-		strategy = sharding.HashedSharding
-	}
 	switch cfg.Approach {
-	case BslST:
-		if err := s.cluster.ShardCollection(sharding.ShardKey{Fields: []string{FieldDate}, Strategy: strategy}); err != nil {
-			return nil, err
-		}
-		if err := s.cluster.CreateIndex(index.Definition{
-			Name: "location_2dsphere_date_1",
-			Fields: []index.Field{
-				{Name: FieldLoc, Kind: index.Geo2DSphere},
-				{Name: FieldDate, Kind: index.Ascending},
-			},
-			GeoBits: cfg.GeoHashBits,
-		}); err != nil {
-			return nil, err
-		}
-	case BslTS:
-		if err := s.cluster.ShardCollection(sharding.ShardKey{Fields: []string{FieldDate}, Strategy: strategy}); err != nil {
-			return nil, err
-		}
-		if err := s.cluster.CreateIndex(index.Definition{
-			Name: "date_1_location_2dsphere",
-			Fields: []index.Field{
-				{Name: FieldDate, Kind: index.Ascending},
-				{Name: FieldLoc, Kind: index.Geo2DSphere},
-			},
-			GeoBits: cfg.GeoHashBits,
-		}); err != nil {
-			return nil, err
-		}
+	case BslST, BslTS:
 	case Hil, HilStar:
 		extent := geo.World
 		if cfg.Approach == HilStar {
@@ -221,29 +231,65 @@ func Open(cfg Config) (*Store, error) {
 			return nil, err
 		}
 		s.grid = grid
-		// The shard key {hilbertIndex, date} creates the compound
-		// spatio-temporal index on every shard automatically; no
-		// extra index is needed (Section 4.2.2).
-		if err := s.cluster.ShardCollection(sharding.ShardKey{
-			Fields:   []string{FieldHilbert, FieldDate},
-			Strategy: strategy,
-		}); err != nil {
-			return nil, err
-		}
 	case STHash:
 		s.sth = &sthash.Encoder{SpatialChars: cfg.STHashChars}
-		// One string field carries both dimensions; the shard key
-		// (and its automatic index) is that field alone.
-		if err := s.cluster.ShardCollection(sharding.ShardKey{
-			Fields:   []string{FieldSTHash},
-			Strategy: strategy,
-		}); err != nil {
-			return nil, err
-		}
 	default:
 		return nil, fmt.Errorf("core: unknown approach %d", int(cfg.Approach))
 	}
 	return s, nil
+}
+
+// createDDL shards the collection and creates the approach's indexes
+// on a fresh cluster. Recovery skips it: the DDL records are in the
+// journal (or implied by the snapshot).
+func (s *Store) createDDL() error {
+	cfg := s.cfg
+	strategy := sharding.RangeSharding
+	if cfg.Hashed {
+		strategy = sharding.HashedSharding
+	}
+	switch cfg.Approach {
+	case BslST:
+		if err := s.cluster.ShardCollection(sharding.ShardKey{Fields: []string{FieldDate}, Strategy: strategy}); err != nil {
+			return err
+		}
+		return s.cluster.CreateIndex(index.Definition{
+			Name: "location_2dsphere_date_1",
+			Fields: []index.Field{
+				{Name: FieldLoc, Kind: index.Geo2DSphere},
+				{Name: FieldDate, Kind: index.Ascending},
+			},
+			GeoBits: cfg.GeoHashBits,
+		})
+	case BslTS:
+		if err := s.cluster.ShardCollection(sharding.ShardKey{Fields: []string{FieldDate}, Strategy: strategy}); err != nil {
+			return err
+		}
+		return s.cluster.CreateIndex(index.Definition{
+			Name: "date_1_location_2dsphere",
+			Fields: []index.Field{
+				{Name: FieldDate, Kind: index.Ascending},
+				{Name: FieldLoc, Kind: index.Geo2DSphere},
+			},
+			GeoBits: cfg.GeoHashBits,
+		})
+	case Hil, HilStar:
+		// The shard key {hilbertIndex, date} creates the compound
+		// spatio-temporal index on every shard automatically; no
+		// extra index is needed (Section 4.2.2).
+		return s.cluster.ShardCollection(sharding.ShardKey{
+			Fields:   []string{FieldHilbert, FieldDate},
+			Strategy: strategy,
+		})
+	case STHash:
+		// One string field carries both dimensions; the shard key
+		// (and its automatic index) is that field alone.
+		return s.cluster.ShardCollection(sharding.ShardKey{
+			Fields:   []string{FieldSTHash},
+			Strategy: strategy,
+		})
+	}
+	return fmt.Errorf("core: unknown approach %d", int(cfg.Approach))
 }
 
 // Config returns the effective configuration.

@@ -1,0 +1,221 @@
+package core
+
+// Durable stores: a store directory holds the cluster's write-ahead
+// journals and checkpoint snapshots (internal/wal via the sharding
+// layer) plus a store.json manifest recording the structural half of
+// the Config — the part that determines what the journaled operations
+// mean (approach, curve, shard count, seed, ...). Reopening the
+// directory reads the manifest, recovers the cluster and merges the
+// caller's runtime-only settings (Parallel, QueryConfig, sync
+// policy), so `stquery -dir d` needs no approach flags at all.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bson"
+	"repro/internal/geo"
+	"repro/internal/sfc"
+	"repro/internal/sharding"
+)
+
+// ManifestName is the structural-configuration file of a durable
+// store directory.
+const ManifestName = "store.json"
+
+// manifest is the JSON shape of the structural configuration.
+type manifest struct {
+	Approach         string      `json:"approach"`
+	Shards           int         `json:"shards"`
+	ChunkMaxBytes    int64       `json:"chunk_max_bytes,omitempty"`
+	HilbertOrder     uint        `json:"hilbert_order,omitempty"`
+	GeoHashBits      uint        `json:"geohash_bits,omitempty"`
+	Curve            string      `json:"curve,omitempty"`       // "hilbert" (default) or "zorder"
+	DataExtent       *[4]float64 `json:"data_extent,omitempty"` // minLon, minLat, maxLon, maxLat
+	MaxQueryRanges   int         `json:"max_query_ranges,omitempty"`
+	Hashed           bool        `json:"hashed,omitempty"`
+	AutoBalanceEvery int         `json:"auto_balance_every,omitempty"`
+	Seed             uint64      `json:"seed,omitempty"`
+	STHashChars      int         `json:"sthash_chars,omitempty"`
+}
+
+// manifestOf captures the structural fields of an effective config.
+func manifestOf(cfg Config) (manifest, error) {
+	m := manifest{
+		Approach:         cfg.Approach.String(),
+		Shards:           cfg.Shards,
+		ChunkMaxBytes:    cfg.ChunkMaxBytes,
+		HilbertOrder:     cfg.HilbertOrder,
+		GeoHashBits:      cfg.GeoHashBits,
+		MaxQueryRanges:   cfg.MaxQueryRanges,
+		Hashed:           cfg.Hashed,
+		AutoBalanceEvery: cfg.AutoBalanceEvery,
+		Seed:             cfg.Seed,
+		STHashChars:      cfg.STHashChars,
+	}
+	switch c := cfg.Curve.(type) {
+	case nil:
+	case *sfc.Hilbert:
+		m.Curve, m.HilbertOrder = "hilbert", c.Order()
+	case *sfc.ZOrder:
+		m.Curve, m.HilbertOrder = "zorder", c.Order()
+	default:
+		return m, fmt.Errorf("core: curve %T cannot be recorded in a durable store", cfg.Curve)
+	}
+	if cfg.DataExtent.Valid() {
+		r := cfg.DataExtent
+		m.DataExtent = &[4]float64{r.Min.Lon, r.Min.Lat, r.Max.Lon, r.Max.Lat}
+	}
+	return m, nil
+}
+
+// config rebuilds a Config from the manifest, overlaying the caller's
+// runtime-only fields.
+func (m manifest) config(runtime Config) (Config, error) {
+	cfg := Config{
+		Shards:           m.Shards,
+		ChunkMaxBytes:    m.ChunkMaxBytes,
+		HilbertOrder:     m.HilbertOrder,
+		GeoHashBits:      m.GeoHashBits,
+		MaxQueryRanges:   m.MaxQueryRanges,
+		Hashed:           m.Hashed,
+		AutoBalanceEvery: m.AutoBalanceEvery,
+		Seed:             m.Seed,
+		STHashChars:      m.STHashChars,
+
+		Parallel:       runtime.Parallel,
+		QueryConfig:    runtime.QueryConfig,
+		Dir:            runtime.Dir,
+		Sync:           runtime.Sync,
+		SyncBatchBytes: runtime.SyncBatchBytes,
+	}
+	found := false
+	for _, a := range AllApproaches() {
+		if a.String() == m.Approach {
+			cfg.Approach, found = a, true
+			break
+		}
+	}
+	if !found {
+		return cfg, fmt.Errorf("core: manifest names unknown approach %q", m.Approach)
+	}
+	switch m.Curve {
+	case "", "hilbert":
+	case "zorder":
+		z, err := sfc.NewZOrder(m.HilbertOrder)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Curve = z
+	default:
+		return cfg, fmt.Errorf("core: manifest names unknown curve %q", m.Curve)
+	}
+	if m.DataExtent != nil {
+		e := *m.DataExtent
+		cfg.DataExtent = geo.NewRect(e[0], e[1], e[2], e[3])
+	}
+	return cfg.withDefaults(), nil
+}
+
+// openDurable opens (or creates) the durable store at cfg.Dir.
+func openDurable(cfg Config) (*Store, error) {
+	path := filepath.Join(cfg.Dir, ManifestName)
+	blob, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var m manifest
+		if err := json.Unmarshal(blob, &m); err != nil {
+			return nil, fmt.Errorf("core: parsing %s: %w", path, err)
+		}
+		mcfg, err := m.config(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := newStore(mcfg)
+		if err != nil {
+			return nil, err
+		}
+		if s.cluster, err = sharding.OpenCluster(mcfg.clusterOptions()); err != nil {
+			return nil, err
+		}
+		if _, sharded := s.cluster.ShardKeyOf(); !sharded {
+			// Manifest written, crash before the DDL reached the
+			// journal: finish the setup now.
+			if err := s.createDDL(); err != nil {
+				return nil, err
+			}
+		}
+		// Re-seed the id generator from the recovery point so ids
+		// minted after reopening cannot collide with pre-crash ones
+		// (the generator's counter state is not journaled).
+		s.idGen = bson.NewObjectIDGen(mcfg.Seed ^ (0x9E3779B97F4A7C15 * s.cluster.LSN()))
+		return s, nil
+
+	case errors.Is(err, fs.ErrNotExist):
+		m, err := manifestOf(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := newStore(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if s.cluster, err = sharding.OpenCluster(cfg.clusterOptions()); err != nil {
+			return nil, err
+		}
+		if _, sharded := s.cluster.ShardKeyOf(); !sharded {
+			if err := s.createDDL(); err != nil {
+				return nil, err
+			}
+		}
+		out, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("core: writing manifest: %w", err)
+		}
+		return s, nil
+
+	default:
+		return nil, fmt.Errorf("core: reading %s: %w", path, err)
+	}
+}
+
+// OpenDir reopens an existing durable store directory, recovering its
+// contents. The structural configuration comes from the directory's
+// manifest; runtime carries only runtime settings (Parallel,
+// QueryConfig, Sync). It fails if dir was not created by a durable
+// Open — use Open with Config.Dir to create one.
+func OpenDir(dir string, runtime Config) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err != nil {
+		return nil, fmt.Errorf("core: %s is not a store directory: %w", dir, err)
+	}
+	runtime.Dir = dir
+	return Open(runtime)
+}
+
+// Durable reports whether the store journals to a directory.
+func (s *Store) Durable() bool { return s.cluster.Durable() }
+
+// Checkpoint snapshots the durable store's full state and resets the
+// journals, bounding recovery time. It fails on an in-memory store.
+func (s *Store) Checkpoint() error { return s.cluster.Checkpoint() }
+
+// Sync forces buffered journal frames to stable storage.
+func (s *Store) Sync() error { return s.cluster.Sync() }
+
+// Close syncs and closes the journals; a no-op on an in-memory store.
+func (s *Store) Close() error { return s.cluster.Close() }
+
+// Fingerprint identifies the stored data set: the live document count
+// and an order-independent checksum over the raw document bytes. Two
+// stores holding the same documents fingerprint identically regardless
+// of shard placement.
+func (s *Store) Fingerprint() (docs int, checksum uint64) {
+	return s.cluster.ContentFingerprint()
+}

@@ -67,7 +67,7 @@ func TestConcurrentReplanEviction(t *testing.T) {
 	)
 	wide := NewAnd(
 		Cmp{Field: "hilbertIndex", Op: OpGTE, Value: int64(0)},
-		Cmp{Field: "hilbertIndex", Op: OpLTE, Value: int64(1<<40)},
+		Cmp{Field: "hilbertIndex", Op: OpLTE, Value: int64(1 << 40)},
 		TimeRangeFilter("date", baseTime, baseTime.Add(40*24*time.Hour)),
 	)
 	wantNarrow := referenceCount(t, c, narrow)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Chunk is a contiguous range [Min, Max) of the encoded shard-key
@@ -64,6 +65,20 @@ type Options struct {
 	// nodes, result counts, the modelled max-duration) are
 	// order-independent and identical at every pool width.
 	Parallel int
+	// Dir, when non-empty, makes the cluster durable: every write is
+	// framed into a write-ahead journal under this directory and
+	// Checkpoint() snapshots the full state there. Durable clusters
+	// are opened with OpenCluster (which also performs crash
+	// recovery); NewCluster ignores Dir.
+	Dir string
+	// FS overrides the file system under Dir — the seam the
+	// fault-injection tests use (wal.FaultFS). nil means the real
+	// file system rooted at Dir.
+	FS wal.FS
+	// Sync is the journal fsync policy (default wal.SyncBatch, group
+	// commit); SyncBatchBytes overrides the group-commit threshold.
+	Sync           wal.SyncPolicy
+	SyncBatchBytes int
 }
 
 // Defaults for Options.
@@ -116,6 +131,10 @@ type Cluster struct {
 	splits       int
 	migrations   int
 	jumbo        int
+
+	// dur is the journaling state of a durable cluster (see
+	// durability.go); nil for in-memory clusters.
+	dur *durability
 }
 
 // NewCluster creates the shards.
@@ -178,7 +197,7 @@ func (c *Cluster) ShardCollection(key ShardKey) error {
 	c.key = key
 	c.chunks = []*Chunk{{Min: key.MinTuple(), Max: key.MaxTuple(), Shard: 0}}
 	c.sharded = true
-	return nil
+	return c.journalMeta(opShardCollection, encodeShardKey(key))
 }
 
 // ShardKeyOf returns the shard key; ok is false when the collection
@@ -191,12 +210,14 @@ func (c *Cluster) ShardKeyOf() (ShardKey, bool) {
 
 // CreateIndex creates a secondary index on every shard.
 func (c *Cluster) CreateIndex(def index.Definition) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, s := range c.shards {
 		if _, err := s.Coll.CreateIndex(def); err != nil {
 			return err
 		}
 	}
-	return nil
+	return c.journalMeta(opCreateIndex, encodeIndexDef(def))
 }
 
 // Insert routes the document to the chunk owning its shard-key tuple
@@ -206,8 +227,10 @@ func (c *Cluster) Insert(doc *bson.Document) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.sharded {
-		_, err := c.shards[0].Coll.Insert(doc)
-		return err
+		if _, err := c.shards[0].Coll.Insert(doc); err != nil {
+			return err
+		}
+		return c.commitDur()
 	}
 	tuple := c.key.TupleOf(doc)
 	ci := c.findChunk(tuple)
@@ -216,6 +239,12 @@ func (c *Cluster) Insert(doc *bson.Document) error {
 	}
 	ch := c.chunks[ci]
 	if _, err := c.shards[ch.Shard].Coll.Insert(doc); err != nil {
+		// The storage hook journaled the insert and, via the
+		// collection's rollback, the matching delete; replay
+		// reproduces the same rollback.
+		if cerr := c.commitDur(); cerr != nil {
+			return cerr
+		}
 		return err
 	}
 	ch.Docs++
@@ -230,7 +259,7 @@ func (c *Cluster) Insert(doc *bson.Document) error {
 			c.balanceLocked()
 		}
 	}
-	return nil
+	return c.commitDur()
 }
 
 // findChunk returns the index of the chunk containing the tuple, or
@@ -371,19 +400,26 @@ func (c *Cluster) Delete(f query.Filter) (int, error) {
 				return deleted, err
 			}
 			deleted++
-			if c.sharded {
-				if ci := c.findChunk(c.key.TupleOf(doc)); ci >= 0 {
-					ch := c.chunks[ci]
-					ch.Docs--
-					ch.Bytes -= int64(bson.RawSize(doc))
-					if ch.Bytes < 0 {
-						ch.Bytes = 0
-					}
-				}
-			}
+			c.noteDeletedLocked(doc)
 		}
 	}
-	return deleted, nil
+	return deleted, c.commitDur()
+}
+
+// noteDeletedLocked keeps the chunk metadata accurate after one
+// document left its shard (shared by Delete and journal replay).
+func (c *Cluster) noteDeletedLocked(doc *bson.Document) {
+	if !c.sharded {
+		return
+	}
+	if ci := c.findChunk(c.key.TupleOf(doc)); ci >= 0 {
+		ch := c.chunks[ci]
+		ch.Docs--
+		ch.Bytes -= int64(bson.RawSize(doc))
+		if ch.Bytes < 0 {
+			ch.Bytes = 0
+		}
+	}
 }
 
 // Balance runs the balancer until the chunk counts are even (or no
@@ -394,6 +430,9 @@ func (c *Cluster) Balance() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.balanceLocked()
+	// One journal record re-derives the whole run during replay; the
+	// individual migrations are suppressed in moveChunkLocked.
+	_ = c.journalMeta(opBalance, nil)
 }
 
 func (c *Cluster) balanceLocked() {
@@ -469,6 +508,13 @@ func (c *Cluster) moveChunkLocked(ch *Chunk, to int) {
 	from := ch.Shard
 	if from == to {
 		return
+	}
+	// Migrations are not journaled — replay re-derives them from the
+	// balance/zone records — so silence the storage hooks while
+	// documents move between shards.
+	if c.dur != nil {
+		c.dur.suppress++
+		defer func() { c.dur.suppress-- }()
 	}
 	ids := c.chunkRecords(ch)
 	src, dst := c.shards[from].Coll, c.shards[to].Coll
@@ -565,11 +611,4 @@ func (c *Cluster) ClusterStats() Stats {
 		st.PerShard[ch.Shard].Chunks++
 	}
 	return st
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -63,7 +63,9 @@ func (c *Cluster) SetZones(zones []Zone) error {
 			c.moveChunkLocked(ch, home)
 		}
 	}
-	return nil
+	// The homing migrations above are suppressed; replaying this one
+	// record re-derives them.
+	return c.journalMeta(opSetZones, encodeZones(sorted))
 }
 
 // Zones returns the installed zones.

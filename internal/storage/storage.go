@@ -19,6 +19,24 @@ import (
 // never reused; a deleted slot stays dead.
 type RecordID uint64
 
+// Hook observes the store's mutations with the exact bytes that were
+// stored — the journaling seam of the durability subsystem. The
+// sharding layer installs one hook per shard store so every
+// insert/delete is framed into that shard's write-ahead journal
+// before the enclosing cluster operation returns.
+//
+// Hook methods run while the store's write lock is held, so they see
+// mutations in exactly the order they are applied; they must be cheap
+// and must not call back into the store.
+type Hook interface {
+	// Inserted fires after a record is stored; raw is the stored
+	// encoding and must not be modified or retained past the call.
+	Inserted(id RecordID, raw []byte)
+	// Deleted fires after a record is removed; raw is the encoding it
+	// had.
+	Deleted(id RecordID, raw []byte)
+}
+
 // Store is an append-only record store with deletion, safe for
 // concurrent use.
 //
@@ -32,6 +50,7 @@ type Store struct {
 	mu      sync.RWMutex
 	records map[RecordID][]byte
 	nextID  RecordID
+	hook    Hook
 	bytes   atomic.Int64
 	fetches atomic.Int64
 }
@@ -41,16 +60,18 @@ func NewStore() *Store {
 	return &Store{records: make(map[RecordID][]byte)}
 }
 
-// Insert stores the document and returns its record id.
-func (s *Store) Insert(doc *bson.Document) RecordID {
-	raw := bson.Marshal(doc)
+// SetHook installs (or clears, with nil) the mutation hook. Writers
+// must be quiescent while the hook changes — in the cluster the
+// durable-open path installs hooks before any write runs.
+func (s *Store) SetHook(h Hook) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextID++
-	id := s.nextID
-	s.records[id] = raw
-	s.bytes.Add(int64(len(raw)))
-	return id
+	s.hook = h
+}
+
+// Insert stores the document and returns its record id.
+func (s *Store) Insert(doc *bson.Document) RecordID {
+	return s.InsertRaw(bson.Marshal(doc))
 }
 
 // InsertRaw stores an already-encoded document. The caller guarantees
@@ -62,7 +83,48 @@ func (s *Store) InsertRaw(raw []byte) RecordID {
 	id := s.nextID
 	s.records[id] = raw
 	s.bytes.Add(int64(len(raw)))
+	if s.hook != nil {
+		s.hook.Inserted(id, raw)
+	}
 	return id
+}
+
+// PutRaw stores an encoded document under a specific record id — the
+// snapshot-restore path, which must reproduce the exact ids the
+// journal refers to. It fails if the id is taken, advances nextID
+// past id, and does not fire the hook (restored records were already
+// journaled in their first life).
+func (s *Store) PutRaw(id RecordID, raw []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.records[id]; exists {
+		return fmt.Errorf("storage: record %d already exists", id)
+	}
+	s.records[id] = raw
+	if id > s.nextID {
+		s.nextID = id
+	}
+	s.bytes.Add(int64(len(raw)))
+	return nil
+}
+
+// SetNextID forces the id counter so that ids assigned after a
+// restore continue exactly where the snapshotted store stopped (the
+// last assigned id may exceed the largest live id when the newest
+// records were deleted).
+func (s *Store) SetNextID(next RecordID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if next > s.nextID {
+		s.nextID = next
+	}
+}
+
+// NextID returns the last assigned record id (0 when none was).
+func (s *Store) NextID() RecordID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextID
 }
 
 // Fetch decodes and returns the document at id.
@@ -97,6 +159,9 @@ func (s *Store) Delete(id RecordID) bool {
 	}
 	s.bytes.Add(-int64(len(raw)))
 	delete(s.records, id)
+	if s.hook != nil {
+		s.hook.Deleted(id, raw)
+	}
 	return true
 }
 

@@ -1,0 +1,270 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Op names an FS operation for fault predicates.
+type Op string
+
+// The FS operations FaultFS can intercept.
+const (
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpCreate   Op = "create"
+	OpRename   Op = "rename"
+	OpTruncate Op = "truncate"
+	OpRemove   Op = "remove"
+)
+
+// FaultFS wraps an FS to simulate storage failures: a crash after a
+// byte budget (everything before the budget persists, the rest of the
+// in-flight write tears off mid-frame), short writes, failed fsyncs,
+// and per-operation fault predicates. After the crash point every
+// operation returns ErrCrashed — "restart" by wrapping a fresh
+// FaultFS (or using the inner FS directly) over the surviving files.
+type FaultFS struct {
+	Inner FS
+
+	mu      sync.Mutex
+	crashed bool
+
+	// writeBudget is the number of bytes Write may still persist
+	// before the simulated crash; negative means unlimited.
+	writeBudget int64
+	// syncsLeft is how many Syncs succeed before failing; negative
+	// means unlimited.
+	syncsLeft int
+	// before, when set, runs ahead of each operation; returning an
+	// error injects it (without crashing the FS).
+	before func(op Op, name string) error
+
+	writes int64 // total bytes asked to be written
+	syncs  int   // total Sync calls observed
+}
+
+// NewFaultFS wraps inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{Inner: inner, writeBudget: -1, syncsLeft: -1}
+}
+
+// CrashAfterBytes arms the crash point: the next n written bytes
+// persist, the write that crosses the boundary is torn at it, and
+// every later operation fails with ErrCrashed.
+func (f *FaultFS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+}
+
+// FailSyncsAfter lets n Sync calls succeed and fails the rest (the
+// classic dying-disk fsync error).
+func (f *FaultFS) FailSyncsAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncsLeft = n
+}
+
+// Before installs a per-operation fault predicate.
+func (f *FaultFS) Before(fn func(op Op, name string) error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.before = fn
+}
+
+// Crashed reports whether the simulated crash point was reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Stats returns the bytes written and Sync calls observed so far.
+func (f *FaultFS) Stats() (writes int64, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs
+}
+
+// FlipBit corrupts one bit of a stored file in place — the bit-rot
+// injection the recovery tests aim at frame checksums.
+func (f *FaultFS) FlipBit(name string, byteOff int64, bit uint) error {
+	data, err := f.Inner.ReadFile(name)
+	if err != nil {
+		return err
+	}
+	if byteOff < 0 || byteOff >= int64(len(data)) {
+		return fmt.Errorf("wal: flip offset %d out of range (size %d)", byteOff, len(data))
+	}
+	data[byteOff] ^= 1 << (bit % 8)
+	return f.Inner.WriteFile(name, data)
+}
+
+// gate applies the crash state and the fault predicate to one
+// operation.
+func (f *FaultFS) gate(op Op, name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if f.before != nil {
+		if err := f.before(op, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.Inner.MkdirAll(dir) }
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.gate(OpCreate, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: inner}, nil
+}
+
+// Append implements FS.
+func (f *FaultFS) Append(name string) (File, error) {
+	if err := f.gate(OpCreate, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: inner}, nil
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.Inner.ReadFile(name) }
+
+// WriteFile implements FS.
+func (f *FaultFS) WriteFile(name string, data []byte) error {
+	if err := f.gate(OpWrite, name); err != nil {
+		return err
+	}
+	return f.Inner.WriteFile(name, data)
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.gate(OpTruncate, name); err != nil {
+		return err
+	}
+	return f.Inner.Truncate(name, size)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.gate(OpRename, newname); err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.gate(OpRemove, name); err != nil {
+		return err
+	}
+	return f.Inner.Remove(name)
+}
+
+// List implements FS.
+func (f *FaultFS) List(dir string) ([]string, error) { return f.Inner.List(dir) }
+
+// Size implements FS.
+func (f *FaultFS) Size(name string) (int64, error) { return f.Inner.Size(name) }
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.gate(OpSync, dir); err != nil {
+		return err
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+// faultFile interposes on writes and syncs of one open file.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+// Write implements io.Writer, honouring the crash byte budget: the
+// portion of p inside the budget persists (a torn, short write) and
+// the FS transitions to the crashed state.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if f.before != nil {
+		if err := f.before(OpWrite, ff.name); err != nil {
+			f.mu.Unlock()
+			return 0, err
+		}
+	}
+	f.writes += int64(len(p))
+	n := len(p)
+	torn := false
+	if f.writeBudget >= 0 {
+		if int64(n) > f.writeBudget {
+			n = int(f.writeBudget)
+			torn = true
+			f.crashed = true
+		}
+		f.writeBudget -= int64(n)
+	}
+	f.mu.Unlock()
+
+	written, err := ff.inner.Write(p[:n])
+	if err != nil {
+		return written, err
+	}
+	if torn {
+		return written, ErrCrashed
+	}
+	return written, nil
+}
+
+// Sync implements File.
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	f.syncs++
+	if f.syncsLeft >= 0 {
+		if f.syncsLeft == 0 {
+			f.mu.Unlock()
+			return fmt.Errorf("wal: injected fsync failure on %s", ff.name)
+		}
+		f.syncsLeft--
+	}
+	before := f.before
+	f.mu.Unlock()
+	if before != nil {
+		if err := before(OpSync, ff.name); err != nil {
+			return err
+		}
+	}
+	return ff.inner.Sync()
+}
+
+// Close implements File. Close always reaches the inner file so
+// descriptors are not leaked by crashed tests.
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -1,0 +1,136 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is a writable journal or snapshot file.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage (fsync).
+	Sync() error
+	Close() error
+}
+
+// FS is the file-system surface the journal, snapshot and recovery
+// code runs on. Paths are relative to the store directory. OSFS is
+// the real implementation; FaultFS wraps any FS to inject failures.
+type FS interface {
+	// MkdirAll creates the directory (and parents) if absent.
+	MkdirAll(dir string) error
+	// Create truncates-or-creates the file for writing.
+	Create(name string) (File, error)
+	// Append opens the file for appending, creating it if absent.
+	Append(name string) (File, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile replaces the file's contents (no fsync; used by
+	// fault-injection helpers, not by the durability protocol).
+	WriteFile(name string, data []byte) error
+	// Truncate cuts the file to the given size.
+	Truncate(name string, size int64) error
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes the file.
+	Remove(name string) error
+	// List returns the sorted file names directly inside dir
+	// (directories excluded). A missing dir lists as empty.
+	List(dir string) ([]string, error)
+	// Size returns the file's current size.
+	Size(name string) (int64, error)
+	// SyncDir fsyncs the directory itself, making renames durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real file system, rooted at a base directory.
+type OSFS struct {
+	Root string
+}
+
+// NewOSFS returns an FS rooted at dir.
+func NewOSFS(dir string) *OSFS { return &OSFS{Root: dir} }
+
+func (fs *OSFS) path(name string) string { return filepath.Join(fs.Root, name) }
+
+// MkdirAll implements FS.
+func (fs *OSFS) MkdirAll(dir string) error {
+	return os.MkdirAll(fs.path(dir), 0o755)
+}
+
+// Create implements FS.
+func (fs *OSFS) Create(name string) (File, error) {
+	return os.OpenFile(fs.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Append implements FS.
+func (fs *OSFS) Append(name string) (File, error) {
+	return os.OpenFile(fs.path(name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (fs *OSFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(fs.path(name))
+}
+
+// WriteFile implements FS.
+func (fs *OSFS) WriteFile(name string, data []byte) error {
+	return os.WriteFile(fs.path(name), data, 0o644)
+}
+
+// Truncate implements FS.
+func (fs *OSFS) Truncate(name string, size int64) error {
+	return os.Truncate(fs.path(name), size)
+}
+
+// Rename implements FS.
+func (fs *OSFS) Rename(oldname, newname string) error {
+	return os.Rename(fs.path(oldname), fs.path(newname))
+}
+
+// Remove implements FS.
+func (fs *OSFS) Remove(name string) error {
+	return os.Remove(fs.path(name))
+}
+
+// List implements FS.
+func (fs *OSFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(fs.path(dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size implements FS.
+func (fs *OSFS) Size(name string) (int64, error) {
+	st, err := os.Stat(fs.path(name))
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// SyncDir implements FS. Errors are ignored on platforms where
+// directories cannot be fsynced.
+func (fs *OSFS) SyncDir(dir string) error {
+	d, err := os.Open(fs.path(dir))
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,163 @@
+package wal
+
+import "fmt"
+
+// SyncPolicy selects when the journal fsyncs — the knob WiredTiger
+// exposes as journal commit intervals, scaled down to three settings.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) is group commit: appended frames are
+	// buffered and the file is fsynced once the batch exceeds
+	// BatchBytes (or on an explicit Sync/Close/checkpoint). A crash
+	// loses at most the unsynced batch, never the prefix before it.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs on every Commit — the j:true write concern.
+	SyncAlways
+	// SyncNever leaves flushing to the OS; only Close and explicit
+	// Sync calls fsync. Fastest, weakest.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return "batch"
+	}
+}
+
+// DefaultBatchBytes is the group-commit threshold: the journal fsyncs
+// whenever at least this many bytes have accumulated since the last
+// sync.
+const DefaultBatchBytes = 256 << 10
+
+// JournalOptions configures a journal writer.
+type JournalOptions struct {
+	Sync SyncPolicy
+	// BatchBytes overrides DefaultBatchBytes for SyncBatch.
+	BatchBytes int
+}
+
+// Journal is an append-only frame writer over one file. Append
+// buffers frames in memory; Commit writes the buffer through to the
+// file and fsyncs according to the policy. The caller serialises all
+// calls (in the cluster, the shard-cluster write lock does).
+type Journal struct {
+	fs   FS
+	name string
+	f    File
+	opts JournalOptions
+
+	buf         []byte // frames appended since the last Commit
+	size        int64  // bytes written to the file
+	unsynced    int64  // bytes written since the last fsync
+	syncedLSN   uint64 // highest LSN known durable
+	appendedLSN uint64 // highest LSN appended
+}
+
+// OpenJournal opens (creating if absent) the journal file for
+// appending. The file must already be a valid frame prefix — recovery
+// truncates torn tails before the writer reopens it.
+func OpenJournal(fs FS, name string, opts JournalOptions) (*Journal, error) {
+	if opts.BatchBytes <= 0 {
+		opts.BatchBytes = DefaultBatchBytes
+	}
+	f, err := fs.Append(name)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening journal %s: %w", name, err)
+	}
+	size, err := fs.Size(name)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sizing journal %s: %w", name, err)
+	}
+	return &Journal{fs: fs, name: name, f: f, opts: opts, size: size}, nil
+}
+
+// Name returns the journal's file name.
+func (j *Journal) Name() string { return j.name }
+
+// Size returns the file size plus any buffered, uncommitted bytes.
+func (j *Journal) Size() int64 { return j.size + int64(len(j.buf)) }
+
+// Append buffers one record. Nothing reaches the file until Commit.
+func (j *Journal) Append(rec Record) {
+	j.buf = AppendFrame(j.buf, rec)
+	j.appendedLSN = rec.LSN
+}
+
+// Commit writes the buffered frames to the file and applies the sync
+// policy: SyncAlways fsyncs now, SyncBatch fsyncs once the unsynced
+// run exceeds BatchBytes, SyncNever does not fsync.
+func (j *Journal) Commit() error {
+	if len(j.buf) > 0 {
+		n, err := j.f.Write(j.buf)
+		j.size += int64(n)
+		j.unsynced += int64(n)
+		if err != nil {
+			return fmt.Errorf("wal: appending to %s: %w", j.name, err)
+		}
+		j.buf = j.buf[:0]
+	}
+	switch j.opts.Sync {
+	case SyncAlways:
+		return j.sync()
+	case SyncBatch:
+		if j.unsynced >= int64(j.opts.BatchBytes) {
+			return j.sync()
+		}
+	}
+	return nil
+}
+
+// Sync commits any buffered frames and forces an fsync.
+func (j *Journal) Sync() error {
+	if err := j.Commit(); err != nil {
+		return err
+	}
+	return j.sync()
+}
+
+func (j *Journal) sync() error {
+	if j.unsynced == 0 && j.syncedLSN == j.appendedLSN {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing %s: %w", j.name, err)
+	}
+	j.unsynced = 0
+	j.syncedLSN = j.appendedLSN
+	return nil
+}
+
+// Reset empties the journal file (after a successful checkpoint made
+// its contents redundant). The writer stays open for further appends.
+func (j *Journal) Reset() error {
+	if err := j.Sync(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	f, err := j.fs.Create(j.name)
+	if err != nil {
+		return fmt.Errorf("wal: resetting %s: %w", j.name, err)
+	}
+	j.f = f
+	j.size = 0
+	j.unsynced = 0
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	if err := j.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot file format:
+//
+//	[8B magic "STSNAP1\n"][u64 lsn][u32 crc32c(payload)][u64 len][payload]
+//
+// The payload encoding belongs to the caller (the sharding layer's
+// cluster state). Snapshots are written to a temporary name and
+// renamed into place so readers only ever observe complete files; the
+// checksum catches the remaining failure modes (bit rot, a torn
+// rename on a non-atomic file system).
+const snapMagic = "STSNAP1\n"
+
+// snapName returns the canonical snapshot file name for an LSN. The
+// hex LSN makes lexicographic order equal LSN order.
+func snapName(lsn uint64) string { return fmt.Sprintf("snap-%016x.ckpt", lsn) }
+
+// parseSnapName extracts the LSN from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".ckpt")
+	lsn, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// WriteSnapshot durably writes a checkpoint covering every operation
+// up to and including lsn: tmp file, write, fsync, rename, dir fsync.
+// Older snapshots are left in place; the caller removes them once the
+// new one is established (RemoveSnapshotsBelow).
+func WriteSnapshot(fs FS, lsn uint64, payload []byte) error {
+	buf := make([]byte, 0, len(snapMagic)+8+4+8+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+
+	name := snapName(lsn)
+	tmp := name + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot %s: %w", tmp, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing snapshot %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing snapshot %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: closing snapshot %s: %w", tmp, err)
+	}
+	if err := fs.Rename(tmp, name); err != nil {
+		return fmt.Errorf("wal: installing snapshot %s: %w", name, err)
+	}
+	return fs.SyncDir(".")
+}
+
+// readSnapshot parses and verifies one snapshot file, returning its
+// LSN and payload.
+func readSnapshot(fs FS, name string) (uint64, []byte, error) {
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	header := len(snapMagic) + 8 + 4 + 8
+	if len(data) < header || string(data[:len(snapMagic)]) != snapMagic {
+		return 0, nil, fmt.Errorf("wal: snapshot %s: bad header", name)
+	}
+	lsn := binary.LittleEndian.Uint64(data[len(snapMagic):])
+	crc := binary.LittleEndian.Uint32(data[len(snapMagic)+8:])
+	plen := binary.LittleEndian.Uint64(data[len(snapMagic)+12:])
+	if uint64(len(data)-header) != plen {
+		return 0, nil, fmt.Errorf("wal: snapshot %s: truncated payload", name)
+	}
+	payload := data[header:]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return 0, nil, fmt.Errorf("wal: snapshot %s: checksum mismatch", name)
+	}
+	return lsn, payload, nil
+}
+
+// snapshotNames lists the snapshot files in the store directory, in
+// increasing LSN order.
+func snapshotNames(fs FS) ([]string, error) {
+	names, err := fs.List(".")
+	if err != nil {
+		return nil, err
+	}
+	var snaps []string
+	for _, n := range names {
+		if _, ok := parseSnapName(n); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Strings(snaps)
+	return snaps, nil
+}
+
+// LatestSnapshot returns the newest checksum-valid snapshot (LSN and
+// payload), falling back to older snapshots when the newest is
+// damaged. ok is false when no usable snapshot exists.
+func LatestSnapshot(fs FS) (lsn uint64, payload []byte, ok bool, err error) {
+	snaps, err := snapshotNames(fs)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		lsn, payload, rerr := readSnapshot(fs, snaps[i])
+		if rerr == nil {
+			return lsn, payload, true, nil
+		}
+	}
+	return 0, nil, false, nil
+}
+
+// RemoveSnapshotsBelow deletes snapshots older than keepLSN — called
+// after a checkpoint at keepLSN has been durably installed.
+func RemoveSnapshotsBelow(fs FS, keepLSN uint64) error {
+	snaps, err := snapshotNames(fs)
+	if err != nil {
+		return err
+	}
+	for _, n := range snaps {
+		if lsn, _ := parseSnapName(n); lsn < keepLSN {
+			if err := fs.Remove(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
