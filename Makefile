@@ -7,7 +7,7 @@ build:
 
 .PHONY: test
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 180s ./...
 
 .PHONY: vet
 vet:
@@ -15,22 +15,27 @@ vet:
 
 # The packages the parallel query router exercises concurrently, plus
 # the durability subsystem (group commit shares journal state across
-# writers); their stress tests must stay race-clean.
-RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/...
+# writers) and the store layer whose fault-matrix tests hammer the
+# retry/hedging/breaker machinery from concurrent clients; their
+# stress tests must stay race-clean.
+RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/...
 
 .PHONY: race
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -timeout 300s $(RACE_PKGS)
 
 # The canonical pre-commit check (also available as scripts/check.sh).
 .PHONY: check
 check: build test vet race
 
-# A short shake of the fuzz targets (the BSON decoder must be total:
-# crash recovery feeds it torn and bit-flipped journal bytes).
+# A short shake of the fuzz targets: the BSON decoder must be total
+# (crash recovery feeds it torn and bit-flipped journal bytes), and
+# the key encoding's byte order must agree with the logical BSON order
+# (every index range scan rests on it).
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	$(GO) test ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 30s
+	$(GO) test ./internal/keyenc -fuzz FuzzKeyOrdering -fuzztime 30s
 
 .PHONY: bench
 bench:

@@ -5,6 +5,7 @@
 //
 //	stbench [-exp id[,id...]] [-records n] [-shards n] [-runs n] [-list] [-quiet]
 //	        [-clients n,n,...] [-parallel n] [-out path]
+//	        [-faults spec] [-fault-seed n]
 //
 // Examples:
 //
@@ -37,9 +38,11 @@ func main() {
 		dir     = flag.String("dir", "", "persist loaded stores under this directory and reopen them on later runs")
 
 		// Throughput-experiment options (used by -exp throughput only).
-		clients  = flag.String("clients", "", "throughput: comma-separated client counts (default 1,4,16)")
-		parallel = flag.Int("parallel", 0, "throughput: pool width of the parallel arm (default GOMAXPROCS)")
-		out      = flag.String("out", "", "throughput: JSON report path (default BENCH_throughput.json, '-' disables)")
+		clients   = flag.String("clients", "", "throughput: comma-separated client counts (default 1,4,16)")
+		parallel  = flag.Int("parallel", 0, "throughput: pool width of the parallel arm (default GOMAXPROCS)")
+		out       = flag.String("out", "", "throughput: JSON report path (default BENCH_throughput.json, '-' disables)")
+		faults    = flag.String("faults", "", "throughput: per-shard fault injection, e.g. '0:down,2:slow=2ms,3:flaky=1' (allow-partial policy)")
+		faultSeed = flag.Int64("fault-seed", 1, "throughput: seed for the injected fault schedule")
 	)
 	flag.Parse()
 
@@ -95,7 +98,7 @@ func main() {
 
 	fmt.Printf("stbench: %d shards, R=%d records, S=%d records, %d+%d runs/query\n\n",
 		scale.Shards, scale.RRecords, 2*scale.RRecords, scale.Warmup, scale.Runs)
-	topts := bench.ThroughputOptions{Parallel: *parallel, OutPath: *out}
+	topts := bench.ThroughputOptions{Parallel: *parallel, OutPath: *out, Faults: *faults, FaultSeed: *faultSeed}
 	if *clients != "" {
 		for _, part := range strings.Split(*clients, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

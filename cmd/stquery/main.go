@@ -20,6 +20,12 @@
 // file executes as one batch through the parallel scatter-gather
 // pool (-parallel sets its width; 1 = sequential).
 //
+// With -faults, queries run behind a seeded fault-injecting shard
+// boundary under the allow-partial policy; degraded results print
+// PARTIAL with the failed shards plus retry/hedge counters:
+//
+//	stquery -faults "0:down,2:slow=2ms" -rect ... -from ... -to ...
+//
 // Omitting -rect/-from/-to/-f runs the paper's eight queries
 // (Q1s..Q4b).
 package main
@@ -36,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/geo"
+	"repro/internal/sharding"
 )
 
 func main() {
@@ -52,6 +59,7 @@ func main() {
 		file     = flag.String("f", "", "file of queries to run as one batch")
 		parallel = flag.Int("parallel", 0, "scatter-gather pool width (0 = GOMAXPROCS, 1 = sequential)")
 		dir      = flag.String("dir", "", "reopen a durable store directory instead of loading")
+		faults   = flag.String("faults", "", "per-shard fault injection, e.g. '0:down,2:slow=2ms' (allow-partial policy)")
 	)
 	flag.Parse()
 
@@ -90,6 +98,24 @@ func main() {
 				fatal("stquery: %v", err)
 			}
 		}
+	}
+
+	if *faults != "" {
+		specs, err := sharding.ParseFaultSpec(*faults)
+		if err != nil {
+			fatal("stquery: bad -faults: %v", err)
+		}
+		fc := sharding.NewFaultConn(nil, 1)
+		for sid, spec := range specs {
+			fc.SetFault(sid, spec)
+		}
+		s.Cluster().SetConn(fc)
+		s.Cluster().SetResilience(sharding.Resilience{
+			Policy:       sharding.AllowPartial,
+			ShardTimeout: 250 * time.Millisecond,
+		})
+		fmt.Fprintf(os.Stderr, "fault injection armed on shards %s (allow-partial)\n",
+			sharding.FormatFaultShards(specs))
 	}
 
 	if *file != "" {
@@ -206,6 +232,15 @@ func printResult(name string, res *core.QueryResult) {
 	}
 	if st.Broadcast {
 		fmt.Printf(" BROADCAST")
+	}
+	if st.Partial {
+		fmt.Printf(" PARTIAL failed=%v", st.FailedShards)
+	}
+	if st.Retries > 0 {
+		fmt.Printf(" retries=%d", st.Retries)
+	}
+	if st.Hedged > 0 {
+		fmt.Printf(" hedged=%d", st.Hedged)
 	}
 	fmt.Printf(" idx=%s\n", summarizeIndexes(st.IndexesUsed))
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sharding"
 )
 
 // The throughput experiment is not one of the paper's figures: it
@@ -35,6 +36,14 @@ type ThroughputOptions struct {
 	// OutPath is where the JSON report is written; empty means
 	// BENCH_throughput.json, "-" disables the file.
 	OutPath string
+	// Faults, when non-empty, runs the whole experiment behind a
+	// seeded fault-injecting shard boundary (sharding.ParseFaultSpec
+	// syntax, e.g. "0:down,2:slow=2ms,3:flaky=1") under the
+	// allow-partial policy, and the report gains retry/hedge/partial
+	// counters — the throughput cost of fault tolerance made visible.
+	Faults string
+	// FaultSeed seeds the injected fault schedule (default 1).
+	FaultSeed int64
 }
 
 func (o ThroughputOptions) withDefaults() ThroughputOptions {
@@ -64,6 +73,11 @@ type ThroughputCell struct {
 	P50ms    float64 `json:"p50_ms"`
 	P95ms    float64 `json:"p95_ms"`
 	P99ms    float64 `json:"p99_ms"`
+	// Fault-tolerance counters, aggregated over the cell's queries
+	// (all zero — and omitted — on a healthy run).
+	Retries  int `json:"retries,omitempty"`
+	Hedged   int `json:"hedged,omitempty"`
+	Partials int `json:"partials,omitempty"`
 }
 
 // ThroughputReport is the experiment's JSON artifact.
@@ -74,11 +88,13 @@ type ThroughputReport struct {
 	// (live document count + order-independent content checksum), so
 	// two reports are known to measure identical data — in particular
 	// a run on a recovered durable store versus a freshly loaded one.
-	DatasetDocs     int              `json:"dataset_docs"`
-	DatasetChecksum string           `json:"dataset_checksum"`
-	GOMAXPROCS      int              `json:"gomaxprocs"`
-	Parallel        int              `json:"parallel"` // the parallel arm's pool width
-	Cells           []ThroughputCell `json:"cells"`
+	DatasetDocs     int    `json:"dataset_docs"`
+	DatasetChecksum string `json:"dataset_checksum"`
+	GOMAXPROCS      int    `json:"gomaxprocs"`
+	Parallel        int    `json:"parallel"` // the parallel arm's pool width
+	// Faults echoes the injected fault specification (empty = healthy).
+	Faults string           `json:"faults,omitempty"`
+	Cells  []ThroughputCell `json:"cells"`
 	// BigQuerySpeedup is QPS(parallel arm)/QPS(parallel=1) on the
 	// big-query workload at one client — pure scatter-gather speedup,
 	// no cross-query concurrency.
@@ -111,9 +127,34 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 	mixed := append(append([]core.STQuery{}, small[:]...), big[:]...)
 
 	// Warm every plan cache so the cells measure execution, not
-	// planning (the paper's warm-state protocol).
+	// planning (the paper's warm-state protocol). Warm-up runs
+	// healthy, before any fault boundary is installed.
 	for _, q := range mixed {
 		s.Query(q)
+	}
+
+	if opts.Faults != "" {
+		specs, err := sharding.ParseFaultSpec(opts.Faults)
+		if err != nil {
+			return err
+		}
+		seed := opts.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		fc := sharding.NewFaultConn(nil, seed)
+		for sid, spec := range specs {
+			fc.SetFault(sid, spec)
+		}
+		s.Cluster().SetConn(fc)
+		s.Cluster().SetResilience(sharding.Resilience{
+			Policy:       sharding.AllowPartial,
+			ShardTimeout: 250 * time.Millisecond,
+		})
+		defer func() {
+			s.Cluster().SetConn(nil)
+			s.Cluster().SetResilience(sharding.Resilience{})
+		}()
 	}
 
 	report := ThroughputReport{
@@ -121,6 +162,7 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 		Shards:     e.Scale.Shards,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Parallel:   opts.Parallel,
+		Faults:     opts.Faults,
 	}
 	report.DatasetDocs, report.DatasetChecksum = datasetFingerprint(s)
 	if report.GOMAXPROCS == 1 {
@@ -185,6 +227,7 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width, clients, ops int) ThroughputCell {
 	latencies := make([]time.Duration, clients*ops)
 	var idx atomic.Int64
+	var retries, hedged, partials atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < clients; c++ {
@@ -194,8 +237,13 @@ func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width,
 			for i := 0; i < ops; i++ {
 				q := qs[(c+i)%len(qs)]
 				t0 := time.Now()
-				s.Query(q)
+				res := s.Query(q)
 				latencies[idx.Add(1)-1] = time.Since(t0)
+				retries.Add(int64(res.Stats.Retries))
+				hedged.Add(int64(res.Stats.Hedged))
+				if res.Stats.Partial {
+					partials.Add(1)
+				}
 			}
 		}(c)
 	}
@@ -222,6 +270,9 @@ func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width,
 		P50ms:    pct(0.50),
 		P95ms:    pct(0.95),
 		P99ms:    pct(0.99),
+		Retries:  int(retries.Load()),
+		Hedged:   int(hedged.Load()),
+		Partials: int(partials.Load()),
 	}
 }
 
@@ -230,10 +281,16 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 	fmt.Fprintf(w, "Throughput: concurrent clients over the parallel scatter-gather router\n")
 	fmt.Fprintf(w, "  R=%d records, %d shards, GOMAXPROCS=%d\n",
 		r.Records, r.Shards, r.GOMAXPROCS)
+	if r.Faults != "" {
+		fmt.Fprintf(w, "  fault injection: %s (allow-partial policy)\n", r.Faults)
+	}
 	header := []string{"Workload", "Parallel", "Clients", "QPS", "p50", "p95", "p99"}
+	if r.Faults != "" {
+		header = append(header, "Retries", "Hedged", "Partials")
+	}
 	var rows [][]string
 	for _, c := range r.Cells {
-		rows = append(rows, []string{
+		row := []string{
 			c.Workload,
 			fmt.Sprintf("%d", c.Parallel),
 			fmt.Sprintf("%d", c.Clients),
@@ -241,7 +298,14 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 			fmt.Sprintf("%.2fms", c.P50ms),
 			fmt.Sprintf("%.2fms", c.P95ms),
 			fmt.Sprintf("%.2fms", c.P99ms),
-		})
+		}
+		if r.Faults != "" {
+			row = append(row,
+				fmt.Sprintf("%d", c.Retries),
+				fmt.Sprintf("%d", c.Hedged),
+				fmt.Sprintf("%d", c.Partials))
+		}
+		rows = append(rows, row)
 	}
 	if err := writeSimpleTable(w, header, rows); err != nil {
 		return err

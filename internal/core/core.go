@@ -120,6 +120,10 @@ type Config struct {
 	Parallel int
 	// QueryConfig tunes per-shard planning.
 	QueryConfig *query.Config
+	// Resilience configures the scatter-gather fault handling
+	// (deadlines, retries, hedging, circuit breaker, partial-result
+	// policy). The zero value is the fail-fast default with retries.
+	Resilience sharding.Resilience
 	// Seed drives deterministic _id generation (default 1).
 	Seed uint64
 	// STHashChars is the spatial precision of the STHash approach
@@ -194,6 +198,7 @@ func (c Config) clusterOptions() sharding.Options {
 		AutoBalanceEvery: c.AutoBalanceEvery,
 		Parallel:         c.Parallel,
 		QueryConfig:      c.QueryConfig,
+		Resilience:       c.Resilience,
 		Dir:              c.Dir,
 		Sync:             c.Sync,
 		SyncBatchBytes:   c.SyncBatchBytes,

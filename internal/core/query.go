@@ -38,6 +38,17 @@ type QueryStats struct {
 	IndexesUsed []string
 	// Broadcast reports whether routing degenerated to all shards.
 	Broadcast bool
+	// Retries is the total number of per-shard retry attempts the
+	// scatter-gather needed (zero on a healthy cluster).
+	Retries int
+	// Hedged counts duplicate attempts launched against stragglers.
+	Hedged int
+	// Partial reports that at least one shard failed; with Policy
+	// AllowPartial the documents cover only the healthy shards.
+	Partial bool
+	// FailedShards lists the shards that contributed nothing, in
+	// ascending order.
+	FailedShards []int
 }
 
 // QueryResult carries the documents and the stats.
@@ -148,6 +159,12 @@ func assembleResult(routed *sharding.RoutedResult, coverStats sfc.RangeStats, co
 		CoverRanges:     coverStats.Ranges - coverStats.Singles,
 		CoverCells:      coverStats.Singles,
 		Broadcast:       routed.Broadcast,
+		Hedged:          routed.Hedged,
+		Partial:         routed.Partial,
+		FailedShards:    routed.FailedShards,
+	}
+	for _, r := range routed.RetriesPerShard {
+		stats.Retries += r
 	}
 	for _, st := range routed.PerShard {
 		stats.IndexesUsed = append(stats.IndexesUsed, st.IndexUsed)

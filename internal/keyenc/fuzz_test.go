@@ -1,0 +1,104 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/bson"
+)
+
+// fuzzValue builds one index-key value from fuzzed raw material. The
+// selector picks the class; the menu covers every scalar class the
+// store indexes (shard-key tuples are numbers, datetimes, strings).
+// Times are built at millisecond granularity — the encoding's own
+// resolution — so logical equality and encoded equality coincide.
+func fuzzValue(sel byte, i int64, f float64, s string) any {
+	switch sel % 6 {
+	case 0:
+		return nil
+	case 1:
+		return i%2 == 0
+	case 2:
+		return i
+	case 3:
+		return f
+	case 4:
+		return s
+	default:
+		// Clamp so UnixMilli round-trips without overflow.
+		const maxMs = int64(1) << 50
+		return time.UnixMilli(i % maxMs).UTC()
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+// FuzzKeyOrdering is the index-correctness property the whole range
+// scan machinery rests on: for any two values, the bytewise order of
+// their encoded keys must agree with the logical BSON comparison
+// order — including across classes (the class bytes mirror the
+// canonical BSON order) and for composite two-field keys, whose
+// concatenated encodings must sort like the tuples.
+func FuzzKeyOrdering(f *testing.F) {
+	f.Add(byte(2), byte(2), int64(1), int64(2), 0.0, 0.0, "", "")
+	f.Add(byte(3), byte(3), int64(0), int64(0), -0.0, 0.0, "", "")          // -0.0 and 0.0 are equal numbers
+	f.Add(byte(3), byte(2), int64(7), int64(7), 7.0, 0.0, "", "")           // int64 7 vs float64 7.0: equal
+	f.Add(byte(4), byte(4), int64(0), int64(0), 0.0, 0.0, "a", "a\x00")     // embedded NUL after a prefix
+	f.Add(byte(4), byte(4), int64(0), int64(0), 0.0, 0.0, "ab", "a")        // extension sorts after prefix
+	f.Add(byte(0), byte(1), int64(0), int64(0), 0.0, 0.0, "", "")           // null vs bool: class order
+	f.Add(byte(5), byte(5), int64(-1), int64(1), 0.0, 0.0, "", "")          // times straddling the epoch
+	f.Add(byte(2), byte(3), int64(-5), int64(0), math.Inf(-1), 0.0, "", "") // -inf below any finite
+	f.Fuzz(func(t *testing.T, selA, selB byte, ia, ib int64, fa, fb float64, sa, sb string) {
+		if math.IsNaN(fa) || math.IsNaN(fb) {
+			t.Skip("NaN has no total order in BSON comparison")
+		}
+		a := fuzzValue(selA, ia, fa, sa)
+		b := fuzzValue(selB, ib, fb, sb)
+
+		ka, kb := Encode(a), Encode(b)
+		want := sign(bson.Compare(a, b))
+		if got := sign(Compare(ka, kb)); got != want {
+			t.Fatalf("encoded order %d disagrees with logical order %d\na=%#v  key=%x\nb=%#v  key=%x",
+				got, want, a, ka, b, kb)
+		}
+		// Equal values must encode identically, or index lookups by
+		// key would miss them.
+		if want == 0 && !bytes.Equal(ka, kb) {
+			t.Fatalf("equal values encode differently: %x vs %x", ka, kb)
+		}
+
+		// Composite keys: (a, b) vs (b, a) must sort like the tuples —
+		// first component decides, the second breaks ties. This is the
+		// shard-key (hilbertIndex, date) layout.
+		ca, cb := EncodeComposite(a, b), EncodeComposite(b, a)
+		tupleWant := want
+		if tupleWant == 0 {
+			tupleWant = sign(bson.Compare(b, a))
+		}
+		if got := sign(Compare(ca, cb)); got != tupleWant {
+			t.Fatalf("composite order %d disagrees with tuple order %d\n(a,b)=%x\n(b,a)=%x",
+				got, tupleWant, ca, cb)
+		}
+
+		// Every encoding must be self-delimiting: ComponentLen has to
+		// recover the first component's exact length from the
+		// composite, or skip scans would mis-split keys.
+		n, err := ComponentLen(ca)
+		if err != nil {
+			t.Fatalf("ComponentLen failed on %x: %v", ca, err)
+		}
+		if n != len(ka) {
+			t.Fatalf("ComponentLen = %d, want %d (key %x)", n, len(ka), ca)
+		}
+	})
+}

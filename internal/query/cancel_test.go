@@ -1,0 +1,93 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestExecuteCtxCancelledBeforeStart: a context cancelled before the
+// call must abort the execution and return the context's error, not a
+// partial result.
+func TestExecuteCtxCancelledBeforeStart(t *testing.T) {
+	c := newCollWithIndexes(t, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ExecuteCtx(ctx, c, Cmp{Field: "hilbertIndex", Op: OpGTE, Value: int64(0)}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled execution returned a result")
+	}
+}
+
+// TestExecuteCtxDeadlineStopsMidScan: an already-expired deadline
+// stops a broadcast-sized scan cooperatively — the executor checks
+// the context every cancelCheckWorks work units, so even a scan that
+// would examine every document returns promptly with DeadlineExceeded.
+func TestExecuteCtxDeadlineStopsMidScan(t *testing.T) {
+	c := newCollWithIndexes(t, 5000)
+	wide := Cmp{Field: "hilbertIndex", Op: OpGTE, Value: int64(0)}
+	// Warm the plan cache so the cancellation exercises the cached-plan
+	// path the router hits in steady state.
+	if res := Execute(c, wide, nil); res.Stats.NReturned != 5000 {
+		t.Fatalf("warmup returned %d docs", res.Stats.NReturned)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	res, err := ExecuteCtx(ctx, c, wide, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatal("expired execution returned a result")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestExecuteCtxBackgroundIdentity: ExecuteCtx with a background
+// context is exactly Execute — same docs, same counters — so the
+// fault boundary costs the happy path nothing observable.
+func TestExecuteCtxBackgroundIdentity(t *testing.T) {
+	c := newCollWithIndexes(t, 2000)
+	f := NewAnd(
+		Cmp{Field: "hilbertIndex", Op: OpGTE, Value: int64(10000)},
+		Cmp{Field: "hilbertIndex", Op: OpLTE, Value: int64(60000)},
+	)
+	base := Execute(c, f, nil)
+	res, err := ExecuteCtx(context.Background(), c, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Docs, base.Docs) {
+		t.Fatal("docs differ between Execute and ExecuteCtx")
+	}
+	if res.Stats.KeysExamined != base.Stats.KeysExamined ||
+		res.Stats.DocsExamined != base.Stats.DocsExamined ||
+		res.Stats.NReturned != base.Stats.NReturned ||
+		res.Stats.IndexUsed != base.Stats.IndexUsed {
+		t.Fatalf("stats differ: %+v vs %+v", res.Stats, base.Stats)
+	}
+}
+
+// TestExecuteCtxCollScanCancel: cancellation also stops the COLLSCAN
+// path (no usable index), which checks the context on the document
+// counter instead of the key counter.
+func TestExecuteCtxCollScanCancel(t *testing.T) {
+	c := buildCollection(t, 3000) // no indexes: every plan is a collection scan
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ExecuteCtx(ctx, c, Cmp{Field: "hilbertIndex", Op: OpGTE, Value: int64(0)}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled collscan returned a result")
+	}
+}

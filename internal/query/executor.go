@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/bson"
@@ -56,13 +57,28 @@ type Result struct {
 // shape the plan cache makes planning a bounds rebuild without
 // trials, like the server's warm state.
 func Execute(coll *collection.Collection, f Filter, cfg *Config) *Result {
+	// context.Background never cancels, so the error path is dead.
+	res, _ := ExecuteCtx(context.Background(), coll, f, cfg)
+	return res
+}
+
+// ExecuteCtx is Execute with cooperative cancellation: the scan checks
+// ctx periodically (every cancelCheckWorks work units, so the
+// happy-path cost is one nil comparison) and stops mid-scan once the
+// context is cancelled or its deadline passes, returning ctx's error.
+// The sharded router threads per-query and per-shard deadlines down
+// through this.
+func ExecuteCtx(ctx context.Context, coll *collection.Collection, f Filter, cfg *Config) (*Result, error) {
 	start := time.Now()
 	if plan, budget, entry, ok := cachedPlan(coll, f, cfg); ok {
-		stats, docs, completed := runPlan(coll, plan, budget, true)
+		stats, docs, completed, err := runPlanCtx(ctx, coll, plan, budget, true)
+		if err != nil {
+			return nil, err
+		}
 		if completed {
 			stats.Duration = time.Since(start)
 			stats.IndexUsed = plan.Name()
-			return &Result{Docs: docs, Stats: stats}
+			return &Result{Docs: docs, Stats: stats}, nil
 		}
 		// The cached plan blew its works budget: evict and replan,
 		// like the server. The eviction is conditional on the entry we
@@ -71,11 +87,14 @@ func Execute(coll *collection.Collection, f Filter, cfg *Config) *Result {
 		evictPlan(coll, f, entry)
 	}
 	plan, trials := ChoosePlan(coll, f, cfg)
-	stats, docs, _ := runPlan(coll, plan, 0, true)
+	stats, docs, _, err := runPlanCtx(ctx, coll, plan, 0, true)
+	if err != nil {
+		return nil, err
+	}
 	rememberPlan(coll, f, plan, stats.KeysExamined+stats.DocsExamined)
 	stats.Duration = time.Since(start)
 	stats.IndexUsed = plan.Name()
-	return &Result{Docs: docs, Stats: stats, Trials: trials}
+	return &Result{Docs: docs, Stats: stats, Trials: trials}, nil
 }
 
 // MatchingRecords plans and runs the filter, returning the record ids
@@ -124,19 +143,42 @@ func ExecutePlan(coll *collection.Collection, plan *Plan) *Result {
 	return &Result{Docs: docs, Stats: stats}
 }
 
-// runPlan executes the plan. maxWorks bounds keys examined plus
+// cancelCheckWorks is how many work units (keys examined + documents
+// fetched) a scan processes between context checks: frequent enough
+// that a cancelled broadcast stops within microseconds, rare enough
+// that the uncancelled path stays unmeasurable.
+const cancelCheckWorks = 256
+
+// runPlan executes the plan without cancellation (plan trials and the
+// write path's record lookups).
+func runPlan(coll *collection.Collection, p *Plan, maxWorks int, collect bool) (ExecStats, []bson.Raw, bool) {
+	stats, docs, completed, _ := runPlanCtx(context.Background(), coll, p, maxWorks, collect)
+	return stats, docs, completed
+}
+
+// runPlanCtx executes the plan. maxWorks bounds keys examined plus
 // documents fetched (0 = unlimited); collect controls whether
 // matching documents are collected. completed reports whether the
-// plan ran to the end within the budget.
-func runPlan(coll *collection.Collection, p *Plan, maxWorks int, collect bool) (ExecStats, []bson.Raw, bool) {
+// plan ran to the end within the budget. A non-nil error means the
+// context cancelled the scan mid-flight; the partial stats and docs
+// are discarded by callers.
+func runPlanCtx(ctx context.Context, coll *collection.Collection, p *Plan, maxWorks int, collect bool) (ExecStats, []bson.Raw, bool, error) {
 	var stats ExecStats
 	var docs []bson.Raw
+	var ctxErr error
 	if p.Index == nil {
-		completed := runCollScan(coll, p.Filter, maxWorks, collect, &stats, &docs)
-		return stats, docs, completed
+		completed := runCollScan(ctx, coll, p.Filter, maxWorks, collect, &stats, &docs, &ctxErr)
+		return stats, docs, completed, ctxErr
 	}
 	budgetLeft := func() bool {
-		return maxWorks == 0 || stats.KeysExamined+stats.DocsExamined < maxWorks
+		works := stats.KeysExamined + stats.DocsExamined
+		if works%cancelCheckWorks == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
+		}
+		return maxWorks == 0 || works < maxWorks
 	}
 	emit := func(id storage.RecordID) bool {
 		stats.DocsExamined++
@@ -164,12 +206,15 @@ func runPlan(coll *collection.Collection, p *Plan, maxWorks int, collect bool) (
 		} else {
 			stats.KeysExamined += skipScan(p.Index, seg, emit)
 		}
+		if ctxErr != nil {
+			return stats, docs, false, ctxErr
+		}
 		if !budgetLeft() {
 			completed = false
 			break
 		}
 	}
-	return stats, docs, completed
+	return stats, docs, completed, ctxErr
 }
 
 // skipScan scans the segment's interval applying the sub-bounds on
@@ -223,7 +268,7 @@ func skipScan(ix *index.Index, seg Segment, emit func(storage.RecordID) bool) in
 	}
 }
 
-func runCollScan(coll *collection.Collection, f Filter, maxWorks int, collect bool, stats *ExecStats, docs *[]bson.Raw) bool {
+func runCollScan(ctx context.Context, coll *collection.Collection, f Filter, maxWorks int, collect bool, stats *ExecStats, docs *[]bson.Raw, ctxErr *error) bool {
 	completed := true
 	coll.Store().Walk(func(id storage.RecordID, raw []byte) bool {
 		stats.DocsExamined++
@@ -231,6 +276,13 @@ func runCollScan(coll *collection.Collection, f Filter, maxWorks int, collect bo
 			stats.NReturned++
 			if collect {
 				*docs = append(*docs, bson.Raw(raw))
+			}
+		}
+		if stats.DocsExamined%cancelCheckWorks == 0 {
+			if err := ctx.Err(); err != nil {
+				*ctxErr = err
+				completed = false
+				return false
 			}
 		}
 		if maxWorks > 0 && stats.DocsExamined >= maxWorks {

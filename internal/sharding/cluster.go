@@ -65,6 +65,15 @@ type Options struct {
 	// nodes, result counts, the modelled max-duration) are
 	// order-independent and identical at every pool width.
 	Parallel int
+	// Resilience configures the router's fault handling: per-query
+	// and per-shard deadlines, retry/backoff, hedging, circuit
+	// breakers, and the FailFast/AllowPartial policy. The zero value
+	// is filled with defaults (fail fast, 3 attempts, no timeouts).
+	Resilience Resilience
+	// Conn is the per-shard execution boundary; nil means LocalConn
+	// (the in-process call). Tests and benchmarks install a FaultConn
+	// here to inject shard-level failures.
+	Conn ShardConn
 	// Dir, when non-empty, makes the cluster durable: every write is
 	// framed into a write-ahead journal under this directory and
 	// Checkpoint() snapshots the full state there. Durable clusters
@@ -105,6 +114,10 @@ func (o Options) withDefaults() Options {
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
 	}
+	o.Resilience = o.Resilience.withDefaults()
+	if o.Conn == nil {
+		o.Conn = LocalConn{}
+	}
 	return o
 }
 
@@ -132,6 +145,12 @@ type Cluster struct {
 	migrations   int
 	jumbo        int
 
+	// conn is the per-shard execution boundary (Options.Conn,
+	// defaulted to LocalConn) and breakers the per-shard circuit
+	// breakers, indexed by shard id (entries nil when disabled).
+	conn     ShardConn
+	breakers []*breaker
+
 	// dur is the journaling state of a durable cluster (see
 	// durability.go); nil for in-memory clusters.
 	dur *durability
@@ -140,15 +159,54 @@ type Cluster struct {
 // NewCluster creates the shards.
 func NewCluster(opts Options) *Cluster {
 	opts = opts.withDefaults()
-	c := &Cluster{opts: opts}
+	c := &Cluster{opts: opts, conn: opts.Conn}
 	for i := 0; i < opts.Shards; i++ {
 		c.shards = append(c.shards, &Shard{
 			ID:   i,
 			Name: fmt.Sprintf("shard%02d", i),
 			Coll: collection.New(opts.CollectionName),
 		})
+		c.breakers = append(c.breakers, newBreaker(opts.Resilience))
 	}
 	return c
+}
+
+// SetConn swaps the per-shard execution boundary (nil restores the
+// in-process LocalConn). Tests and the fault-injection benchmarks
+// install a FaultConn here on a loaded cluster.
+func (c *Cluster) SetConn(conn ShardConn) {
+	if conn == nil {
+		conn = LocalConn{}
+	}
+	c.mu.Lock()
+	c.conn = conn
+	c.opts.Conn = conn
+	c.mu.Unlock()
+}
+
+// SetResilience replaces the fault-handling configuration (defaults
+// filled) and resets every shard's circuit breaker to match.
+func (c *Cluster) SetResilience(r Resilience) {
+	r = r.withDefaults()
+	c.mu.Lock()
+	c.opts.Resilience = r
+	for i := range c.breakers {
+		c.breakers[i] = newBreaker(r)
+	}
+	c.mu.Unlock()
+}
+
+// BreakerStates reports each shard's circuit-breaker state
+// ("closed", "open", "half-open", or "disabled"), indexed by shard
+// id — observability for the CLIs.
+func (c *Cluster) BreakerStates() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.breakers))
+	for i, b := range c.breakers {
+		out[i] = b.snapshotState()
+	}
+	return out
 }
 
 // Shards returns the cluster's shards.

@@ -2,6 +2,8 @@ package sharding
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,7 +25,8 @@ type RoutedResult struct {
 	// TargetedShards lists the shard ids, ascending.
 	TargetedShards []int
 	// PerShard holds each targeted shard's execution stats, in
-	// TargetedShards order.
+	// TargetedShards order. A shard that failed (see FailedShards)
+	// contributes a zero entry with IndexUsed "".
 	PerShard []query.ExecStats
 	// MaxKeysExamined and MaxDocsExamined are the maxima over the
 	// targeted shards — the paper's "keys examined" and "documents
@@ -32,14 +35,37 @@ type RoutedResult struct {
 	MaxDocsExamined int
 	// TotalReturned is the merged result count.
 	TotalReturned int
-	// Duration models the scatter-gather wall time on dedicated
-	// nodes: the maximum per-shard execution time (shards work in
-	// parallel on their own machines in the paper's deployment) plus
-	// the router's merge time.
+	// Duration models the scatter-gather wall time: the makespan of
+	// the per-shard execution times on the bounded worker pool
+	// (Options.Parallel workers, greedy earliest-free dispatch in
+	// TargetedShards order — with a pool at least as wide as the
+	// target list this is the slowest shard, the paper's
+	// dedicated-node model; narrower pools execute in waves and the
+	// model accounts for them), plus the router's merge time.
 	Duration time.Duration
 	// Broadcast reports whether the router could not constrain the
 	// shard key and had to target every shard owning chunks.
 	Broadcast bool
+
+	// FailedShards lists the targeted shards (ascending) that
+	// produced no result — exhausted retries, hard-down, circuit
+	// breaker open, or deadline expiry. Empty on the healthy path.
+	FailedShards []int
+	// RetriesPerShard counts the retry attempts (beyond the first try)
+	// per targeted shard, aligned with TargetedShards; nil when no
+	// shard was retried.
+	RetriesPerShard []int
+	// Hedged counts the hedged (duplicate straggler) attempts the
+	// router launched for this query.
+	Hedged int
+	// Partial reports a degraded answer: at least one targeted shard
+	// failed. Under Policy AllowPartial the merged Docs hold every
+	// healthy shard's results; under FailFast Docs are dropped and
+	// Err is set — the result is never silently short.
+	Partial bool
+	// Err is the terminal error under Policy FailFast (nil otherwise
+	// and on every healthy query).
+	Err error
 }
 
 // tupleRange is a half-open range [Lo, Hi) over encoded shard-key
@@ -60,12 +86,27 @@ func (r tupleRange) overlapsChunk(ch *Chunk) bool {
 }
 
 // Query routes the filter to the shards owning potentially matching
-// chunks, executes it on each, and merges the results. The per-shard
-// executions fan out over a bounded worker pool of Options.Parallel
-// goroutines (1 = sequential) — in the simulated deployment every
-// shard is a dedicated node, so genuine fan-out is the faithful
-// execution model, and the modelled wall time stays the slowest
-// shard's execution time plus the router's merge work, not the sum.
+// chunks, executes it on each, and merges the results. It is
+// QueryCtx without a caller deadline; the terminal error (possible
+// only under fault injection or configured timeouts with Policy
+// FailFast) is carried in RoutedResult.Err.
+func (c *Cluster) Query(f query.Filter) *RoutedResult {
+	res, _ := c.QueryCtx(context.Background(), f)
+	return res
+}
+
+// QueryCtx is the full scatter-gather: route the filter, execute it
+// on every targeted shard through the cluster's ShardConn fault
+// boundary, and merge deterministically. The per-shard executions fan
+// out over a bounded worker pool of Options.Parallel goroutines (1 =
+// sequential); each shard execution gets per-attempt deadlines,
+// retries with capped exponential backoff on transient failures,
+// optional hedging for stragglers, and a per-shard circuit breaker.
+// ctx (tightened by Resilience.QueryTimeout) cancels cooperatively
+// mid-scan. A shard that stays failed is handled per
+// Resilience.Policy: FailFast aborts the query (non-nil error, Docs
+// dropped), AllowPartial returns the healthy shards' merge with
+// Partial=true and the failure listed in FailedShards.
 //
 // The cluster read-lock is held for the whole scatter-gather: queries
 // run concurrently with each other but never interleave with a chunk
@@ -73,21 +114,32 @@ func (r tupleRange) overlapsChunk(ch *Chunk) bool {
 // applies to in-flight migrations. The merge is deterministic: docs
 // and per-shard stats are assembled in TargetedShards order, so the
 // output is byte-identical regardless of shard completion order.
-func (c *Cluster) Query(f query.Filter) *RoutedResult {
+func (c *Cluster) QueryCtx(ctx context.Context, f query.Filter) (*RoutedResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if qt := c.opts.Resilience.QueryTimeout; qt > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, qt)
+		defer cancel()
+	}
+	qctx, abort := context.WithCancel(ctx)
+	defer abort()
 	targets, broadcast := c.routeLocked(f)
 	res := &RoutedResult{
 		ShardsTargeted: len(targets),
 		TargetedShards: targets,
 		Broadcast:      broadcast,
 	}
-	perShard := make([]*query.Result, len(targets))
+	outcomes := make([]shardOutcome, len(targets))
+	failFast := c.opts.Resilience.Policy == FailFast
 	c.scatterLocked(len(targets), func(i int) {
-		perShard[i] = query.Execute(c.shards[targets[i]].Coll, f, c.opts.QueryConfig)
+		outcomes[i] = c.runShard(qctx, targets[i], f)
+		if outcomes[i].err != nil && failFast {
+			abort() // cancel the in-flight sibling executions
+		}
 	})
-	mergeLocked(res, perShard)
-	return res
+	c.foldLocked(res, outcomes)
+	return res, res.Err
 }
 
 // QueryBatch routes and executes independent filters through one
@@ -97,10 +149,29 @@ func (c *Cluster) Query(f query.Filter) *RoutedResult {
 // input order; each entry is merged deterministically exactly like
 // Query's. The throughput experiment and cmd/stquery -f drive this.
 func (c *Cluster) QueryBatch(fs []query.Filter) []*RoutedResult {
+	results, _ := c.QueryBatchCtx(context.Background(), fs)
+	return results
+}
+
+// QueryBatchCtx is QueryBatch under a caller context. Fault handling
+// is per entry (retries, hedging, breaker, partial marking), but
+// under Policy FailFast the batch is one operation: the first
+// unrecoverable shard failure cancels the whole batch, and the
+// returned error is the first entry's terminal error (each entry's
+// own is in its Err field). Resilience.QueryTimeout bounds the whole
+// batch.
+func (c *Cluster) QueryBatchCtx(ctx context.Context, fs []query.Filter) ([]*RoutedResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if qt := c.opts.Resilience.QueryTimeout; qt > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, qt)
+		defer cancel()
+	}
+	qctx, abort := context.WithCancel(ctx)
+	defer abort()
 	results := make([]*RoutedResult, len(fs))
-	perQuery := make([][]*query.Result, len(fs))
+	outcomes := make([][]shardOutcome, len(fs))
 	type task struct{ q, t int }
 	var tasks []task
 	for qi, f := range fs {
@@ -110,20 +181,187 @@ func (c *Cluster) QueryBatch(fs []query.Filter) []*RoutedResult {
 			TargetedShards: targets,
 			Broadcast:      broadcast,
 		}
-		perQuery[qi] = make([]*query.Result, len(targets))
+		outcomes[qi] = make([]shardOutcome, len(targets))
 		for ti := range targets {
 			tasks = append(tasks, task{qi, ti})
 		}
 	}
+	failFast := c.opts.Resilience.Policy == FailFast
 	c.scatterLocked(len(tasks), func(i int) {
 		qi, ti := tasks[i].q, tasks[i].t
 		sid := results[qi].TargetedShards[ti]
-		perQuery[qi][ti] = query.Execute(c.shards[sid].Coll, fs[qi], c.opts.QueryConfig)
+		outcomes[qi][ti] = c.runShard(qctx, sid, fs[qi])
+		if outcomes[qi][ti].err != nil && failFast {
+			abort()
+		}
 	})
+	var firstErr error
 	for qi := range results {
-		mergeLocked(results[qi], perQuery[qi])
+		c.foldLocked(results[qi], outcomes[qi])
+		if firstErr == nil && results[qi].Err != nil {
+			firstErr = results[qi].Err
+		}
 	}
-	return results
+	return results, firstErr
+}
+
+// shardOutcome is one shard's fate within a scatter.
+type shardOutcome struct {
+	res     *query.Result
+	retries int
+	hedged  int
+	err     error
+}
+
+// runShard executes the filter on one shard through the fault
+// boundary: circuit-breaker admission, up to Resilience.MaxAttempts
+// attempts with capped exponential backoff (deterministic jitter)
+// between transient failures, per-attempt deadlines and hedging
+// inside attemptShard.
+func (c *Cluster) runShard(ctx context.Context, sid int, f query.Filter) shardOutcome {
+	r := c.opts.Resilience
+	brk := c.breakers[sid]
+	var out shardOutcome
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			out.err = err
+			return out
+		}
+		if !brk.allow() {
+			out.err = &ShardError{Shard: sid, Err: ErrBreakerOpen}
+			return out
+		}
+		res, hedged, err := c.attemptShard(ctx, sid, f)
+		out.hedged += hedged
+		if err == nil {
+			brk.onSuccess()
+			out.res = res
+			return out
+		}
+		if !errors.Is(err, context.Canceled) {
+			// A query aborted elsewhere (FailFast sibling failure,
+			// caller cancel) is not this shard's fault; everything
+			// else — injected faults, per-attempt timeouts — feeds the
+			// breaker's failure tracking.
+			brk.onFailure()
+		}
+		if !IsTransient(err) || attempt+1 >= r.MaxAttempts {
+			out.err = err
+			return out
+		}
+		out.retries++
+		if !sleepCtx(ctx, backoffDelay(r, sid, attempt)) {
+			out.err = ctx.Err()
+			return out
+		}
+	}
+}
+
+// attemptShard runs a single (possibly hedged) attempt under the
+// per-shard deadline. With hedging enabled, a duplicate execution
+// launches once the first has been silent for Resilience.HedgeAfter,
+// and whichever response lands first wins; the loser's scan stops at
+// the shared attempt context's cancellation.
+func (c *Cluster) attemptShard(ctx context.Context, sid int, f query.Filter) (*query.Result, int, error) {
+	r := c.opts.Resilience
+	var cancel context.CancelFunc
+	if r.ShardTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, r.ShardTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	shard := c.shards[sid]
+	if r.HedgeAfter <= 0 {
+		res, err := c.conn.Query(ctx, shard, f, c.opts.QueryConfig)
+		return res, 0, err
+	}
+	type reply struct {
+		res *query.Result
+		err error
+	}
+	ch := make(chan reply, 2)
+	launch := func() {
+		go func() {
+			res, err := c.conn.Query(ctx, shard, f, c.opts.QueryConfig)
+			ch <- reply{res, err}
+		}()
+	}
+	launch()
+	timer := time.NewTimer(r.HedgeAfter)
+	defer timer.Stop()
+	select {
+	case rep := <-ch:
+		return rep.res, 0, rep.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	case <-timer.C:
+	}
+	launch()
+	select {
+	case rep := <-ch:
+		return rep.res, 1, rep.err
+	case <-ctx.Done():
+		return nil, 1, ctx.Err()
+	}
+}
+
+// foldLocked turns the per-shard outcomes into the routed result:
+// failure bookkeeping (FailedShards, RetriesPerShard, Hedged,
+// Partial, Err per the policy) followed by the deterministic merge of
+// the healthy results.
+func (c *Cluster) foldLocked(res *RoutedResult, outcomes []shardOutcome) {
+	perShard := make([]*query.Result, len(outcomes))
+	anyRetries := false
+	for i, o := range outcomes {
+		if o.err == nil {
+			perShard[i] = o.res
+		} else {
+			res.FailedShards = append(res.FailedShards, res.TargetedShards[i])
+		}
+		res.Hedged += o.hedged
+		if o.retries > 0 {
+			anyRetries = true
+		}
+	}
+	if anyRetries {
+		res.RetriesPerShard = make([]int, len(outcomes))
+		for i, o := range outcomes {
+			res.RetriesPerShard[i] = o.retries
+		}
+	}
+	mergeLocked(res, perShard, c.opts.Parallel)
+	if len(res.FailedShards) == 0 {
+		return
+	}
+	res.Partial = true
+	if c.opts.Resilience.Policy == FailFast {
+		// FailFast never hands out a short merge: keep the per-shard
+		// stats for observability, drop the merged docs and count,
+		// surface the root cause.
+		res.Docs = nil
+		res.TotalReturned = 0
+		res.Err = rootCause(outcomes)
+	}
+}
+
+// rootCause picks the terminal error: the first failure that is not a
+// secondary cancellation (a FailFast abort cancels the siblings of
+// the shard that actually failed), falling back to the first failure.
+func rootCause(outcomes []shardOutcome) error {
+	var first error
+	for _, o := range outcomes {
+		if o.err == nil {
+			continue
+		}
+		if first == nil {
+			first = o.err
+		}
+		if !errors.Is(o.err, context.Canceled) {
+			return o.err
+		}
+	}
+	return first
 }
 
 // scatterLocked runs fn(0..n-1) on the cluster's bounded worker pool.
@@ -161,19 +399,21 @@ func (c *Cluster) scatterLocked(n int, fn func(i int)) {
 }
 
 // mergeLocked folds the per-shard results into res in TargetedShards
-// order. Docs and PerShard are preallocated to their exact final
-// sizes (Σ NReturned / number of targets) so large broadcasts do not
-// pay repeated append growth. The modelled Duration is the maximum
-// per-shard execution time (shards are dedicated nodes working in
-// parallel) plus the router's own merge time — order-independent, so
-// identical at every pool width.
-func mergeLocked(res *RoutedResult, perShard []*query.Result) {
-	var slowest time.Duration
+// order; a nil entry is a failed shard (zero stats, no docs). Docs
+// and PerShard are preallocated to their exact final sizes
+// (Σ NReturned / number of targets) so large broadcasts do not pay
+// repeated append growth. The modelled Duration is the pool makespan
+// of the per-shard execution times at the given width plus the
+// router's own merge time — order-independent, so identical at every
+// completion order.
+func mergeLocked(res *RoutedResult, perShard []*query.Result, width int) {
+	durs := make([]time.Duration, 0, len(perShard))
 	total := 0
 	for _, r := range perShard {
-		if r.Stats.Duration > slowest {
-			slowest = r.Stats.Duration
+		if r == nil {
+			continue
 		}
+		durs = append(durs, r.Stats.Duration)
 		total += r.Stats.NReturned
 	}
 	mergeStart := time.Now()
@@ -184,6 +424,10 @@ func mergeLocked(res *RoutedResult, perShard []*query.Result) {
 		res.Docs = make([]bson.Raw, 0, total)
 	}
 	for _, r := range perShard {
+		if r == nil {
+			res.PerShard = append(res.PerShard, query.ExecStats{})
+			continue
+		}
 		res.PerShard = append(res.PerShard, r.Stats)
 		res.Docs = append(res.Docs, r.Docs...)
 		res.TotalReturned += r.Stats.NReturned
@@ -194,7 +438,49 @@ func mergeLocked(res *RoutedResult, perShard []*query.Result) {
 			res.MaxDocsExamined = r.Stats.DocsExamined
 		}
 	}
-	res.Duration = slowest + time.Since(mergeStart)
+	res.Duration = poolMakespan(durs, width) + time.Since(mergeStart)
+}
+
+// poolMakespan models the scatter wall time of the per-shard
+// execution times on a pool of width workers: greedy in-order
+// dispatch to the earliest-free worker, exactly scatterLocked's task
+// counter. A pool at least as wide as the task list yields the
+// maximum (every shard on its own worker — the paper's
+// dedicated-node deployment); width 1 yields the sum (the historical
+// sequential router); anything between executes in waves.
+func poolMakespan(durs []time.Duration, width int) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	if width >= len(durs) {
+		var slowest time.Duration
+		for _, d := range durs {
+			if d > slowest {
+				slowest = d
+			}
+		}
+		return slowest
+	}
+	if width < 1 {
+		width = 1
+	}
+	workers := make([]time.Duration, width)
+	for _, d := range durs {
+		wi := 0
+		for j := 1; j < width; j++ {
+			if workers[j] < workers[wi] {
+				wi = j
+			}
+		}
+		workers[wi] += d
+	}
+	var makespan time.Duration
+	for _, w := range workers {
+		if w > makespan {
+			makespan = w
+		}
+	}
+	return makespan
 }
 
 // Explain routes the filter and returns each targeted shard's full
