@@ -29,13 +29,15 @@ race:
 check: build test vet race
 
 # A short shake of the fuzz targets: the BSON decoder must be total
-# (crash recovery feeds it torn and bit-flipped journal bytes), and
-# the key encoding's byte order must agree with the logical BSON order
-# (every index range scan rests on it).
+# (crash recovery feeds it torn and bit-flipped journal bytes), the
+# key encoding's byte order must agree with the logical BSON order
+# (every index range scan rests on it), and journal recovery must
+# never panic or replay a corrupt frame whatever bytes are on disk.
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	$(GO) test ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 30s
 	$(GO) test ./internal/keyenc -fuzz FuzzKeyOrdering -fuzztime 30s
+	$(GO) test ./internal/wal -fuzz FuzzFrameRecover -fuzztime 30s
 
 .PHONY: bench
 bench:

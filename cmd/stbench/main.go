@@ -6,6 +6,7 @@
 //	stbench [-exp id[,id...]] [-records n] [-shards n] [-runs n] [-list] [-quiet]
 //	        [-clients n,n,...] [-parallel n] [-out path]
 //	        [-faults spec] [-fault-seed n]
+//	        [-replicas n] [-read-pref p] [-write-concern w]
 //
 // Examples:
 //
@@ -43,6 +44,9 @@ func main() {
 		out       = flag.String("out", "", "throughput: JSON report path (default BENCH_throughput.json, '-' disables)")
 		faults    = flag.String("faults", "", "throughput: per-shard fault injection, e.g. '0:down,2:slow=2ms,3:flaky=1' (allow-partial policy)")
 		faultSeed = flag.Int64("fault-seed", 1, "throughput: seed for the injected fault schedule")
+		replicas  = flag.Int("replicas", 0, "throughput: followers per shard primary (0 = no replication)")
+		readPref  = flag.String("read-pref", "", "throughput: primary | primaryPreferred | nearest[=maxLagLSN]")
+		concern   = flag.String("write-concern", "", "throughput: primary | majority | all")
 	)
 	flag.Parse()
 
@@ -98,7 +102,11 @@ func main() {
 
 	fmt.Printf("stbench: %d shards, R=%d records, S=%d records, %d+%d runs/query\n\n",
 		scale.Shards, scale.RRecords, 2*scale.RRecords, scale.Warmup, scale.Runs)
-	topts := bench.ThroughputOptions{Parallel: *parallel, OutPath: *out, Faults: *faults, FaultSeed: *faultSeed}
+	topts := bench.ThroughputOptions{
+		Parallel: *parallel, OutPath: *out,
+		Faults: *faults, FaultSeed: *faultSeed,
+		Replicas: *replicas, ReadPref: *readPref, WriteConcern: *concern,
+	}
 	if *clients != "" {
 		for _, part := range strings.Split(*clients, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

@@ -26,6 +26,14 @@
 //
 //	stquery -faults "0:down,2:slow=2ms" -rect ... -from ... -to ...
 //
+// With -replicas N every shard becomes a replica group: a downed
+// primary fails over to a follower (and promotes it), so the same
+// query that printed PARTIAL now returns complete results and prints
+// failover/replica-read counters. -read-pref and -write-concern tune
+// the read path and write acknowledgement:
+//
+//	stquery -replicas 2 -faults "1:down" -rect ... -from ... -to ...
+//
 // Omitting -rect/-from/-to/-f runs the paper's eight queries
 // (Q1s..Q4b).
 package main
@@ -42,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/geo"
+	"repro/internal/replication"
 	"repro/internal/sharding"
 )
 
@@ -60,8 +69,20 @@ func main() {
 		parallel = flag.Int("parallel", 0, "scatter-gather pool width (0 = GOMAXPROCS, 1 = sequential)")
 		dir      = flag.String("dir", "", "reopen a durable store directory instead of loading")
 		faults   = flag.String("faults", "", "per-shard fault injection, e.g. '0:down,2:slow=2ms' (allow-partial policy)")
+		replicas = flag.Int("replicas", 0, "followers per shard primary (0 = no replication)")
+		readPref = flag.String("read-pref", "", "primary | primaryPreferred | nearest[=maxLagLSN]")
+		concern  = flag.String("write-concern", "", "primary | majority | all")
 	)
 	flag.Parse()
+
+	pref, err := sharding.ParseReadPref(*readPref)
+	if err != nil {
+		fatal("stquery: bad -read-pref: %v", err)
+	}
+	wc, err := replication.ParseWriteConcern(*concern)
+	if err != nil {
+		fatal("stquery: bad -write-concern: %v", err)
+	}
 
 	var s *core.Store
 	if *dir != "" {
@@ -99,6 +120,18 @@ func main() {
 			}
 		}
 	}
+
+	if *replicas > 0 {
+		// Replication is enabled after the load: followers clone the
+		// loaded primaries once instead of replaying every insert.
+		if err := s.Cluster().SetReplicas(*replicas); err != nil {
+			fatal("stquery: -replicas: %v", err)
+		}
+		s.Cluster().SetWriteConcern(wc)
+		fmt.Fprintf(os.Stderr, "replication: %d followers per shard (write concern %s, read pref %s)\n",
+			*replicas, wc, pref)
+	}
+	s.Cluster().SetReadPref(pref)
 
 	if *faults != "" {
 		specs, err := sharding.ParseFaultSpec(*faults)
@@ -235,6 +268,12 @@ func printResult(name string, res *core.QueryResult) {
 	}
 	if st.Partial {
 		fmt.Printf(" PARTIAL failed=%v", st.FailedShards)
+	}
+	if st.FailedOver > 0 {
+		fmt.Printf(" failedOver=%d", st.FailedOver)
+	}
+	if st.ReplicaReads > 0 {
+		fmt.Printf(" replicaReads=%d maxLag=%d", st.ReplicaReads, st.MaxLagLSN)
 	}
 	if st.Retries > 0 {
 		fmt.Printf(" retries=%d", st.Retries)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replication"
 	"repro/internal/sharding"
 )
 
@@ -44,6 +45,18 @@ type ThroughputOptions struct {
 	Faults string
 	// FaultSeed seeds the injected fault schedule (default 1).
 	FaultSeed int64
+	// Replicas, when positive, turns every shard into a replica group
+	// with that many followers before the measurement: a downed
+	// primary fails over to a replica instead of producing partial
+	// results, and the report gains failover/replica-read/lag cells.
+	Replicas int
+	// ReadPref is the read-preference spec, sharding.ParseReadPref
+	// syntax ("primary", "primaryPreferred", "nearest[=maxLagLSN]").
+	ReadPref string
+	// WriteConcern is the write-concern spec,
+	// replication.ParseWriteConcern syntax ("primary", "majority",
+	// "all").
+	WriteConcern string
 }
 
 func (o ThroughputOptions) withDefaults() ThroughputOptions {
@@ -78,6 +91,13 @@ type ThroughputCell struct {
 	Retries  int `json:"retries,omitempty"`
 	Hedged   int `json:"hedged,omitempty"`
 	Partials int `json:"partials,omitempty"`
+	// Replication counters (zero — and omitted — without -replicas):
+	// shards answered by a replica after primary failure, shards
+	// answered by a replica at all, and the worst replica staleness
+	// observed, in LSNs behind the primary.
+	FailedOver   int    `json:"failed_over,omitempty"`
+	ReplicaReads int    `json:"replica_reads,omitempty"`
+	MaxLagLSN    uint64 `json:"max_lag_lsn,omitempty"`
 }
 
 // ThroughputReport is the experiment's JSON artifact.
@@ -93,8 +113,13 @@ type ThroughputReport struct {
 	GOMAXPROCS      int    `json:"gomaxprocs"`
 	Parallel        int    `json:"parallel"` // the parallel arm's pool width
 	// Faults echoes the injected fault specification (empty = healthy).
-	Faults string           `json:"faults,omitempty"`
-	Cells  []ThroughputCell `json:"cells"`
+	Faults string `json:"faults,omitempty"`
+	// Replicas, ReadPref and WriteConcern echo the replication
+	// configuration (zero/empty = no replication).
+	Replicas     int              `json:"replicas,omitempty"`
+	ReadPref     string           `json:"read_pref,omitempty"`
+	WriteConcern string           `json:"write_concern,omitempty"`
+	Cells        []ThroughputCell `json:"cells"`
 	// BigQuerySpeedup is QPS(parallel arm)/QPS(parallel=1) on the
 	// big-query workload at one client — pure scatter-gather speedup,
 	// no cross-query concurrency.
@@ -133,6 +158,28 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 		s.Query(q)
 	}
 
+	if opts.Replicas > 0 {
+		pref, err := sharding.ParseReadPref(opts.ReadPref)
+		if err != nil {
+			return err
+		}
+		wc, err := replication.ParseWriteConcern(opts.WriteConcern)
+		if err != nil {
+			return err
+		}
+		if err := s.Cluster().SetReplicas(opts.Replicas); err != nil {
+			return err
+		}
+		s.Cluster().SetWriteConcern(wc)
+		s.Cluster().SetReadPref(pref)
+		defer func() {
+			// The env caches the loaded store across experiments; leave
+			// it replica-free, as it was handed to us.
+			_ = s.Cluster().SetReplicas(0)
+			s.Cluster().SetReadPref(sharding.ReadPref{})
+		}()
+	}
+
 	if opts.Faults != "" {
 		specs, err := sharding.ParseFaultSpec(opts.Faults)
 		if err != nil {
@@ -163,6 +210,14 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Parallel:   opts.Parallel,
 		Faults:     opts.Faults,
+		Replicas:   opts.Replicas,
+	}
+	if opts.Replicas > 0 {
+		report.ReadPref = s.Cluster().ReadPrefState().String()
+		report.WriteConcern = opts.WriteConcern
+		if report.WriteConcern == "" {
+			report.WriteConcern = replication.AckPrimary.String()
+		}
 	}
 	report.DatasetDocs, report.DatasetChecksum = datasetFingerprint(s)
 	if report.GOMAXPROCS == 1 {
@@ -228,6 +283,8 @@ func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width,
 	latencies := make([]time.Duration, clients*ops)
 	var idx atomic.Int64
 	var retries, hedged, partials atomic.Int64
+	var failedOver, replicaReads atomic.Int64
+	var maxLag atomic.Uint64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < clients; c++ {
@@ -243,6 +300,15 @@ func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width,
 				hedged.Add(int64(res.Stats.Hedged))
 				if res.Stats.Partial {
 					partials.Add(1)
+				}
+				failedOver.Add(int64(res.Stats.FailedOver))
+				replicaReads.Add(int64(res.Stats.ReplicaReads))
+				for {
+					cur := maxLag.Load()
+					if res.Stats.MaxLagLSN <= cur ||
+						maxLag.CompareAndSwap(cur, res.Stats.MaxLagLSN) {
+						break
+					}
 				}
 			}
 		}(c)
@@ -270,9 +336,12 @@ func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width,
 		P50ms:    pct(0.50),
 		P95ms:    pct(0.95),
 		P99ms:    pct(0.99),
-		Retries:  int(retries.Load()),
-		Hedged:   int(hedged.Load()),
-		Partials: int(partials.Load()),
+		Retries:      int(retries.Load()),
+		Hedged:       int(hedged.Load()),
+		Partials:     int(partials.Load()),
+		FailedOver:   int(failedOver.Load()),
+		ReplicaReads: int(replicaReads.Load()),
+		MaxLagLSN:    maxLag.Load(),
 	}
 }
 
@@ -284,9 +353,16 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 	if r.Faults != "" {
 		fmt.Fprintf(w, "  fault injection: %s (allow-partial policy)\n", r.Faults)
 	}
+	if r.Replicas > 0 {
+		fmt.Fprintf(w, "  replication: %d followers/shard, write concern %s, read pref %s\n",
+			r.Replicas, r.WriteConcern, r.ReadPref)
+	}
 	header := []string{"Workload", "Parallel", "Clients", "QPS", "p50", "p95", "p99"}
 	if r.Faults != "" {
 		header = append(header, "Retries", "Hedged", "Partials")
+	}
+	if r.Replicas > 0 {
+		header = append(header, "FailedOver", "ReplReads", "MaxLag")
 	}
 	var rows [][]string
 	for _, c := range r.Cells {
@@ -304,6 +380,12 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 				fmt.Sprintf("%d", c.Retries),
 				fmt.Sprintf("%d", c.Hedged),
 				fmt.Sprintf("%d", c.Partials))
+		}
+		if r.Replicas > 0 {
+			row = append(row,
+				fmt.Sprintf("%d", c.FailedOver),
+				fmt.Sprintf("%d", c.ReplicaReads),
+				fmt.Sprintf("%d", c.MaxLagLSN))
 		}
 		rows = append(rows, row)
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/index"
 	"repro/internal/query"
+	"repro/internal/replication"
 	"repro/internal/sfc"
 	"repro/internal/sharding"
 	"repro/internal/sthash"
@@ -124,6 +125,17 @@ type Config struct {
 	// (deadlines, retries, hedging, circuit breaker, partial-result
 	// policy). The zero value is the fail-fast default with retries.
 	Resilience sharding.Resilience
+	// Replicas is the number of in-process followers per shard
+	// primary (0 disables replication). Followers receive the
+	// primary's streamed WAL records, serve reads per ReadPref, and
+	// one is promoted on failover so a down shard keeps answering.
+	Replicas int
+	// WriteConcern is how many replica-group members must apply a
+	// write before it returns (primary/majority/all).
+	WriteConcern replication.WriteConcern
+	// ReadPref selects the router's per-shard read target (primary /
+	// primaryPreferred / nearest-within-lag).
+	ReadPref sharding.ReadPref
 	// Seed drives deterministic _id generation (default 1).
 	Seed uint64
 	// STHashChars is the spatial precision of the STHash approach
@@ -199,6 +211,9 @@ func (c Config) clusterOptions() sharding.Options {
 		Parallel:         c.Parallel,
 		QueryConfig:      c.QueryConfig,
 		Resilience:       c.Resilience,
+		Replicas:         c.Replicas,
+		WriteConcern:     c.WriteConcern,
+		ReadPref:         c.ReadPref,
 		Dir:              c.Dir,
 		Sync:             c.Sync,
 		SyncBatchBytes:   c.SyncBatchBytes,

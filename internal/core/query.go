@@ -49,6 +49,16 @@ type QueryStats struct {
 	// FailedShards lists the shards that contributed nothing, in
 	// ascending order.
 	FailedShards []int
+	// FailedOver counts shards whose primary was unreachable and
+	// whose answer came from a replica — complete results, not in
+	// FailedShards.
+	FailedOver int
+	// ReplicaReads counts shards answered by a replica (by read
+	// preference or by failover).
+	ReplicaReads int
+	// MaxLagLSN is the highest replication lag among the replicas
+	// that served this query, in LSNs behind their primaries.
+	MaxLagLSN uint64
 }
 
 // QueryResult carries the documents and the stats.
@@ -162,6 +172,9 @@ func assembleResult(routed *sharding.RoutedResult, coverStats sfc.RangeStats, co
 		Hedged:          routed.Hedged,
 		Partial:         routed.Partial,
 		FailedShards:    routed.FailedShards,
+		FailedOver:      routed.FailedOver,
+		ReplicaReads:    routed.ReplicaReads,
+		MaxLagLSN:       routed.MaxLagLSN,
 	}
 	for _, r := range routed.RetriesPerShard {
 		stats.Retries += r

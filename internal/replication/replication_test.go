@@ -1,0 +1,333 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/collection"
+	"repro/internal/storage"
+)
+
+// streamHook wires a primary collection's storage hook straight into
+// the group's stream — the same fan-out the sharding layer installs —
+// and remembers the last streamed LSN so tests can wait on it.
+type streamHook struct {
+	g    *Group
+	last uint64
+}
+
+func (h *streamHook) Inserted(id storage.RecordID, raw []byte) {
+	h.last = h.g.StreamInsert(id, raw)
+}
+
+func (h *streamHook) Deleted(id storage.RecordID, raw []byte) {
+	h.last = h.g.StreamDelete(id)
+}
+
+func testDoc(t *testing.T, i int) *bson.Document {
+	t.Helper()
+	return bson.NewDocument().
+		Set("_id", int64(i)).
+		Set("payload", fmt.Sprintf("doc-%04d", i))
+}
+
+// newTestGroup builds a primary with n seed docs and a replica group
+// around it, with the stream hook installed.
+func newTestGroup(t *testing.T, n int, cfg Config) (*collection.Collection, *Group, *streamHook) {
+	t.Helper()
+	primary := collection.New("events")
+	for i := 0; i < n; i++ {
+		if _, err := primary.Insert(testDoc(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := NewGroup(0, primary, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	h := &streamHook{g: g}
+	primary.Store().SetHook(h)
+	return primary, g, h
+}
+
+func contentsEqual(t *testing.T, a, b *collection.Collection) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("length mismatch: %d vs %d", a.Len(), b.Len())
+	}
+	a.Store().Walk(func(id storage.RecordID, raw []byte) bool {
+		other, ok := b.Store().FetchRaw(id)
+		if !ok {
+			t.Fatalf("record %d missing from clone", id)
+			return false
+		}
+		if string(other) != string(raw) {
+			t.Fatalf("record %d differs", id)
+			return false
+		}
+		return true
+	})
+	if a.Store().NextID() != b.Store().NextID() {
+		t.Fatalf("nextID mismatch: %d vs %d", a.Store().NextID(), b.Store().NextID())
+	}
+}
+
+func TestFollowersApplyStreamedOps(t *testing.T) {
+	primary, g, _ := newTestGroup(t, 10, Config{Followers: 2, Concern: AckAll})
+	for i := 10; i < 30; i++ {
+		if _, err := primary.Insert(testDoc(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitCommitted(g.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := g.View(i, func(c *collection.Collection) error {
+			contentsEqual(t, primary, c)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Status()
+	if len(st.Followers) != 2 || st.Followers[0].Lag != 0 || st.Followers[1].Lag != 0 {
+		t.Fatalf("unexpected status: %+v", st)
+	}
+}
+
+func TestWriteConcernMajorityWithStoppedFollower(t *testing.T) {
+	primary, g, h := newTestGroup(t, 0, Config{
+		Followers: 2, Concern: AckMajority, AckTimeout: 200 * time.Millisecond,
+	})
+	if err := g.StopFollower(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Insert(testDoc(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Majority of a 3-member group = primary + 1 follower: satisfiable.
+	if err := g.WaitCommitted(h.last); err != nil {
+		t.Fatalf("AckMajority with one live follower: %v", err)
+	}
+	// AckAll needs the stopped follower too: must time out.
+	g.SetConcern(AckAll)
+	if _, err := primary.Insert(testDoc(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitCommitted(h.last); !errors.Is(err, ErrAckTimeout) {
+		t.Fatalf("AckAll with a stopped follower: got %v, want ErrAckTimeout", err)
+	}
+	// Restart: the follower replays the tail it missed and AckAll
+	// becomes satisfiable again.
+	if err := g.RestartFollower(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitCommitted(h.last); err != nil {
+		t.Fatalf("AckAll after restart: %v", err)
+	}
+	if err := g.View(1, func(c *collection.Collection) error {
+		contentsEqual(t, primary, c)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartFallsBackToFullResync(t *testing.T) {
+	// Log retains only 4 records; the stopped follower misses far more
+	// and must clone the primary instead of tail-replaying.
+	primary, g, _ := newTestGroup(t, 0, Config{Followers: 1, LogCapacity: 4})
+	if err := g.StopFollower(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := primary.Insert(testDoc(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.RestartFollower(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SyncAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.View(0, func(c *collection.Collection) error {
+		contentsEqual(t, primary, c)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromoteHighestLSNWins(t *testing.T) {
+	primary, g, _ := newTestGroup(t, 5, Config{Followers: 2})
+	// Freeze follower 0, keep writing: follower 1 pulls ahead.
+	if err := g.StopFollower(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 20; i++ {
+		if _, err := primary.Insert(testDoc(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SyncAll(0); err != nil {
+		t.Fatal(err)
+	}
+	newPrimary, id, err := g.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("promoted follower %d, want 1 (highest LSN)", id)
+	}
+	contentsEqual(t, primary, newPrimary)
+	if g.Followers() != 1 || g.Promotions() != 1 {
+		t.Fatalf("followers=%d promotions=%d", g.Followers(), g.Promotions())
+	}
+	if g.Primary() != newPrimary {
+		t.Fatal("group primary not swapped")
+	}
+}
+
+func TestPromoteTieBreaksOnLowestID(t *testing.T) {
+	primary, g, _ := newTestGroup(t, 5, Config{Followers: 3})
+	for i := 5; i < 10; i++ {
+		if _, err := primary.Insert(testDoc(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SyncAll(0); err != nil {
+		t.Fatal(err)
+	}
+	_, id, err := g.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("promoted follower %d, want 0 (lowest ID on tie)", id)
+	}
+}
+
+func TestPromoteCatchesUpLaggingFollower(t *testing.T) {
+	// Stop the only follower mid-stream, keep writing, then promote:
+	// the tail must be replayed inline so the new primary matches.
+	primary, g, _ := newTestGroup(t, 10, Config{Followers: 1})
+	if err := g.SyncAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.StopFollower(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 25; i++ {
+		if _, err := primary.Insert(testDoc(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	newPrimary, _, err := g.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	contentsEqual(t, primary, newPrimary)
+	// Ids keep flowing identically after promotion.
+	d := testDoc(t, 1000)
+	idOld, err := cloneAndInsert(primary, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idNew, err := newPrimary.Insert(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idOld != idNew {
+		t.Fatalf("post-promotion id %d, want %d", idNew, idOld)
+	}
+}
+
+// cloneAndInsert inserts into a throwaway clone of src so the test
+// can observe which id src WOULD assign without mutating it.
+func cloneAndInsert(src *collection.Collection, doc *bson.Document) (storage.RecordID, error) {
+	c, err := cloneCollection(src)
+	if err != nil {
+		return 0, err
+	}
+	return c.Insert(doc)
+}
+
+func TestBestReplicaHonorsLagBound(t *testing.T) {
+	primary, g, _ := newTestGroup(t, 0, Config{Followers: 2})
+	for i := 0; i < 10; i++ {
+		if _, err := primary.Insert(testDoc(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SyncAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if idx, lag, ok := g.BestReplica(0); !ok || lag != 0 || idx != 0 {
+		t.Fatalf("synced group: idx=%d lag=%d ok=%v", idx, lag, ok)
+	}
+	// Freeze both followers and write 5 more: lag 5 exceeds bound 3.
+	if err := g.StopFollower(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.StopFollower(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		if _, err := primary.Insert(testDoc(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := g.BestReplica(3); ok {
+		t.Fatal("stopped followers must not serve reads")
+	}
+}
+
+func TestOverflowTriggersTailReplay(t *testing.T) {
+	// A tiny channel buffer forces overflow; the applier must re-attach
+	// via the retained window and still converge.
+	primary, g, _ := newTestGroup(t, 0, Config{Followers: 1, ChannelBuffer: 1})
+	for i := 0; i < 200; i++ {
+		if _, err := primary.Insert(testDoc(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SyncAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.View(0, func(c *collection.Collection) error {
+		contentsEqual(t, primary, c)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want WriteConcern
+	}{{"primary", AckPrimary}, {"", AckPrimary}, {"majority", AckMajority}, {"all", AckAll}} {
+		got, err := ParseWriteConcern(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseWriteConcern(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseWriteConcern("quorum"); err == nil {
+		t.Fatal("bad write concern accepted")
+	}
+	if AckMajority.String() != "majority" {
+		t.Fatalf("String() = %q", AckMajority.String())
+	}
+}

@@ -6,11 +6,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bson"
 	"repro/internal/collection"
 	"repro/internal/index"
 	"repro/internal/query"
+	"repro/internal/replication"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -35,6 +37,10 @@ type Shard struct {
 	ID   int
 	Name string
 	Coll *collection.Collection
+	// Epoch increments on every failover promotion. A FaultConn fault
+	// program binds to the epoch it was armed against, so a promoted
+	// replica is not subject to the faults that killed its predecessor.
+	Epoch int
 }
 
 // Options configures a cluster.
@@ -74,6 +80,22 @@ type Options struct {
 	// (the in-process call). Tests and benchmarks install a FaultConn
 	// here to inject shard-level failures.
 	Conn ShardConn
+	// Replicas is the number of in-process followers per shard
+	// primary (0 disables replication — the PR 3 behaviour). Each
+	// follower applies the primary's streamed WAL records; the router
+	// can read from one (ReadPref) and promote one on failover.
+	Replicas int
+	// WriteConcern is how many replica-group members must apply a
+	// write before the cluster operation returns (primary / majority /
+	// all). Ignored when Replicas is 0.
+	WriteConcern replication.WriteConcern
+	// ReadPref selects the router's per-shard read target. The zero
+	// value (primary-preferred, unbounded staleness on failover) makes
+	// a cluster without replicas behave exactly like one built before
+	// replication existed.
+	ReadPref ReadPref
+	// AckTimeout bounds write-concern waits (default 2s).
+	AckTimeout time.Duration
 	// Dir, when non-empty, makes the cluster durable: every write is
 	// framed into a write-ahead journal under this directory and
 	// Checkpoint() snapshots the full state there. Durable clusters
@@ -154,6 +176,10 @@ type Cluster struct {
 	// dur is the journaling state of a durable cluster (see
 	// durability.go); nil for in-memory clusters.
 	dur *durability
+
+	// repl holds one replica group per shard (nil entries — and a nil
+	// slice — when replication is off). See replicas.go.
+	repl []*replication.Group
 }
 
 // NewCluster creates the shards.
@@ -167,6 +193,10 @@ func NewCluster(opts Options) *Cluster {
 			Coll: collection.New(opts.CollectionName),
 		})
 		c.breakers = append(c.breakers, newBreaker(opts.Resilience))
+	}
+	if opts.Replicas > 0 {
+		// Cloning empty collections cannot fail.
+		_ = c.setReplicasLocked(opts.Replicas)
 	}
 	return c
 }
@@ -197,20 +227,27 @@ func (c *Cluster) SetResilience(r Resilience) {
 }
 
 // BreakerStates reports each shard's circuit-breaker state
-// ("closed", "open", "half-open", or "disabled"), indexed by shard
-// id — observability for the CLIs.
-func (c *Cluster) BreakerStates() []string {
+// ("closed", "open", "half-open", or "disabled"), keyed by shard id —
+// observability for the CLIs. The map is a fresh defensive copy:
+// callers may mutate or retain it while queries keep running.
+func (c *Cluster) BreakerStates() map[int]string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := make([]string, len(c.breakers))
+	out := make(map[int]string, len(c.breakers))
 	for i, b := range c.breakers {
 		out[i] = b.snapshotState()
 	}
 	return out
 }
 
-// Shards returns the cluster's shards.
-func (c *Cluster) Shards() []*Shard { return c.shards }
+// Shards returns a copy of the cluster's shard list — callers may
+// sort or truncate it without aliasing router state. The *Shard
+// entries themselves are live (their collections serve queries).
+func (c *Cluster) Shards() []*Shard {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Shard(nil), c.shards...)
+}
 
 // Options returns the effective options.
 func (c *Cluster) Options() Options {
@@ -247,9 +284,15 @@ func (c *Cluster) ShardCollection(key ShardKey) error {
 	for i, f := range key.Fields {
 		fields[i] = index.Field{Name: f, Kind: index.Ascending}
 	}
-	for _, s := range c.shards {
-		if _, err := s.Coll.CreateIndex(index.Definition{Name: ShardKeyIndexName, Fields: fields}); err != nil {
+	for i, s := range c.shards {
+		def := index.Definition{Name: ShardKeyIndexName, Fields: fields}
+		if _, err := s.Coll.CreateIndex(def); err != nil {
 			return err
+		}
+		if g := c.replGroupLocked(i); g != nil {
+			if err := g.CreateIndex(def); err != nil {
+				return err
+			}
 		}
 	}
 	c.key = key
@@ -266,13 +309,20 @@ func (c *Cluster) ShardKeyOf() (ShardKey, bool) {
 	return c.key, c.sharded
 }
 
-// CreateIndex creates a secondary index on every shard.
+// CreateIndex creates a secondary index on every shard (and on every
+// follower — DDL is not part of the record stream, so it is applied
+// group-wide here under the write lock).
 func (c *Cluster) CreateIndex(def index.Definition) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, s := range c.shards {
+	for i, s := range c.shards {
 		if _, err := s.Coll.CreateIndex(def); err != nil {
 			return err
+		}
+		if g := c.replGroupLocked(i); g != nil {
+			if err := g.CreateIndex(def); err != nil {
+				return err
+			}
 		}
 	}
 	return c.journalMeta(opCreateIndex, encodeIndexDef(def))
@@ -288,7 +338,10 @@ func (c *Cluster) Insert(doc *bson.Document) error {
 		if _, err := c.shards[0].Coll.Insert(doc); err != nil {
 			return err
 		}
-		return c.commitDur()
+		if err := c.commitDur(); err != nil {
+			return err
+		}
+		return c.replWaitLocked()
 	}
 	tuple := c.key.TupleOf(doc)
 	ci := c.findChunk(tuple)
@@ -317,7 +370,10 @@ func (c *Cluster) Insert(doc *bson.Document) error {
 			c.balanceLocked()
 		}
 	}
-	return c.commitDur()
+	if err := c.commitDur(); err != nil {
+		return err
+	}
+	return c.replWaitLocked()
 }
 
 // findChunk returns the index of the chunk containing the tuple, or
@@ -461,7 +517,10 @@ func (c *Cluster) Delete(f query.Filter) (int, error) {
 			c.noteDeletedLocked(doc)
 		}
 	}
-	return deleted, c.commitDur()
+	if err := c.commitDur(); err != nil {
+		return deleted, err
+	}
+	return deleted, c.replWaitLocked()
 }
 
 // noteDeletedLocked keeps the chunk metadata accurate after one
@@ -491,6 +550,9 @@ func (c *Cluster) Balance() {
 	// One journal record re-derives the whole run during replay; the
 	// individual migrations are suppressed in moveChunkLocked.
 	_ = c.journalMeta(opBalance, nil)
+	// Migrations ARE streamed to followers (unlike the journal, the
+	// stream has no re-derivation); hold the write until they applied.
+	_ = c.replWaitLocked()
 }
 
 func (c *Cluster) balanceLocked() {

@@ -113,6 +113,11 @@ type faultState struct {
 	spec     FaultSpec
 	attempts int
 	rng      *rand.Rand
+	// epoch pins the fault program to the shard epoch it first fired
+	// against (-1 until then). A failover promotion bumps the shard's
+	// epoch, so faults that killed the old primary do not follow the
+	// promoted replica — the program turns into a passthrough.
+	epoch int
 }
 
 // NewFaultConn wraps inner (nil means LocalConn) with no faults armed.
@@ -129,8 +134,9 @@ func (fc *FaultConn) SetFault(shard int, spec FaultSpec) {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	fc.shards[shard] = &faultState{
-		spec: spec,
-		rng:  rand.New(rand.NewSource(fc.seed ^ int64(shard)*0x9E3779B9)),
+		spec:  spec,
+		rng:   rand.New(rand.NewSource(fc.seed ^ int64(shard)*0x9E3779B9)),
+		epoch: -1,
 	}
 }
 
@@ -150,6 +156,13 @@ func (fc *FaultConn) Query(ctx context.Context, shard *Shard, f query.Filter, cf
 	fc.mu.Lock()
 	st := fc.shards[shard.ID]
 	if st == nil {
+		fc.mu.Unlock()
+		return fc.inner.Query(ctx, shard, f, cfg)
+	}
+	if st.epoch < 0 {
+		st.epoch = shard.Epoch
+	} else if st.epoch != shard.Epoch {
+		// The faulted primary was replaced by a promoted replica.
 		fc.mu.Unlock()
 		return fc.inner.Query(ctx, shard, f, cfg)
 	}

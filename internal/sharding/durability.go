@@ -100,9 +100,15 @@ func (d *durability) syncAll() error {
 }
 
 // shardHook is the storage.Hook of one shard's record store: it
-// frames the exact stored/deleted bytes into that shard's journal.
-// It runs under the cluster write lock (all cluster mutations hold
-// it), which also serialises LSN assignment.
+// frames the exact stored/deleted bytes into that shard's journal and
+// fans the same logical op into the shard's replication stream. It
+// runs under the cluster write lock (all cluster mutations hold it),
+// which also serialises LSN assignment.
+//
+// The two sinks differ on migrations: the journal suppresses them
+// (replay re-derives migrations from the balance records), but the
+// stream has no re-derivation — a follower only stays identical to
+// its primary by seeing every op — so replication always streams.
 type shardHook struct {
 	c     *Cluster
 	shard int
@@ -110,6 +116,9 @@ type shardHook struct {
 
 // Inserted implements storage.Hook.
 func (h *shardHook) Inserted(id storage.RecordID, raw []byte) {
+	if g := h.c.replGroupLocked(h.shard); g != nil {
+		g.StreamInsert(id, raw)
+	}
 	d := h.c.dur
 	if d == nil || d.suppress > 0 {
 		return
@@ -119,6 +128,9 @@ func (h *shardHook) Inserted(id storage.RecordID, raw []byte) {
 
 // Deleted implements storage.Hook.
 func (h *shardHook) Deleted(id storage.RecordID, raw []byte) {
+	if g := h.c.replGroupLocked(h.shard); g != nil {
+		g.StreamDelete(id)
+	}
 	d := h.c.dur
 	if d == nil || d.suppress > 0 {
 		return
@@ -162,6 +174,11 @@ func OpenCluster(opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("sharding: OpenCluster requires Options.Dir")
 	}
 	opts = opts.withDefaults()
+	// Followers are re-seeded from the recovered primaries at the end
+	// of the open — creating them earlier would miss the snapshot
+	// restore, which bypasses the storage hooks.
+	replicas := opts.Replicas
+	opts.Replicas = 0
 	fs := opts.FS
 	if fs == nil {
 		fs = wal.NewOSFS(opts.Dir)
@@ -220,11 +237,17 @@ func OpenCluster(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	if replicas > 0 {
+		if err := c.SetReplicas(replicas); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
 // mergeRuntime overlays the caller's runtime-only options onto the
-// recovered structural ones.
+// recovered structural ones. Replication is runtime: followers are
+// volatile clones re-seeded on every open, never recovered from disk.
 func mergeRuntime(structural, caller Options) Options {
 	structural.Parallel = caller.Parallel
 	structural.QueryConfig = caller.QueryConfig
@@ -232,6 +255,10 @@ func mergeRuntime(structural, caller Options) Options {
 	structural.FS = caller.FS
 	structural.Sync = caller.Sync
 	structural.SyncBatchBytes = caller.SyncBatchBytes
+	structural.Replicas = caller.Replicas
+	structural.WriteConcern = caller.WriteConcern
+	structural.ReadPref = caller.ReadPref
+	structural.AckTimeout = caller.AckTimeout
 	return structural
 }
 
@@ -285,11 +312,13 @@ func (c *Cluster) Sync() error {
 	return c.dur.syncAll()
 }
 
-// Close syncs and closes the journals. The cluster remains usable for
-// reads; further writes on a closed durable cluster fail.
+// Close stops the replica groups, then syncs and closes the
+// journals. The cluster remains usable for reads; further writes on a
+// closed durable cluster fail.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closeReplicasLocked()
 	if c.dur == nil {
 		return nil
 	}

@@ -1,0 +1,505 @@
+package sharding
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/geo"
+	"repro/internal/query"
+	"repro/internal/replication"
+)
+
+// broadcastFilter matches a rectangle wide enough that routing
+// degenerates to every shard.
+func broadcastFilter() query.Filter {
+	return query.GeoWithin{Field: "location", Rect: geo.NewRect(23.0, 37.0, 23.8, 37.8)}
+}
+
+// groupStatus returns shard sid's replica-group snapshot.
+func groupStatus(t *testing.T, c *Cluster, sid int) replication.GroupStatus {
+	t.Helper()
+	for _, st := range c.ReplicationStatus() {
+		if st.Shard == sid {
+			return st
+		}
+	}
+	t.Fatalf("no replica group for shard %d", sid)
+	return replication.GroupStatus{}
+}
+
+// TestFailoverCompleteness is the acceptance observable of the
+// replication layer: the hard-down shard that produced a partial
+// result in the fault-boundary era now answers from a replica, the
+// merge is byte-identical to the healthy run, and a follower is
+// promoted so writes resume — while a cluster without replicas keeps
+// the historical partial behaviour bit for bit.
+func TestFailoverCompleteness(t *testing.T) {
+	c, _ := loadCluster(t, 3000, hilbertDateKey(), smallOpts())
+	f := broadcastFilter()
+
+	baseline := c.Query(f)
+	if baseline.ShardsTargeted < 2 {
+		t.Fatalf("need a broadcast, got %d targets", baseline.ShardsTargeted)
+	}
+	sid := baseline.TargetedShards[0]
+
+	// Zero replicas: the downed shard degrades the result exactly as
+	// before replication existed.
+	fc := NewFaultConn(nil, 42)
+	fc.SetFault(sid, FaultSpec{Down: true})
+	c.SetConn(fc)
+	c.SetResilience(testResilience(AllowPartial))
+	res, err := c.QueryCtx(context.Background(), f)
+	if err != nil || !res.Partial || !reflect.DeepEqual(res.FailedShards, []int{sid}) {
+		t.Fatalf("no-replica down shard: err=%v partial=%v failed=%v", err, res.Partial, res.FailedShards)
+	}
+	if res.FailedOver != 0 || res.ReplicaReads != 0 {
+		t.Fatalf("no-replica query reported replication counters: %+v", res)
+	}
+
+	// Two followers per shard: the same fault under the strict policy
+	// returns the complete result.
+	if err := c.SetReplicas(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	c.SetResilience(testResilience(FailFast))
+	res, err = c.QueryCtx(context.Background(), f)
+	if err != nil || res.Err != nil || res.Partial || len(res.FailedShards) != 0 {
+		t.Fatalf("failover query degraded: err=%v res.Err=%v partial=%v failed=%v",
+			err, res.Err, res.Partial, res.FailedShards)
+	}
+	if !reflect.DeepEqual(res.Docs, baseline.Docs) {
+		t.Fatal("failover merge differs from the healthy baseline")
+	}
+	if res.FailedOver != 1 || res.ReplicaReads != 1 {
+		t.Fatalf("failover counters: failedOver=%d replicaReads=%d", res.FailedOver, res.ReplicaReads)
+	}
+
+	// The query requested a promotion and the wrapper ran it: the
+	// shard has a fresh primary on a new epoch.
+	if st := groupStatus(t, c, sid); st.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", st.Promotions)
+	}
+	if got := c.Shards()[sid].Epoch; got != 1 {
+		t.Fatalf("shard epoch = %d, want 1", got)
+	}
+
+	// The fault program was bound to the dead primary's epoch, so the
+	// promoted replica serves directly: no failover, same bytes.
+	res, err = c.QueryCtx(context.Background(), f)
+	if err != nil || res.FailedOver != 0 || res.ReplicaReads != 0 {
+		t.Fatalf("post-promotion query: err=%v failedOver=%d replicaReads=%d",
+			err, res.FailedOver, res.ReplicaReads)
+	}
+	if !reflect.DeepEqual(res.Docs, baseline.Docs) {
+		t.Fatal("post-promotion merge differs from the healthy baseline")
+	}
+
+	// Writes resume against the promoted primary.
+	gen := bson.NewObjectIDGen(99)
+	before := c.ClusterStats().Docs
+	if err := c.Insert(stDoc(gen, geo.Point{Lon: 23.4, Lat: 37.4}, baseTime, 1)); err != nil {
+		t.Fatalf("insert after failover: %v", err)
+	}
+	if got := c.ClusterStats().Docs; got != before+1 {
+		t.Fatalf("cluster holds %d docs after post-failover insert, want %d", got, before+1)
+	}
+	checkInvariants(t, c)
+}
+
+// TestCrashMatrixPromotion crashes every shard's primary at each op
+// boundary of a fixed insert sequence (under AckMajority) and checks
+// the cluster converges to the same content fingerprint as a
+// never-crashed reference — promotion loses nothing and the insert
+// stream resumes with continuous ids.
+func TestCrashMatrixPromotion(t *testing.T) {
+	const nDocs = 8
+	gen := bson.NewObjectIDGen(17)
+	docs := make([]*bson.Document, nDocs)
+	for i := range docs {
+		docs[i] = stDoc(gen,
+			geo.Point{Lon: 23 + float64(i)/10, Lat: 37 + float64(i)/10},
+			baseTime.Add(time.Duration(i)*time.Hour), int64(i*100))
+	}
+
+	ref := NewCluster(smallOpts())
+	if err := ref.ShardCollection(hilbertDateKey()); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := ref.Insert(d.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantDocs, wantSum := ref.ContentFingerprint()
+
+	for boundary := 0; boundary <= nDocs; boundary++ {
+		t.Run(fmt.Sprintf("crashAfter=%d", boundary), func(t *testing.T) {
+			opts := smallOpts()
+			opts.AckTimeout = 500 * time.Millisecond
+			c := NewCluster(opts)
+			if err := c.ShardCollection(hilbertDateKey()); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SetReplicas(2); err != nil {
+				t.Fatal(err)
+			}
+			c.SetWriteConcern(replication.AckMajority)
+			for _, d := range docs[:boundary] {
+				if err := c.Insert(d.Clone()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Crash every primary at once: the highest-LSN follower is
+			// promoted on each shard and catches up from the stream tail.
+			for sid := 0; sid < opts.Shards; sid++ {
+				if err := c.Failover(sid); err != nil {
+					t.Fatalf("failover shard %d: %v", sid, err)
+				}
+			}
+			for _, d := range docs[boundary:] {
+				if err := c.Insert(d.Clone()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			gotDocs, gotSum := c.ContentFingerprint()
+			if gotDocs != wantDocs || gotSum != wantSum {
+				t.Fatalf("fingerprint after crash at %d: %d/%016x, want %d/%016x",
+					boundary, gotDocs, gotSum, wantDocs, wantSum)
+			}
+			// The surviving followers converge too.
+			if err := c.SyncReplicas(); err != nil {
+				t.Fatal(err)
+			}
+			for _, st := range c.ReplicationStatus() {
+				for _, fs := range st.Followers {
+					if fs.Lag != 0 {
+						t.Fatalf("shard %d follower %d lags %d after sync", st.Shard, fs.ID, fs.Lag)
+					}
+				}
+			}
+			checkInvariants(t, c)
+		})
+	}
+}
+
+// TestWriteConcernAcknowledgement: AckAll blocks on a crashed
+// follower until the ack timeout; AckMajority is satisfied by the
+// surviving one. A write-concern timeout does not roll the write back
+// (the primary applied and streamed it — the MongoDB semantics).
+func TestWriteConcernAcknowledgement(t *testing.T) {
+	c := NewCluster(Options{Shards: 1, AckTimeout: 50 * time.Millisecond})
+	if err := c.SetReplicas(2); err != nil {
+		t.Fatal(err)
+	}
+	c.SetWriteConcern(replication.AckAll)
+	if err := c.StopFollower(0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := bson.NewObjectIDGen(5)
+	mk := func(i int) *bson.Document {
+		return stDoc(gen, geo.Point{Lon: 23, Lat: 37}, baseTime.Add(time.Duration(i)*time.Hour), int64(i))
+	}
+	err := c.Insert(mk(0))
+	if !errors.Is(err, replication.ErrAckTimeout) {
+		t.Fatalf("AckAll with a crashed follower: err=%v, want ack timeout", err)
+	}
+
+	c.SetWriteConcern(replication.AckMajority)
+	if err := c.Insert(mk(1)); err != nil {
+		t.Fatalf("AckMajority with 1/2 followers up: %v", err)
+	}
+
+	// Both inserts reached the primary; the restarted follower catches
+	// up on both.
+	if err := c.RestartFollower(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	st := groupStatus(t, c, 0)
+	if st.LastLSN != 2 {
+		t.Fatalf("group LSN = %d, want 2", st.LastLSN)
+	}
+	for _, fs := range st.Followers {
+		if fs.Lag != 0 || fs.NeedsResync {
+			t.Fatalf("follower %d not caught up: %+v", fs.ID, fs)
+		}
+	}
+	if got := c.ClusterStats().Docs; got != 2 {
+		t.Fatalf("cluster holds %d docs, want 2", got)
+	}
+}
+
+// TestNearestReadPref: with synced replicas, nearest=0 serves every
+// shard from a follower and the merge matches the primary read; once
+// the followers crash and fall behind, the staleness bound pushes the
+// reads back to the primaries.
+func TestNearestReadPref(t *testing.T) {
+	c, _ := loadCluster(t, 1500, hilbertDateKey(), smallOpts())
+	f := broadcastFilter()
+	if err := c.SetReplicas(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncReplicas(); err != nil {
+		t.Fatal(err)
+	}
+
+	primary := c.Query(f)
+	c.SetReadPref(ReadPref{Mode: ReadNearest, MaxLagLSN: 0})
+	res := c.Query(f)
+	if res.ReplicaReads != res.ShardsTargeted || res.FailedOver != 0 {
+		t.Fatalf("nearest read: replicaReads=%d of %d, failedOver=%d",
+			res.ReplicaReads, res.ShardsTargeted, res.FailedOver)
+	}
+	if res.MaxLagLSN != 0 {
+		t.Fatalf("synced replicas report lag %d", res.MaxLagLSN)
+	}
+	if !reflect.DeepEqual(res.Docs, primary.Docs) {
+		t.Fatal("replica merge differs from the primary merge")
+	}
+
+	// Crash every follower, keep writing: the replicas are out of
+	// bounds (crashed followers never serve), so nearest falls back to
+	// the primaries and the result stays correct.
+	for sid := 0; sid < 4; sid++ {
+		if err := c.StopFollower(sid, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := bson.NewObjectIDGen(31)
+	for i := 0; i < 50; i++ {
+		doc := stDoc(gen, geo.Point{Lon: 23.1, Lat: 37.1},
+			baseTime.Add(time.Duration(i)*time.Minute), int64(i*10))
+		if err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetReadPref(ReadPref{Mode: ReadPrimary})
+	primary = c.Query(f)
+	c.SetReadPref(ReadPref{Mode: ReadNearest, MaxLagLSN: 0})
+	res = c.Query(f)
+	if res.ReplicaReads != 0 {
+		t.Fatalf("crashed followers served %d reads", res.ReplicaReads)
+	}
+	if !reflect.DeepEqual(res.Docs, primary.Docs) {
+		t.Fatal("primary-fallback merge differs from the primary merge")
+	}
+}
+
+// TestStoppedFollowerLagAndManualFailover: a crashed follower's lag
+// is observable, it never serves reads (a down primary therefore
+// still degrades the result), and an explicit Failover promotes it
+// with a stream-tail catch-up — no acknowledged write is lost.
+func TestStoppedFollowerLagAndManualFailover(t *testing.T) {
+	c := NewCluster(Options{Shards: 1})
+	if err := c.SetReplicas(1); err != nil {
+		t.Fatal(err)
+	}
+	gen := bson.NewObjectIDGen(7)
+	insert := func(i int) {
+		t.Helper()
+		doc := stDoc(gen, geo.Point{Lon: 23, Lat: 37}, baseTime.Add(time.Duration(i)*time.Hour), int64(i))
+		if err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		insert(i)
+	}
+	if err := c.SyncReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StopFollower(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		insert(i)
+	}
+
+	st := groupStatus(t, c, 0)
+	if len(st.Followers) != 1 || st.Followers[0].Lag != 5 || st.Followers[0].Applied != 10 {
+		t.Fatalf("lag not observable: %+v", st)
+	}
+
+	// Down primary + crashed follower: nothing can serve the shard.
+	all := query.Cmp{Field: "hilbertIndex", Op: query.OpGTE, Value: int64(0)}
+	fc := NewFaultConn(nil, 9)
+	fc.SetFault(0, FaultSpec{Down: true})
+	c.SetConn(fc)
+	c.SetResilience(testResilience(AllowPartial))
+	res, err := c.QueryCtx(context.Background(), all)
+	if err != nil || !res.Partial || res.ReplicaReads != 0 {
+		t.Fatalf("crashed follower served a read: err=%v partial=%v replicaReads=%d",
+			err, res.Partial, res.ReplicaReads)
+	}
+
+	// Explicit failover: the stopped follower is the only candidate;
+	// promotion replays the 5-record tail it missed before it takes
+	// over, and the old fault program dies with the old epoch.
+	if err := c.Failover(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.QueryCtx(context.Background(), all)
+	if err != nil || res.Partial || res.TotalReturned != 15 {
+		t.Fatalf("promoted primary: err=%v partial=%v returned=%d", err, res.Partial, res.TotalReturned)
+	}
+	insert(15)
+	res, err = c.QueryCtx(context.Background(), all)
+	if err != nil || res.TotalReturned != 16 {
+		t.Fatalf("write after manual failover: err=%v returned=%d", err, res.TotalReturned)
+	}
+}
+
+// TestConcurrentReplicatedOps runs broadcast queries, writes, a
+// failover and a follower crash/restart concurrently — the -race
+// acceptance for the replication locking design.
+func TestConcurrentReplicatedOps(t *testing.T) {
+	c, _ := loadCluster(t, 2000, hilbertDateKey(), smallOpts())
+	if err := c.SetReplicas(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadPref(ReadPref{Mode: ReadNearest, MaxLagLSN: 1 << 30})
+	f := broadcastFilter()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				res, err := c.QueryCtx(context.Background(), f)
+				if err != nil || res.Partial {
+					t.Errorf("concurrent query: err=%v partial=%v", err, res.Partial)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gen := bson.NewObjectIDGen(13)
+		for i := 0; i < 150; i++ {
+			doc := stDoc(gen, geo.Point{Lon: 23.2, Lat: 37.2},
+				baseTime.Add(time.Duration(i)*time.Minute), int64(i*7%4096))
+			if err := c.Insert(doc); err != nil {
+				t.Errorf("concurrent insert: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := c.Failover(1); err != nil {
+			t.Errorf("concurrent failover: %v", err)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := c.StopFollower(2, 0); err != nil {
+			t.Errorf("stop follower: %v", err)
+			return
+		}
+		if err := c.RestartFollower(2, 0); err != nil {
+			t.Errorf("restart follower: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	if err := c.SyncReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range c.ReplicationStatus() {
+		for _, fs := range st.Followers {
+			if fs.Lag != 0 {
+				t.Fatalf("shard %d follower %d lags %d after quiesce", st.Shard, fs.ID, fs.Lag)
+			}
+		}
+	}
+	checkInvariants(t, c)
+
+	// Replicas and primaries agree after the storm.
+	c.SetReadPref(ReadPref{Mode: ReadPrimary})
+	primary := c.Query(f)
+	c.SetReadPref(ReadPref{Mode: ReadNearest, MaxLagLSN: 0})
+	replica := c.Query(f)
+	if !reflect.DeepEqual(primary.Docs, replica.Docs) {
+		t.Fatal("replica merge diverged from primary merge after concurrent ops")
+	}
+}
+
+// TestDurableReopenWithReplicas: a durable cluster opened with
+// Replicas recovers from its journal and re-seeds fresh followers
+// from the recovered primaries (followers are volatile — never read
+// from disk).
+func TestDurableReopenWithReplicas(t *testing.T) {
+	opts := Options{Shards: 2, Dir: t.TempDir(), Replicas: 1, ChunkMaxBytes: 16 << 10}
+	c, err := OpenCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShardCollection(hilbertDateKey()); err != nil {
+		t.Fatal(err)
+	}
+	gen := bson.NewObjectIDGen(21)
+	for i := 0; i < 40; i++ {
+		doc := stDoc(gen, geo.Point{Lon: 23 + float64(i%10)/10, Lat: 37.5},
+			baseTime.Add(time.Duration(i)*time.Hour), int64(i*50))
+		if err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SyncReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	wantDocs, wantSum := c.ContentFingerprint()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	gotDocs, gotSum := r.ContentFingerprint()
+	if gotDocs != wantDocs || gotSum != wantSum {
+		t.Fatalf("recovered fingerprint %d/%016x, want %d/%016x", gotDocs, gotSum, wantDocs, wantSum)
+	}
+	if got := len(r.ReplicationStatus()); got != 2 {
+		t.Fatalf("%d replica groups after reopen, want 2", got)
+	}
+
+	// Replication is live on the recovered cluster.
+	doc := stDoc(gen, geo.Point{Lon: 23.5, Lat: 37.5}, baseTime.Add(100*time.Hour), int64(123))
+	if err := r.Insert(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SyncReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range r.ReplicationStatus() {
+		for _, fs := range st.Followers {
+			if fs.Lag != 0 {
+				t.Fatalf("shard %d follower %d lags %d after reopen+write", st.Shard, fs.ID, fs.Lag)
+			}
+		}
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -113,6 +116,144 @@ func TestClusterInvariantsUnderRandomOperations(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestBalanceConcurrentWithBroadcastQueries runs the balancer while
+// broadcast queries hammer the cluster: every query must observe the
+// complete document multiset — a chunk migration may never make a
+// document invisible on its source before it is queryable on its
+// destination, and never visible on both.
+func TestBalanceConcurrentWithBroadcastQueries(t *testing.T) {
+	// No auto-balancing during the load, so every chunk piles up on
+	// shard 0 and the explicit Balance below has real migrations to do.
+	c := NewCluster(Options{Shards: 4, ChunkMaxBytes: 8 << 10, AutoBalanceEvery: -1})
+	if err := c.ShardCollection(hilbertDateKey()); err != nil {
+		t.Fatal(err)
+	}
+	gen := bson.NewObjectIDGen(11)
+	rng := rand.New(rand.NewSource(23))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		doc := stDoc(gen,
+			geo.Point{Lon: 23 + rng.Float64(), Lat: 37 + rng.Float64()},
+			baseTime.Add(time.Duration(rng.Int63n(int64(30*24*time.Hour)))),
+			int64(rng.Intn(4096)))
+		if err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := c.ClusterStats()
+	if counts.PerShard[0].Chunks < 4 {
+		t.Fatalf("load did not pile chunks on shard 0: %+v", counts.PerShard)
+	}
+
+	f := query.GeoWithin{Field: "location", Rect: geo.NewRect(22.0, 36.0, 25.0, 39.0)}
+	want := sortedIDs(c.Query(f).Docs)
+	if len(want) != n {
+		t.Fatalf("baseline broadcast returned %d docs, want %d", len(want), n)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				got := sortedIDs(c.Query(f).Docs)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("broadcast during balance saw %d docs, want %d", len(got), len(want))
+					return
+				}
+			}
+		}()
+	}
+	c.Balance()
+	close(done)
+	wg.Wait()
+
+	checkInvariants(t, c)
+	if got := sortedIDs(c.Query(f).Docs); !reflect.DeepEqual(got, want) {
+		t.Fatal("document multiset changed across the balance run")
+	}
+	if c.ClusterStats().Migrations == 0 {
+		t.Fatal("vacuous: the balancer moved nothing")
+	}
+}
+
+// sortedIDs extracts the _id multiset of a result.
+func sortedIDs(docs []bson.Raw) []string {
+	ids := make([]string, 0, len(docs))
+	for _, d := range docs {
+		ids = append(ids, fmt.Sprintf("%v", d.Get("_id")))
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TestSnapshotAccessorsAreDefensive mutates everything the cluster's
+// observability accessors return while queries run — under -race this
+// fails if any of them alias live router state.
+func TestSnapshotAccessorsAreDefensive(t *testing.T) {
+	c, _ := loadCluster(t, 1000, hilbertDateKey(), smallOpts())
+	f := query.GeoWithin{Field: "location", Rect: geo.NewRect(22.0, 36.0, 25.0, 39.0)}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			c.Query(f)
+		}
+	}()
+
+	for i := 0; i < 50; i++ {
+		states := c.BreakerStates()
+		for sid := range states {
+			states[sid] = "mutated"
+		}
+		states[len(states)+1] = "extra"
+
+		shards := c.Shards()
+		for j := range shards {
+			shards[j] = nil
+		}
+
+		chunks := c.Chunks()
+		for j := range chunks {
+			chunks[j].Docs = -1
+			chunks[j].Shard = -1
+		}
+
+		st := c.ClusterStats()
+		for j := range st.PerShard {
+			st.PerShard[j].Docs = -1
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// The real state survived the vandalism.
+	for sid, state := range c.BreakerStates() {
+		if state == "mutated" {
+			t.Fatalf("breaker state for shard %d aliased the returned map", sid)
+		}
+	}
+	if c.Shards()[0] == nil {
+		t.Fatal("shard list aliased the returned slice")
+	}
+	checkInvariants(t, c)
 }
 
 // TestZonesFromSplitsCoverKeySpace verifies the generated zones tile

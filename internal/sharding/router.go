@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/bson"
+	"repro/internal/collection"
 	"repro/internal/keyenc"
 	"repro/internal/query"
 )
@@ -66,6 +67,17 @@ type RoutedResult struct {
 	// Err is the terminal error under Policy FailFast (nil otherwise
 	// and on every healthy query).
 	Err error
+
+	// FailedOver counts targeted shards whose primary was unreachable
+	// and whose answer came from a replica instead (the shard does NOT
+	// appear in FailedShards — the result is complete).
+	FailedOver int
+	// ReplicaReads counts targeted shards answered by a replica,
+	// whether by read preference or by failover.
+	ReplicaReads int
+	// MaxLagLSN is the highest replication lag (in LSNs behind the
+	// primary) among the replicas that served this query.
+	MaxLagLSN uint64
 }
 
 // tupleRange is a half-open range [Lo, Hi) over encoded shard-key
@@ -115,6 +127,14 @@ func (c *Cluster) Query(f query.Filter) *RoutedResult {
 // and per-shard stats are assembled in TargetedShards order, so the
 // output is byte-identical regardless of shard completion order.
 func (c *Cluster) QueryCtx(ctx context.Context, f query.Filter) (*RoutedResult, error) {
+	res, err := c.queryCtxLocked(ctx, f)
+	// Failover promotions requested mid-scatter need the write lock;
+	// run them now that the read lock is released.
+	c.promotePending()
+	return res, err
+}
+
+func (c *Cluster) queryCtxLocked(ctx context.Context, f query.Filter) (*RoutedResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if qt := c.opts.Resilience.QueryTimeout; qt > 0 {
@@ -161,6 +181,12 @@ func (c *Cluster) QueryBatch(fs []query.Filter) []*RoutedResult {
 // own is in its Err field). Resilience.QueryTimeout bounds the whole
 // batch.
 func (c *Cluster) QueryBatchCtx(ctx context.Context, fs []query.Filter) ([]*RoutedResult, error) {
+	results, err := c.queryBatchCtxLocked(ctx, fs)
+	c.promotePending()
+	return results, err
+}
+
+func (c *Cluster) queryBatchCtxLocked(ctx context.Context, fs []query.Filter) ([]*RoutedResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if qt := c.opts.Resilience.QueryTimeout; qt > 0 {
@@ -211,14 +237,79 @@ type shardOutcome struct {
 	retries int
 	hedged  int
 	err     error
+	// replica marks a result served by a follower (lag is its LSN
+	// distance behind the primary at selection time); failedOver marks
+	// the involuntary case — the primary was unreachable.
+	replica    bool
+	failedOver bool
+	lag        uint64
 }
 
-// runShard executes the filter on one shard through the fault
-// boundary: circuit-breaker admission, up to Resilience.MaxAttempts
-// attempts with capped exponential backoff (deterministic jitter)
-// between transient failures, per-attempt deadlines and hedging
-// inside attemptShard.
+// runShard executes the filter on one shard, honouring the read
+// preference. ReadNearest tries an in-bounds replica first; otherwise
+// the primary runs through the full fault boundary (runPrimary), and
+// if it stays unreachable — breaker open, hard-down, retries
+// exhausted — the freshest replica answers instead (ReadPrimary
+// excepted) and a promotion is requested so writes resume. A
+// successful failover keeps the shard out of FailedShards entirely:
+// the merge is complete.
 func (c *Cluster) runShard(ctx context.Context, sid int, f query.Filter) shardOutcome {
+	g := c.replGroupLocked(sid)
+	pref := c.opts.ReadPref
+	if g == nil {
+		return c.runPrimary(ctx, sid, f)
+	}
+	if pref.Mode == ReadNearest {
+		if out, ok := c.replicaRead(ctx, sid, f, pref.MaxLagLSN); ok {
+			return out
+		}
+	}
+	out := c.runPrimary(ctx, sid, f)
+	if out.err == nil || pref.Mode == ReadPrimary || ctx.Err() != nil {
+		return out
+	}
+	maxLag := ^uint64(0)
+	if pref.Mode == ReadNearest {
+		maxLag = pref.MaxLagLSN
+	}
+	if rout, ok := c.replicaRead(ctx, sid, f, maxLag); ok {
+		rout.retries = out.retries
+		rout.hedged = out.hedged
+		rout.failedOver = true
+		g.RequestPromote()
+		return rout
+	}
+	return out
+}
+
+// replicaRead serves the filter from shard sid's freshest follower
+// within maxLag, under the follower's read lock. ok is false when no
+// in-bounds replica exists or the execution failed (the caller falls
+// back to the primary path's outcome).
+func (c *Cluster) replicaRead(ctx context.Context, sid int, f query.Filter, maxLag uint64) (shardOutcome, bool) {
+	g := c.replGroupLocked(sid)
+	idx, lag, ok := g.BestReplica(maxLag)
+	if !ok {
+		return shardOutcome{}, false
+	}
+	var res *query.Result
+	err := g.View(idx, func(coll *collection.Collection) error {
+		r, err := query.ExecuteCtx(ctx, coll, f, c.opts.QueryConfig)
+		res = r
+		return err
+	})
+	if err != nil {
+		return shardOutcome{}, false
+	}
+	return shardOutcome{res: res, replica: true, lag: lag}, true
+}
+
+// runPrimary executes the filter on one shard's primary through the
+// fault boundary: circuit-breaker admission, up to
+// Resilience.MaxAttempts attempts with capped exponential backoff
+// (deterministic jitter) between transient failures, per-attempt
+// deadlines and hedging inside attemptShard.
+func (c *Cluster) runPrimary(ctx context.Context, sid int, f query.Filter) shardOutcome {
 	r := c.opts.Resilience
 	brk := c.breakers[sid]
 	var out shardOutcome
@@ -322,6 +413,15 @@ func (c *Cluster) foldLocked(res *RoutedResult, outcomes []shardOutcome) {
 		res.Hedged += o.hedged
 		if o.retries > 0 {
 			anyRetries = true
+		}
+		if o.replica {
+			res.ReplicaReads++
+			if o.lag > res.MaxLagLSN {
+				res.MaxLagLSN = o.lag
+			}
+		}
+		if o.failedOver {
+			res.FailedOver++
 		}
 	}
 	if anyRetries {

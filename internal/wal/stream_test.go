@@ -1,0 +1,107 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+func rec(lsn uint64) Record {
+	return Record{LSN: lsn, Op: 1, Body: []byte(fmt.Sprintf("r%d", lsn))}
+}
+
+func TestLogSubscribeDeliversInOrder(t *testing.T) {
+	l := NewLog(0)
+	backlog, sub, ok := l.SubscribeFrom(1, 16)
+	if !ok || len(backlog) != 0 {
+		t.Fatalf("fresh subscribe: backlog=%d ok=%v", len(backlog), ok)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		l.Append(rec(i))
+	}
+	for i := uint64(1); i <= 5; i++ {
+		got := <-sub.C
+		if got.LSN != i {
+			t.Fatalf("received lsn %d, want %d", got.LSN, i)
+		}
+	}
+	if l.LastLSN() != 5 {
+		t.Fatalf("LastLSN = %d", l.LastLSN())
+	}
+	l.Unsubscribe(sub)
+	if _, open := <-sub.C; open {
+		t.Fatal("channel still open after Unsubscribe")
+	}
+}
+
+func TestLogSubscribeFromBacklog(t *testing.T) {
+	l := NewLog(0)
+	for i := uint64(1); i <= 5; i++ {
+		l.Append(rec(i))
+	}
+	backlog, sub, ok := l.SubscribeFrom(3, 16)
+	if !ok {
+		t.Fatal("SubscribeFrom not ok")
+	}
+	if len(backlog) != 3 || backlog[0].LSN != 3 || backlog[2].LSN != 5 {
+		t.Fatalf("backlog = %v", backlog)
+	}
+	l.Append(rec(6))
+	if got := <-sub.C; got.LSN != 6 {
+		t.Fatalf("post-backlog lsn %d", got.LSN)
+	}
+	l.Close()
+}
+
+func TestLogTruncatesToCapacity(t *testing.T) {
+	l := NewLog(4)
+	for i := uint64(1); i <= 10; i++ {
+		l.Append(rec(i))
+	}
+	if _, ok := l.From(1); ok {
+		t.Fatal("From(1) should report truncation")
+	}
+	recs, ok := l.From(7)
+	if !ok || len(recs) != 4 || recs[0].LSN != 7 {
+		t.Fatalf("From(7) = %v, %v", recs, ok)
+	}
+	if recs, ok := l.From(11); !ok || len(recs) != 0 {
+		t.Fatalf("From(past end) = %v, %v", recs, ok)
+	}
+	if _, _, ok := l.SubscribeFrom(2, 4); ok {
+		t.Fatal("SubscribeFrom below the window should fail")
+	}
+}
+
+func TestLogOverflowCutsSubscriberOff(t *testing.T) {
+	l := NewLog(0)
+	_, sub, _ := l.SubscribeFrom(1, 2)
+	for i := uint64(1); i <= 5; i++ {
+		l.Append(rec(i))
+	}
+	// The first two records were buffered; the third overflowed and
+	// closed the channel.
+	var got []uint64
+	for r := range sub.C {
+		got = append(got, r.LSN)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("drained %v", got)
+	}
+	// Re-attach at the next unapplied LSN: the backlog covers the gap.
+	backlog, sub2, ok := l.SubscribeFrom(3, 16)
+	if !ok || len(backlog) != 3 {
+		t.Fatalf("re-attach: backlog=%d ok=%v", len(backlog), ok)
+	}
+	l.Unsubscribe(sub2)
+}
+
+func TestLogAppendGapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LSN gap did not panic")
+		}
+	}()
+	l := NewLog(0)
+	l.Append(rec(1))
+	l.Append(rec(3))
+}

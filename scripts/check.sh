@@ -10,3 +10,10 @@ go build ./...
 go test -timeout 180s ./...
 go vet ./...
 go test -race -timeout 300s ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/...
+
+# A 10-second slice of each fuzz target: BSON decoding is total, key
+# encoding preserves order, journal recovery never panics or replays
+# a corrupt frame.
+go test -timeout 120s ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 10s
+go test -timeout 120s ./internal/keyenc -fuzz FuzzKeyOrdering -fuzztime 10s
+go test -timeout 120s ./internal/wal -fuzz FuzzFrameRecover -fuzztime 10s
