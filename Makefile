@@ -46,3 +46,12 @@ bench:
 .PHONY: throughput
 throughput:
 	$(GO) run ./cmd/stbench -exp throughput
+
+# Allocation guard: compare two throughput reports cell-by-cell and
+# fail when the new one regresses allocs/op or bytes/op by more than
+# 20%. Usage: make benchdiff OLD=base.json NEW=BENCH_throughput.json
+OLD ?= /tmp/throughput-base.json
+NEW ?= BENCH_throughput.json
+.PHONY: benchdiff
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)

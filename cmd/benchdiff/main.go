@@ -1,0 +1,130 @@
+// Command benchdiff compares two BENCH_throughput.json reports
+// cell-by-cell and fails when the new report regresses on allocations.
+// It is the guard that keeps the zero-allocation read path honest: a
+// change that silently reintroduces per-query garbage shows up as an
+// allocs/op (or bytes/op) jump in the throughput report, and benchdiff
+// turns that jump into a non-zero exit status.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.20] old.json new.json
+//
+// Cells are matched on (workload, parallel, clients). A cell present
+// in only one report is printed but never fails the diff (the cell
+// matrix legitimately grows). QPS and latency columns are printed for
+// context but do not gate: wall-clock numbers are host-dependent,
+// allocation counts are not.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20,
+		"fail when a cell's allocs/op or bytes/op grows by more than this fraction")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold frac] old.json new.json\n")
+		os.Exit(2)
+	}
+	oldRep, err := readReport(flag.Arg(0))
+	if err != nil {
+		fatal("benchdiff: %v", err)
+	}
+	newRep, err := readReport(flag.Arg(1))
+	if err != nil {
+		fatal("benchdiff: %v", err)
+	}
+
+	type key struct {
+		workload string
+		parallel int
+		clients  int
+	}
+	oldCells := map[key]bench.ThroughputCell{}
+	for _, c := range oldRep.Cells {
+		oldCells[key{c.Workload, c.Parallel, c.Clients}] = c
+	}
+
+	fmt.Printf("%-8s %8s %7s | %12s %12s | %12s %12s | %9s %9s\n",
+		"workload", "parallel", "clients",
+		"allocs/op", "Δallocs", "KB/op", "ΔKB", "qps", "Δqps")
+	failures := 0
+	matched := map[key]bool{}
+	for _, nc := range newRep.Cells {
+		k := key{nc.Workload, nc.Parallel, nc.Clients}
+		oc, ok := oldCells[k]
+		if !ok {
+			fmt.Printf("%-8s %8d %7d | %12d %12s | %12.1f %12s | %9.1f %9s  (new cell)\n",
+				nc.Workload, nc.Parallel, nc.Clients,
+				nc.AllocsPerOp, "-", kb(nc.BytesPerOp), "-", nc.QPS, "-")
+			continue
+		}
+		matched[k] = true
+		allocDelta := frac(oc.AllocsPerOp, nc.AllocsPerOp)
+		byteDelta := frac(oc.BytesPerOp, nc.BytesPerOp)
+		qpsDelta := 0.0
+		if oc.QPS > 0 {
+			qpsDelta = nc.QPS/oc.QPS - 1
+		}
+		mark := ""
+		// Only gate on cells the old report actually measured: reports
+		// from before the memory instrumentation carry zero counters.
+		if oc.AllocsPerOp > 0 && (allocDelta > *threshold || byteDelta > *threshold) {
+			mark = "  REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-8s %8d %7d | %12d %+11.1f%% | %12.1f %+11.1f%% | %9.1f %+8.1f%%%s\n",
+			nc.Workload, nc.Parallel, nc.Clients,
+			nc.AllocsPerOp, allocDelta*100,
+			kb(nc.BytesPerOp), byteDelta*100,
+			nc.QPS, qpsDelta*100, mark)
+	}
+	for _, oc := range oldRep.Cells {
+		k := key{oc.Workload, oc.Parallel, oc.Clients}
+		if !matched[k] {
+			fmt.Printf("%-8s %8d %7d | (cell dropped from new report)\n",
+				oc.Workload, oc.Parallel, oc.Clients)
+		}
+	}
+
+	if failures > 0 {
+		fatal("benchdiff: %d cell(s) regressed allocations by more than %.0f%%",
+			failures, *threshold*100)
+	}
+	fmt.Printf("benchdiff: no allocation regression above %.0f%%\n", *threshold*100)
+}
+
+func readReport(path string) (*bench.ThroughputReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.ThroughputReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// frac is the fractional growth from old to new; an old value of zero
+// never reports growth (the baseline did not measure the counter).
+func frac(old, new uint64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return float64(new)/float64(old) - 1
+}
+
+func kb(b uint64) float64 { return float64(b) / 1024 }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

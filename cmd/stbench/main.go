@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -47,6 +49,12 @@ func main() {
 		replicas  = flag.Int("replicas", 0, "throughput: followers per shard primary (0 = no replication)")
 		readPref  = flag.String("read-pref", "", "throughput: primary | primaryPreferred | nearest[=maxLagLSN]")
 		concern   = flag.String("write-concern", "", "throughput: primary | majority | all")
+		limit     = flag.Int("limit", 0, "throughput: pushed-down result cap of the limited workload arm (default 100, negative disables)")
+		ops       = flag.Int("ops", 0, "throughput: queries per client per cell (default 24; raise to amortize tail noise)")
+
+		// Profiling (any experiment).
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -103,7 +111,7 @@ func main() {
 	fmt.Printf("stbench: %d shards, R=%d records, S=%d records, %d+%d runs/query\n\n",
 		scale.Shards, scale.RRecords, 2*scale.RRecords, scale.Warmup, scale.Runs)
 	topts := bench.ThroughputOptions{
-		Parallel: *parallel, OutPath: *out,
+		Parallel: *parallel, OutPath: *out, Limit: *limit, OpsPerClient: *ops,
 		Faults: *faults, FaultSeed: *faultSeed,
 		Replicas: *replicas, ReadPref: *readPref, WriteConcern: *concern,
 	}
@@ -116,6 +124,37 @@ func main() {
 			}
 			topts.Clients = append(topts.Clients, n)
 		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the most recent allocations into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "stbench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	for _, e := range selected {

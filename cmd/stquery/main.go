@@ -63,6 +63,8 @@ func main() {
 		rectStr  = flag.String("rect", "", "query rectangle: lon1,lat1,lon2,lat2")
 		fromStr  = flag.String("from", "", "query start (RFC 3339)")
 		toStr    = flag.String("to", "", "query end (RFC 3339)")
+		limit    = flag.Int("limit", 0, "cap the result-set size, pushed down to the shards (0 = unlimited)")
+		sortStr  = flag.String("sort", "", "order results by date: 'date' ascending, '-date' descending")
 		verbose  = flag.Bool("v", false, "print matching documents")
 		explain  = flag.Bool("explain", false, "print per-shard plan explanations")
 		file     = flag.String("f", "", "file of queries to run as one batch")
@@ -74,6 +76,11 @@ func main() {
 		concern  = flag.String("write-concern", "", "primary | majority | all")
 	)
 	flag.Parse()
+
+	sortOrder, err := parseSort(*sortStr)
+	if err != nil {
+		fatal("stquery: bad -sort: %v", err)
+	}
 
 	pref, err := sharding.ParseReadPref(*readPref)
 	if err != nil {
@@ -152,13 +159,13 @@ func main() {
 	}
 
 	if *file != "" {
-		if err := runQueryFile(s, *file); err != nil {
+		if err := runQueryFile(s, *file, *limit, sortOrder); err != nil {
 			fatal("stquery: %v", err)
 		}
 		return
 	}
 	if *rectStr == "" {
-		runPaperQueries(s)
+		runPaperQueries(s, *limit, sortOrder)
 		return
 	}
 	rect, err := parseRect(*rectStr)
@@ -173,7 +180,7 @@ func main() {
 	if err != nil {
 		fatal("stquery: bad -to: %v", err)
 	}
-	q := core.STQuery{Rect: rect, From: from, To: to}
+	q := core.STQuery{Rect: rect, From: from, To: to, Limit: *limit, Sort: sortOrder}
 	res := s.Query(q)
 	printResult("query", res)
 	if *explain {
@@ -196,7 +203,7 @@ func main() {
 // runQueryFile parses the file (one query per line:
 // "lon1,lat1,lon2,lat2 from to") and executes all of it as a single
 // batch through the scatter-gather pool.
-func runQueryFile(s *core.Store, path string) error {
+func runQueryFile(s *core.Store, path string, limit int, sortOrder core.SortOrder) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -224,7 +231,7 @@ func runQueryFile(s *core.Store, path string) error {
 		if err != nil {
 			return fmt.Errorf("%s:%d: bad to: %w", path, ln+1, err)
 		}
-		qs = append(qs, core.STQuery{Rect: rect, From: from, To: to})
+		qs = append(qs, core.STQuery{Rect: rect, From: from, To: to, Limit: limit, Sort: sortOrder})
 		names = append(names, fmt.Sprintf("q%d", len(qs)))
 	}
 	if len(qs) == 0 {
@@ -240,7 +247,7 @@ func runQueryFile(s *core.Store, path string) error {
 	return nil
 }
 
-func runPaperQueries(s *core.Store) {
+func runPaperQueries(s *core.Store, limit int, sortOrder core.SortOrder) {
 	ds := &bench.Dataset{
 		Start: data.RStart,
 		Offsets: [4]time.Duration{
@@ -251,9 +258,22 @@ func runPaperQueries(s *core.Store) {
 	for _, small := range []bool{true, false} {
 		names := bench.QueryNames(small)
 		for i, q := range ds.Queries(small) {
+			q.Limit, q.Sort = limit, sortOrder
 			printResult(names[i], s.Query(q))
 		}
 	}
+}
+
+func parseSort(s string) (core.SortOrder, error) {
+	switch s {
+	case "":
+		return core.SortNone, nil
+	case "date":
+		return core.SortDateAsc, nil
+	case "-date":
+		return core.SortDateDesc, nil
+	}
+	return core.SortNone, fmt.Errorf("want 'date' or '-date', got %q", s)
 }
 
 func printResult(name string, res *core.QueryResult) {

@@ -3,7 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/core"
@@ -269,7 +269,7 @@ func runFig14(e *Env, w io.Writer) error {
 				for n := range sizes {
 					names = append(names, n)
 				}
-				sort.Strings(names)
+				slices.Sort(names)
 				var id, sk, st, total int64
 				for _, n := range names {
 					sz := sizes[n]

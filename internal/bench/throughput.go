@@ -6,7 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +34,12 @@ type ThroughputOptions struct {
 	// OpsPerClient is the number of queries each client issues per
 	// cell (default 24).
 	OpsPerClient int
+	// Limit is the pushed-down result cap of the "limited" workload
+	// arm (default 100): the mixed workload re-run with
+	// STQuery.Limit set, measuring what early-exit scans and the
+	// bounded merge save. 0 keeps the default; negative disables the
+	// arm.
+	Limit int
 	// OutPath is where the JSON report is written; empty means
 	// BENCH_throughput.json, "-" disables the file.
 	OutPath string
@@ -69,6 +75,9 @@ func (o ThroughputOptions) withDefaults() ThroughputOptions {
 	if o.OpsPerClient <= 0 {
 		o.OpsPerClient = 24
 	}
+	if o.Limit == 0 {
+		o.Limit = 100
+	}
 	if o.OutPath == "" {
 		o.OutPath = "BENCH_throughput.json"
 	}
@@ -78,7 +87,7 @@ func (o ThroughputOptions) withDefaults() ThroughputOptions {
 // ThroughputCell is one measured (workload, pool width, clients)
 // combination.
 type ThroughputCell struct {
-	Workload string  `json:"workload"` // "mixed" or "big"
+	Workload string  `json:"workload"` // "mixed", "limited" or "big"
 	Parallel int     `json:"parallel"`
 	Clients  int     `json:"clients"`
 	Ops      int     `json:"ops"`
@@ -86,6 +95,13 @@ type ThroughputCell struct {
 	P50ms    float64 `json:"p50_ms"`
 	P95ms    float64 `json:"p95_ms"`
 	P99ms    float64 `json:"p99_ms"`
+	// Memory counters from runtime.ReadMemStats deltas around the
+	// cell: heap allocations and bytes per query, the live heap after
+	// the cell, and the GC pause time accrued during it.
+	AllocsPerOp    uint64  `json:"allocs_per_op"`
+	BytesPerOp     uint64  `json:"bytes_per_op"`
+	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
+	GCPauseMs      float64 `json:"gc_pause_ms"`
 	// Fault-tolerance counters, aggregated over the cell's queries
 	// (all zero — and omitted — on a healthy run).
 	Retries  int `json:"retries,omitempty"`
@@ -111,7 +127,13 @@ type ThroughputReport struct {
 	DatasetDocs     int    `json:"dataset_docs"`
 	DatasetChecksum string `json:"dataset_checksum"`
 	GOMAXPROCS      int    `json:"gomaxprocs"`
-	Parallel        int    `json:"parallel"` // the parallel arm's pool width
+	// NumCPU is the host's logical CPU count; when it equals 1 the
+	// gomaxprocs value is a genuine host property, not a misconfigured
+	// process.
+	NumCPU   int `json:"num_cpu"`
+	Parallel int `json:"parallel"` // the parallel arm's pool width
+	// Limit is the "limited" workload arm's pushed-down result cap.
+	Limit int `json:"limit,omitempty"`
 	// Faults echoes the injected fault specification (empty = healthy).
 	Faults string `json:"faults,omitempty"`
 	// Replicas, ReadPref and WriteConcern echo the replication
@@ -208,9 +230,13 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 		Records:    len(d.Recs),
 		Shards:     e.Scale.Shards,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Parallel:   opts.Parallel,
 		Faults:     opts.Faults,
 		Replicas:   opts.Replicas,
+	}
+	if opts.Limit > 0 {
+		report.Limit = opts.Limit
 	}
 	if opts.Replicas > 0 {
 		report.ReadPref = s.Cluster().ReadPrefState().String()
@@ -221,14 +247,31 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 	}
 	report.DatasetDocs, report.DatasetChecksum = datasetFingerprint(s)
 	if report.GOMAXPROCS == 1 {
-		report.Note = "single-CPU host: goroutines cannot run simultaneously, " +
+		host := "GOMAXPROCS=1"
+		if report.NumCPU == 1 {
+			host = "genuinely single-CPU host (num_cpu=1)"
+		}
+		report.Note = host + ": goroutines cannot run simultaneously, " +
 			"so wall-clock speedup over parallel=1 is bounded at ~1x; " +
-			"re-run on a multi-core machine for the pool's real effect"
+			"re-run on a multi-core machine for the pool's real effect. " +
+			"Allocation counters (allocs_per_op, bytes_per_op) are " +
+			"CPU-count-independent observables"
 	}
 
 	widths := []int{1, opts.Parallel}
 	if opts.Parallel == 1 {
 		widths = widths[:1]
+	}
+
+	// The limited arm re-runs the mixed workload with the pushed-down
+	// result cap: shard scans stop early, the router merge is bounded,
+	// and the memory counters show what that saves per query.
+	var limited []core.STQuery
+	if opts.Limit > 0 {
+		limited = append([]core.STQuery{}, mixed...)
+		for i := range limited {
+			limited[i].Limit = opts.Limit
+		}
 	}
 
 	for _, width := range widths {
@@ -237,6 +280,12 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 			e.progress("throughput: mixed workload, parallel=%d, clients=%d", width, clients)
 			cell := runThroughputCell("mixed", s, mixed, width, clients, opts.OpsPerClient)
 			report.Cells = append(report.Cells, cell)
+			if limited != nil {
+				e.progress("throughput: limited workload (limit=%d), parallel=%d, clients=%d",
+					opts.Limit, width, clients)
+				report.Cells = append(report.Cells,
+					runThroughputCell("limited", s, limited, width, clients, opts.OpsPerClient))
+			}
 		}
 		// The big-query arm at one client isolates the per-query
 		// scatter-gather speedup (the acceptance observable).
@@ -286,6 +335,8 @@ func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width,
 	var failedOver, replicaReads atomic.Int64
 	var maxLag atomic.Uint64
 	var wg sync.WaitGroup
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -315,8 +366,10 @@ func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width,
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	slices.Sort(latencies)
 	pct := func(q float64) float64 {
 		i := int(q*float64(len(latencies))+0.5) - 1
 		if i < 0 {
@@ -336,6 +389,10 @@ func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width,
 		P50ms:    pct(0.50),
 		P95ms:    pct(0.95),
 		P99ms:    pct(0.99),
+		AllocsPerOp:    (after.Mallocs - before.Mallocs) / uint64(len(latencies)),
+		BytesPerOp:     (after.TotalAlloc - before.TotalAlloc) / uint64(len(latencies)),
+		HeapInuseBytes: after.HeapInuse,
+		GCPauseMs:      float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
 		Retries:      int(retries.Load()),
 		Hedged:       int(hedged.Load()),
 		Partials:     int(partials.Load()),
@@ -357,7 +414,7 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 		fmt.Fprintf(w, "  replication: %d followers/shard, write concern %s, read pref %s\n",
 			r.Replicas, r.WriteConcern, r.ReadPref)
 	}
-	header := []string{"Workload", "Parallel", "Clients", "QPS", "p50", "p95", "p99"}
+	header := []string{"Workload", "Parallel", "Clients", "QPS", "p50", "p95", "p99", "allocs/op", "KB/op"}
 	if r.Faults != "" {
 		header = append(header, "Retries", "Hedged", "Partials")
 	}
@@ -374,6 +431,8 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 			fmt.Sprintf("%.2fms", c.P50ms),
 			fmt.Sprintf("%.2fms", c.P95ms),
 			fmt.Sprintf("%.2fms", c.P99ms),
+			fmt.Sprintf("%d", c.AllocsPerOp),
+			fmt.Sprintf("%.1f", float64(c.BytesPerOp)/1024),
 		}
 		if r.Faults != "" {
 			row = append(row,

@@ -13,7 +13,7 @@ package bson
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -456,7 +456,7 @@ func Equal(a, b any) bool { return Compare(a, b) == 0 }
 
 // SortValues sorts a slice of values in canonical order, in place.
 func SortValues(vs []any) {
-	sort.Slice(vs, func(i, j int) bool { return Compare(vs[i], vs[j]) < 0 })
+	slices.SortFunc(vs, Compare)
 }
 
 // Float64SafeInt reports whether the int64 survives a round trip

@@ -5,7 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -221,7 +221,7 @@ func TestAgainstReferenceModel(t *testing.T) {
 			for k := range model {
 				wantKeys = append(wantKeys, k)
 			}
-			sort.Strings(wantKeys)
+			slices.Sort(wantKeys)
 			var gotKeys []string
 			tr.Scan(Unbounded(), Unbounded(), func(k []byte, v uint64) bool {
 				gotKeys = append(gotKeys, string(k))
@@ -254,7 +254,7 @@ func TestScanMatchesModelProperty(t *testing.T) {
 			keys = append(keys, k)
 		}
 	}
-	sort.Ints(keys)
+	slices.Sort(keys)
 	f := func(a, b uint16, loIncl, hiIncl bool) bool {
 		lo, hi := int(a)%10000, int(b)%10000
 		var want []int

@@ -1,0 +1,181 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// scanSeq runs Tree.Scan and records the yielded (key, value) pairs
+// plus the final examined count, cloning keys because Scan yields
+// borrowed slices.
+func scanSeq(tr *Tree, lo, hi Bound) (keys [][]byte, vals []uint64, examined int) {
+	examined = tr.Scan(lo, hi, func(k []byte, v uint64) bool {
+		keys = append(keys, bytes.Clone(k))
+		vals = append(vals, v)
+		return true
+	})
+	return
+}
+
+// iterSeq drains an Iterator the same way.
+func iterSeq(tr *Tree, lo, hi Bound) (keys [][]byte, vals []uint64, examined int) {
+	var it Iterator
+	it.Init(tr, lo, hi)
+	for it.Next() {
+		keys = append(keys, bytes.Clone(it.Key()))
+		vals = append(vals, it.Value())
+	}
+	return keys, vals, it.Examined()
+}
+
+func sameSeq(t *testing.T, name string, sk, ik [][]byte, sv, iv []uint64, se, ie int) {
+	t.Helper()
+	if len(sk) != len(ik) {
+		t.Fatalf("%s: scan yielded %d keys, iterator %d", name, len(sk), len(ik))
+	}
+	for i := range sk {
+		if !bytes.Equal(sk[i], ik[i]) || sv[i] != iv[i] {
+			t.Fatalf("%s: element %d: scan (%x,%d) iterator (%x,%d)",
+				name, i, sk[i], sv[i], ik[i], iv[i])
+		}
+	}
+	if se != ie {
+		t.Fatalf("%s: scan examined %d, iterator examined %d", name, se, ie)
+	}
+}
+
+func TestIteratorMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 7, 63, 64, 65, 500, 4000} {
+		tr := NewTree(8)
+		present := make([]int, 0, n)
+		for len(present) < n {
+			k := rng.Intn(3 * (n + 1))
+			if tr.Set(key(k), uint64(k)) {
+				present = append(present, k)
+			}
+		}
+		bounds := []Bound{
+			Unbounded(),
+			Include(key(0)),
+			Exclude(key(0)),
+			Include(key(n)),
+			Exclude(key(n)),
+			Include(key(3 * (n + 1))),
+		}
+		for trial := 0; trial < 20; trial++ {
+			bounds = append(bounds, Bound{
+				Key:       key(rng.Intn(3*(n+1) + 1)),
+				Inclusive: rng.Intn(2) == 0,
+			})
+		}
+		for _, lo := range bounds {
+			for _, hi := range bounds {
+				sk, sv, se := scanSeq(tr, lo, hi)
+				ik, iv, ie := iterSeq(tr, lo, hi)
+				sameSeq(t, "range", sk, ik, sv, iv, se, ie)
+			}
+		}
+	}
+}
+
+// TestIteratorSeek interleaves forward seeks with iteration and
+// checks the result against a fresh scan from each seek point. The
+// examined count across a seek must equal the sum of the two scans'
+// counts: the iterator's contract is "as if the scan restarted at
+// Include(target)" with the counter carried over.
+func TestIteratorSeek(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := NewTree(6)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Set(key(2*i), uint64(2*i))
+	}
+	for trial := 0; trial < 50; trial++ {
+		hi := Include(key(2*n - rng.Intn(n)))
+		var it Iterator
+		it.Init(tr, Unbounded(), hi)
+		wantExamined := 0
+		pos := -1 // last key value yielded, -1 = none
+		step := func() {
+			// One reference scan step from the current position.
+			lo := Unbounded()
+			if pos >= 0 {
+				lo = Exclude(key(pos))
+			}
+			var wantK []byte
+			var wantV uint64
+			found := false
+			wantExamined += tr.Scan(lo, hi, func(k []byte, v uint64) bool {
+				wantK, wantV, found = bytes.Clone(k), v, true
+				return false
+			})
+			if it.Next() != found {
+				t.Fatalf("trial %d: Next = %v, want %v (pos %d)", trial, !found, found, pos)
+			}
+			if found {
+				if !bytes.Equal(it.Key(), wantK) || it.Value() != wantV {
+					t.Fatalf("trial %d: got (%x,%d), want (%x,%d)",
+						trial, it.Key(), it.Value(), wantK, wantV)
+				}
+				pos = int(wantV)
+			}
+			if it.Examined() != wantExamined {
+				t.Fatalf("trial %d: examined %d, want %d", trial, it.Examined(), wantExamined)
+			}
+		}
+		for i := 0; i < 30; i++ {
+			if rng.Intn(3) == 0 && pos >= 0 {
+				target := pos + 1 + rng.Intn(200)
+				it.Seek(key(target))
+				// Keys are integers, so "first key >= target" equals
+				// "first key > target-1": the reference scan resumes
+				// from Exclude(key(target-1)).
+				pos = target - 1
+			}
+			step()
+		}
+	}
+}
+
+// TestIteratorReuse checks that Init fully resets a dirty iterator.
+func TestIteratorReuse(t *testing.T) {
+	tr := NewTree(4)
+	for i := 0; i < 300; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	var it Iterator
+	it.Init(tr, Include(key(10)), Include(key(20)))
+	for it.Next() {
+	}
+	it.Init(tr, Unbounded(), Unbounded())
+	count := 0
+	for it.Next() {
+		count++
+	}
+	if count != 300 || it.Examined() != 300 {
+		t.Fatalf("reused iterator yielded %d keys (examined %d), want 300", count, it.Examined())
+	}
+}
+
+// TestIteratorNoAlloc pins the zero-allocation contract of the hot
+// scan loop: once the iterator value exists, Init+Next over a deep
+// tree must not allocate.
+func TestIteratorNoAlloc(t *testing.T) {
+	tr := NewTree(4)
+	for i := 0; i < 50000; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	lo, hi := Include(key(1000)), Include(key(2000))
+	var it Iterator
+	allocs := testing.AllocsPerRun(10, func() {
+		it.Init(tr, lo, hi)
+		for it.Next() {
+			_ = it.Key()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("iterator loop allocates %v times per run, want 0", allocs)
+	}
+}

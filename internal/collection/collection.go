@@ -8,6 +8,7 @@ package collection
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bson"
 	"repro/internal/index"
@@ -39,6 +40,13 @@ type Collection struct {
 	// by the query layer, stored here so its lifetime matches the
 	// collection's.
 	PlanCache sync.Map
+
+	// PlanCacheHits and PlanCacheMisses count lookups against
+	// PlanCache, maintained by the query layer and surfaced through
+	// explain output so the warm path's trial-free executions are
+	// observable.
+	PlanCacheHits   atomic.Int64
+	PlanCacheMisses atomic.Int64
 }
 
 // New returns an empty collection with its _id index.

@@ -59,6 +59,12 @@ type QueryStats struct {
 	// MaxLagLSN is the highest replication lag among the replicas
 	// that served this query, in LSNs behind their primaries.
 	MaxLagLSN uint64
+	// PlanCacheHits and PlanCacheMisses are the cluster-wide
+	// cumulative plan-cache counters (summed over the primary shard
+	// collections) at the time the query completed — how often the
+	// warm trial-free planning path was taken.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 }
 
 // QueryResult carries the documents and the stats.
@@ -67,12 +73,49 @@ type QueryResult struct {
 	Stats QueryStats
 }
 
+// SortOrder selects the result ordering a query pushes down to the
+// shards.
+type SortOrder int
+
+const (
+	// SortNone returns documents in natural (per-shard scan) order.
+	SortNone SortOrder = iota
+	// SortDateAsc orders results by the date field, ascending.
+	SortDateAsc
+	// SortDateDesc orders results by the date field, descending.
+	SortDateDesc
+)
+
 // STQuery is a spatio-temporal range query: a rectangle and a closed
-// time interval.
+// time interval, optionally limited and ordered. Limit and Sort are
+// pushed down through the router into each shard's executor: scans
+// stop early (or keep a bounded top-k) per shard, and the router
+// merges the per-shard streams instead of concatenating full result
+// sets.
 type STQuery struct {
 	Rect geo.Rect
 	From time.Time
 	To   time.Time
+	// Limit caps the result-set size; 0 means unlimited. The limited
+	// result is byte-identical to a prefix of the unlimited one.
+	Limit int
+	// Sort orders the merged results (and makes a limited query a
+	// top-k query).
+	Sort SortOrder
+}
+
+// opts translates the query's limit/sort into the executor's
+// pushed-down options.
+func (q STQuery) opts() query.Opts {
+	o := query.Opts{Limit: q.Limit}
+	switch q.Sort {
+	case SortDateAsc:
+		o.OrderBy = FieldDate
+	case SortDateDesc:
+		o.OrderBy = FieldDate
+		o.Desc = true
+	}
+	return o
 }
 
 // Filter builds the approach's query filter. For the baselines it is
@@ -185,12 +228,20 @@ func assembleResult(routed *sharding.RoutedResult, coverStats sfc.RangeStats, co
 	return &QueryResult{Docs: routed.Docs, Stats: stats}
 }
 
+// fillPlanCache stamps the cluster-wide cumulative plan-cache
+// counters onto the stats.
+func (s *Store) fillPlanCache(st *QueryStats) {
+	st.PlanCacheHits, st.PlanCacheMisses = s.cluster.PlanCacheStats()
+}
+
 // Query executes the spatio-temporal query and reports the paper's
 // metrics.
 func (s *Store) Query(q STQuery) *QueryResult {
 	f, coverStats, coverTime := s.Filter(q)
-	routed := s.cluster.Query(f)
-	return assembleResult(routed, coverStats, coverTime)
+	routed := s.cluster.QueryOpts(f, q.opts())
+	out := assembleResult(routed, coverStats, coverTime)
+	s.fillPlanCache(&out.Stats)
+	return out
 }
 
 // QueryBatch executes independent spatio-temporal queries through the
@@ -200,15 +251,18 @@ func (s *Store) Query(q STQuery) *QueryResult {
 // order, each identical to what Query would have returned.
 func (s *Store) QueryBatch(qs []STQuery) []*QueryResult {
 	fs := make([]query.Filter, len(qs))
+	opts := make([]query.Opts, len(qs))
 	covers := make([]sfc.RangeStats, len(qs))
 	coverTimes := make([]time.Duration, len(qs))
 	for i, q := range qs {
 		fs[i], covers[i], coverTimes[i] = s.Filter(q)
+		opts[i] = q.opts()
 	}
-	routed := s.cluster.QueryBatch(fs)
+	routed := s.cluster.QueryBatchOpts(fs, opts)
 	out := make([]*QueryResult, len(qs))
 	for i, r := range routed {
 		out[i] = assembleResult(r, covers[i], coverTimes[i])
+		s.fillPlanCache(&out[i].Stats)
 	}
 	return out
 }

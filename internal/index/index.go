@@ -84,6 +84,9 @@ func (d Definition) geoBits() uint {
 type Index struct {
 	def  Definition
 	tree *btree.Tree
+	// spec caches Def().String(): the executor stamps it on every
+	// result, and rebuilding it per query allocates on the hot path.
+	spec string
 }
 
 // New creates an empty index from the definition.
@@ -109,11 +112,15 @@ func New(def Definition) (*Index, error) {
 	if bits := def.geoBits(); bits > geohash.MaxBits {
 		return nil, fmt.Errorf("index %s: geohash precision %d out of range", def.Name, bits)
 	}
-	return &Index{def: def, tree: btree.NewTree(0)}, nil
+	return &Index{def: def, tree: btree.NewTree(0), spec: def.String()}, nil
 }
 
 // Def returns the index definition.
 func (ix *Index) Def() Definition { return ix.def }
+
+// Spec returns the cached rendering of the definition — what Plan
+// names and per-query stats use, without re-rendering per call.
+func (ix *Index) Spec() string { return ix.spec }
 
 // Len returns the number of indexed entries.
 func (ix *Index) Len() int { return ix.tree.Len() }
@@ -202,6 +209,14 @@ func (ix *Index) ScanInterval(iv Interval, fn func(key []byte, id storage.Record
 	return ix.tree.Scan(iv.Low, iv.High, func(key []byte, v uint64) bool {
 		return fn(key, storage.RecordID(v))
 	})
+}
+
+// IterInit positions a resumable iterator over the interval. The
+// iterator yields borrowed keys and is the allocation-free twin of
+// ScanInterval: the executor pools one iterator per execution and
+// seeks it forward for skip-scans instead of restarting the walk.
+func (ix *Index) IterInit(it *btree.Iterator, iv Interval) {
+	it.Init(ix.tree, iv.Low, iv.High)
 }
 
 // IntervalFromTuples builds the Interval covering all entries whose

@@ -174,6 +174,21 @@ func PrefixUpperBound(k []byte) []byte {
 	return nil
 }
 
+// AppendPrefixUpperBound is PrefixUpperBound writing into dst (which
+// it overwrites and returns re-sliced), so resumable scans can reuse
+// one buffer instead of cloning per seek. Like PrefixUpperBound it
+// returns nil when k is all 0xFF; dst is unchanged in that case.
+func AppendPrefixUpperBound(dst, k []byte) []byte {
+	for i := len(k) - 1; i >= 0; i-- {
+		if k[i] != 0xFF {
+			dst = append(dst[:0], k[:i+1]...)
+			dst[i]++
+			return dst
+		}
+	}
+	return nil
+}
+
 // Compare is bytes.Compare, re-exported so callers of this package do
 // not need to also import bytes for key comparisons.
 func Compare(a, b []byte) int { return bytes.Compare(a, b) }

@@ -5,9 +5,7 @@ import (
 	"time"
 
 	"repro/internal/bson"
-	"repro/internal/btree"
 	"repro/internal/collection"
-	"repro/internal/index"
 	"repro/internal/keyenc"
 	"repro/internal/storage"
 )
@@ -21,7 +19,7 @@ type ExecStats struct {
 	// DocsExamined counts documents fetched from storage, the
 	// server's totalDocsExamined.
 	DocsExamined int
-	// NReturned counts documents that satisfied the filter.
+	// NReturned counts documents returned to the caller.
 	NReturned int
 	// IndexUsed names the winning access path (or COLLSCAN).
 	IndexUsed string
@@ -45,9 +43,22 @@ func (s *ExecStats) Add(o ExecStats) {
 // a result, like a server shipping raw documents to the client; use
 // bson.Raw's Lookup/Get for field access or Decode for the full
 // document.
+//
+// Ownership: the Docs slice (and Keys, when present) is owned by the
+// caller, but the document bytes are zero-copy views of the shard's
+// immutable storage records. Within a process that is safe — records
+// are never mutated in place — and the sharded router's trust
+// boundary (ShardConn) is where a real deployment would serialize
+// them over the wire.
 type Result struct {
-	Docs   []bson.Raw
-	Stats  ExecStats
+	Docs []bson.Raw
+	// Keys are the encoded sort keys of Docs, index-aligned, present
+	// only for ordered executions (Opts.OrderBy): the router's k-way
+	// merge compares these instead of re-extracting field values.
+	Keys  [][]byte
+	Stats ExecStats
+	// Trials report the multi-planner outcomes when planning ran
+	// trials for this execution.
 	Trials []TrialResult
 }
 
@@ -58,7 +69,7 @@ type Result struct {
 // trials, like the server's warm state.
 func Execute(coll *collection.Collection, f Filter, cfg *Config) *Result {
 	// context.Background never cancels, so the error path is dead.
-	res, _ := ExecuteCtx(context.Background(), coll, f, cfg)
+	res, _ := ExecuteOptsCtx(context.Background(), coll, f, cfg, Opts{})
 	return res
 }
 
@@ -69,16 +80,38 @@ func Execute(coll *collection.Collection, f Filter, cfg *Config) *Result {
 // The sharded router threads per-query and per-shard deadlines down
 // through this.
 func ExecuteCtx(ctx context.Context, coll *collection.Collection, f Filter, cfg *Config) (*Result, error) {
+	return ExecuteOptsCtx(ctx, coll, f, cfg, Opts{})
+}
+
+// ExecuteOpts is Execute with pushed-down execution options.
+func ExecuteOpts(coll *collection.Collection, f Filter, cfg *Config, opts Opts) *Result {
+	res, _ := ExecuteOptsCtx(context.Background(), coll, f, cfg, opts)
+	return res
+}
+
+// ExecuteOptsCtx executes the filter with pushed-down options. A
+// natural-order limit stops the index scan as soon as the quota is
+// met; an ordered limit retains the top k in a bounded heap while the
+// scan runs to completion. Either way the returned documents are
+// byte-identical to running the query unlimited and truncating: plan
+// selection ignores the options, so the scan order is the same.
+func ExecuteOptsCtx(ctx context.Context, coll *collection.Collection, f Filter, cfg *Config, opts Opts) (*Result, error) {
 	start := time.Now()
+	s := getScratch()
+	defer putScratch(s)
 	if plan, budget, entry, ok := cachedPlan(coll, f, cfg); ok {
-		stats, docs, completed, err := runPlanCtx(ctx, coll, plan, budget, true)
-		if err != nil {
-			return nil, err
+		e := exec{ctx: ctx, coll: coll, p: plan, maxWorks: budget, collect: true, opts: opts, s: s}
+		completed := e.run()
+		if e.ctxErr != nil {
+			return nil, e.ctxErr
 		}
 		if completed {
-			stats.Duration = time.Since(start)
-			stats.IndexUsed = plan.Name()
-			return &Result{Docs: docs, Stats: stats}, nil
+			res := s.buildResult(opts)
+			e.stats.NReturned = len(res.Docs)
+			e.stats.Duration = time.Since(start)
+			e.stats.IndexUsed = plan.Name()
+			res.Stats = e.stats
+			return res, nil
 		}
 		// The cached plan blew its works budget: evict and replan,
 		// like the server. The eviction is conditional on the entry we
@@ -87,14 +120,19 @@ func ExecuteCtx(ctx context.Context, coll *collection.Collection, f Filter, cfg 
 		evictPlan(coll, f, entry)
 	}
 	plan, trials := ChoosePlan(coll, f, cfg)
-	stats, docs, _, err := runPlanCtx(ctx, coll, plan, 0, true)
-	if err != nil {
-		return nil, err
+	e := exec{ctx: ctx, coll: coll, p: plan, collect: true, opts: opts, s: s}
+	e.run()
+	if e.ctxErr != nil {
+		return nil, e.ctxErr
 	}
-	rememberPlan(coll, f, plan, stats.KeysExamined+stats.DocsExamined)
-	stats.Duration = time.Since(start)
-	stats.IndexUsed = plan.Name()
-	return &Result{Docs: docs, Stats: stats, Trials: trials}, nil
+	rememberPlan(coll, f, plan, e.stats.KeysExamined+e.stats.DocsExamined)
+	res := s.buildResult(opts)
+	e.stats.NReturned = len(res.Docs)
+	e.stats.Duration = time.Since(start)
+	e.stats.IndexUsed = plan.Name()
+	res.Stats = e.stats
+	res.Trials = trials
+	return res, nil
 }
 
 // MatchingRecords plans and runs the filter, returning the record ids
@@ -102,34 +140,11 @@ func ExecuteCtx(ctx context.Context, coll *collection.Collection, f Filter, cfg 
 // and updates resolve their targets through this).
 func MatchingRecords(coll *collection.Collection, f Filter, cfg *Config) []storage.RecordID {
 	plan, _ := ChoosePlan(coll, f, cfg)
+	s := getScratch()
+	defer putScratch(s)
 	var ids []storage.RecordID
-	collect := func(id storage.RecordID) bool {
-		raw, ok := coll.Store().FetchRaw(id)
-		if !ok {
-			return true
-		}
-		if plan.Filter == nil || plan.Filter.Matches(bson.Raw(raw)) {
-			ids = append(ids, id)
-		}
-		return true
-	}
-	if plan.Index == nil {
-		coll.Store().Walk(func(id storage.RecordID, raw []byte) bool {
-			if plan.Filter == nil || plan.Filter.Matches(bson.Raw(raw)) {
-				ids = append(ids, id)
-			}
-			return true
-		})
-		return ids
-	}
-	for _, seg := range plan.Segments {
-		if seg.SubLo == nil {
-			plan.Index.ScanInterval(seg.Interval,
-				func(_ []byte, id storage.RecordID) bool { return collect(id) })
-		} else {
-			skipScan(plan.Index, seg, collect)
-		}
-	}
+	e := exec{ctx: context.Background(), coll: coll, p: plan, ids: &ids, s: s}
+	e.run()
 	return ids
 }
 
@@ -137,10 +152,16 @@ func MatchingRecords(coll *collection.Collection, f Filter, cfg *Config) []stora
 // force an access path).
 func ExecutePlan(coll *collection.Collection, plan *Plan) *Result {
 	start := time.Now()
-	stats, docs, _ := runPlan(coll, plan, 0, true)
-	stats.Duration = time.Since(start)
-	stats.IndexUsed = plan.Name()
-	return &Result{Docs: docs, Stats: stats}
+	s := getScratch()
+	defer putScratch(s)
+	e := exec{ctx: context.Background(), coll: coll, p: plan, collect: true, s: s}
+	e.run()
+	res := s.buildResult(Opts{})
+	e.stats.NReturned = len(res.Docs)
+	e.stats.Duration = time.Since(start)
+	e.stats.IndexUsed = plan.Name()
+	res.Stats = e.stats
+	return res
 }
 
 // cancelCheckWorks is how many work units (keys examined + documents
@@ -149,147 +170,186 @@ func ExecutePlan(coll *collection.Collection, plan *Plan) *Result {
 // that the uncancelled path stays unmeasurable.
 const cancelCheckWorks = 256
 
-// runPlan executes the plan without cancellation (plan trials and the
-// write path's record lookups).
-func runPlan(coll *collection.Collection, p *Plan, maxWorks int, collect bool) (ExecStats, []bson.Raw, bool) {
-	stats, docs, completed, _ := runPlanCtx(context.Background(), coll, p, maxWorks, collect)
-	return stats, docs, completed
+// runPlan executes the plan without collecting documents (plan trials
+// and explain's counting runs). completed reports whether the plan
+// ran to the end within maxWorks (0 = unlimited).
+func runPlan(coll *collection.Collection, p *Plan, maxWorks int) (ExecStats, bool) {
+	s := getScratch()
+	defer putScratch(s)
+	e := exec{ctx: context.Background(), coll: coll, p: p, maxWorks: maxWorks, s: s}
+	completed := e.run()
+	return e.stats, completed
 }
 
-// runPlanCtx executes the plan. maxWorks bounds keys examined plus
-// documents fetched (0 = unlimited); collect controls whether
-// matching documents are collected. completed reports whether the
-// plan ran to the end within the budget. A non-nil error means the
-// context cancelled the scan mid-flight; the partial stats and docs
-// are discarded by callers.
-func runPlanCtx(ctx context.Context, coll *collection.Collection, p *Plan, maxWorks int, collect bool) (ExecStats, []bson.Raw, bool, error) {
-	var stats ExecStats
-	var docs []bson.Raw
-	var ctxErr error
-	if p.Index == nil {
-		completed := runCollScan(ctx, coll, p.Filter, maxWorks, collect, &stats, &docs, &ctxErr)
-		return stats, docs, completed, ctxErr
+// exec is the state of one plan execution over pooled scratch. It
+// lives on the caller's stack; the scratch holds everything that
+// needs to outlive stack frames between segments.
+type exec struct {
+	ctx      context.Context
+	coll     *collection.Collection
+	p        *Plan
+	maxWorks int // keys examined + docs fetched budget; 0 = unlimited
+	collect  bool
+	opts     Opts
+	s        *scratch
+	// ids, when non-nil, redirects collection: matching record ids
+	// are appended instead of documents (the write path's lookup).
+	ids      *[]storage.RecordID
+	stats    ExecStats
+	ctxErr   error
+	hitLimit bool
+}
+
+// run executes the plan. It reports whether the plan ran to
+// completion — where satisfying a pushed-down limit counts as
+// completion, so a limited query never evicts a healthy cached plan.
+// A partial run with e.ctxErr set means the context cancelled the
+// scan mid-flight; partial results are discarded by callers.
+func (e *exec) run() bool {
+	if e.collect {
+		clear(e.s.docs)
+		e.s.docs = e.s.docs[:0]
+		e.s.top.reset(e.opts.Limit, e.opts.Desc)
 	}
-	budgetLeft := func() bool {
-		works := stats.KeysExamined + stats.DocsExamined
-		if works%cancelCheckWorks == 0 {
-			if err := ctx.Err(); err != nil {
-				ctxErr = err
-				return false
+	if e.p.Index == nil {
+		return e.runCollScan()
+	}
+	for _, seg := range e.p.Segments {
+		e.scanSegment(seg)
+		if e.ctxErr != nil {
+			return false
+		}
+		if e.hitLimit {
+			return true
+		}
+		if !e.budgetLeft() {
+			return false
+		}
+	}
+	return true
+}
+
+// budgetLeft is the per-work-unit gate: an occasional context check
+// plus the works budget. Segment key counts are added when a segment
+// finishes, so mid-segment the budget advances on documents fetched —
+// the same accounting the replan budget was calibrated against.
+func (e *exec) budgetLeft() bool {
+	works := e.stats.KeysExamined + e.stats.DocsExamined
+	if works%cancelCheckWorks == 0 {
+		if err := e.ctx.Err(); err != nil {
+			e.ctxErr = err
+			return false
+		}
+	}
+	return e.maxWorks == 0 || works < e.maxWorks
+}
+
+// scanSegment streams the segment through the pooled iterator. For
+// skip-scan segments (sub-bounds on the field after the leading
+// component) out-of-range keys trigger a Seek — forward to the
+// sub-range inside the same leading value, or to the next leading
+// value — instead of restarting the scan from the root as the old
+// recursive path did. Every inspected key (including the ones that
+// trigger seeks and the terminator) counts as examined, like the
+// server's totalKeysExamined.
+func (e *exec) scanSegment(seg Segment) {
+	it := &e.s.it
+	e.p.Index.IterInit(it, seg.Interval)
+	if seg.SubLo == nil {
+		for it.Next() {
+			if !e.emitID(storage.RecordID(it.Value())) {
+				break
 			}
 		}
-		return maxWorks == 0 || works < maxWorks
+		e.stats.KeysExamined += it.Examined()
+		return
 	}
-	emit := func(id storage.RecordID) bool {
-		stats.DocsExamined++
-		raw, ok := coll.Store().FetchRaw(id)
-		if !ok {
-			// An index entry pointing at a missing record means a
-			// concurrent delete; skip it like the server does.
-			return budgetLeft()
-		}
-		// Match on the encoded form; the stored bytes are immutable,
-		// so results alias them without copying.
-		if p.Filter == nil || p.Filter.Matches(bson.Raw(raw)) {
-			stats.NReturned++
-			if collect {
-				docs = append(docs, bson.Raw(raw))
+	for it.Next() {
+		key := it.Key()
+		compLen, err := keyenc.ComponentLen(key)
+		if err != nil || len(key) < compLen+8 {
+			// Malformed key; fall back to emitting so no result can
+			// be lost.
+			if !e.emitID(storage.RecordID(it.Value())) {
+				break
 			}
+			continue
 		}
-		return budgetLeft()
-	}
-	completed := true
-	for _, seg := range p.Segments {
-		if seg.SubLo == nil {
-			stats.KeysExamined += p.Index.ScanInterval(seg.Interval,
-				func(_ []byte, id storage.RecordID) bool { return emit(id) })
-		} else {
-			stats.KeysExamined += skipScan(p.Index, seg, emit)
+		rest := key[compLen : len(key)-8]
+		if keyenc.Compare(rest, seg.SubLo) < 0 {
+			// Below the sub-range: seek to it within this leading
+			// value.
+			e.s.resume = append(append(e.s.resume[:0], key[:compLen]...), seg.SubLo...)
+			it.Seek(e.s.resume)
+			continue
 		}
-		if ctxErr != nil {
-			return stats, docs, false, ctxErr
+		if keyenc.Compare(rest, seg.SubHiUpper) >= 0 {
+			// Past the sub-range: seek to the next leading value.
+			ub := keyenc.AppendPrefixUpperBound(e.s.resume[:0], key[:compLen])
+			if ub == nil {
+				// All-0xFF leading value: no next value exists.
+				break
+			}
+			e.s.resume = ub
+			it.Seek(ub)
+			continue
 		}
-		if !budgetLeft() {
-			completed = false
+		if !e.emitID(storage.RecordID(it.Value())) {
 			break
 		}
 	}
-	return stats, docs, completed, ctxErr
+	e.stats.KeysExamined += it.Examined()
 }
 
-// skipScan scans the segment's interval applying the sub-bounds on
-// the field after the leading component: keys whose second component
-// falls outside [SubLo, SubHiUpper) trigger a seek — forward to the
-// sub-range inside the same leading value, or to the next leading
-// value — instead of being emitted. Every inspected key (including
-// the ones that trigger seeks) counts as examined, like the server's
-// totalKeysExamined.
-func skipScan(ix *index.Index, seg Segment, emit func(storage.RecordID) bool) int {
-	examined := 0
-	low := seg.Interval.Low
-	for {
-		stopped := false
-		var resume []byte
-		examined += ix.ScanInterval(index.Interval{Low: low, High: seg.Interval.High},
-			func(key []byte, id storage.RecordID) bool {
-				compLen, err := keyenc.ComponentLen(key)
-				if err != nil || len(key) < compLen+8 {
-					// Malformed key; fall back to emitting so no
-					// result can be lost.
-					if !emit(id) {
-						stopped = true
-						return false
-					}
-					return true
-				}
-				rest := key[compLen : len(key)-8]
-				if keyenc.Compare(rest, seg.SubLo) < 0 {
-					// Below the sub-range: seek to it within this
-					// leading value.
-					resume = append(append([]byte{}, key[:compLen]...), seg.SubLo...)
-					return false
-				}
-				if keyenc.Compare(rest, seg.SubHiUpper) >= 0 {
-					// Past the sub-range: seek to the next leading
-					// value.
-					resume = keyenc.PrefixUpperBound(key[:compLen])
-					return false
-				}
-				if !emit(id) {
-					stopped = true
-					return false
-				}
-				return true
-			})
-		if stopped || resume == nil {
-			return examined
-		}
-		low = btree.Include(resume)
+// emitID fetches and processes one scanned record. It returns false
+// to stop the scan.
+func (e *exec) emitID(id storage.RecordID) bool {
+	e.stats.DocsExamined++
+	raw, ok := e.coll.Store().FetchRaw(id)
+	if !ok {
+		// An index entry pointing at a missing record means a
+		// concurrent delete; skip it like the server does.
+		return e.budgetLeft()
 	}
+	return e.emitRaw(id, raw)
 }
 
-func runCollScan(ctx context.Context, coll *collection.Collection, f Filter, maxWorks int, collect bool, stats *ExecStats, docs *[]bson.Raw, ctxErr *error) bool {
-	completed := true
-	coll.Store().Walk(func(id storage.RecordID, raw []byte) bool {
-		stats.DocsExamined++
-		if f == nil || f.Matches(bson.Raw(raw)) {
-			stats.NReturned++
-			if collect {
-				*docs = append(*docs, bson.Raw(raw))
-			}
-		}
-		if stats.DocsExamined%cancelCheckWorks == 0 {
-			if err := ctx.Err(); err != nil {
-				*ctxErr = err
-				completed = false
+// emitRaw matches one document and accumulates it. The stored bytes
+// are immutable, so matching and collection alias them without
+// copying.
+func (e *exec) emitRaw(id storage.RecordID, raw []byte) bool {
+	if e.p.Filter == nil || e.p.Filter.Matches(bson.Raw(raw)) {
+		e.stats.NReturned++
+		switch {
+		case e.ids != nil:
+			*e.ids = append(*e.ids, id)
+		case e.collect && e.opts.ordered():
+			e.s.keyBuf = appendSortKey(e.s.keyBuf[:0], bson.Raw(raw), e.opts.OrderBy)
+			e.s.top.offer(bson.Raw(raw), e.s.keyBuf)
+		case e.collect:
+			e.s.docs = append(e.s.docs, bson.Raw(raw))
+			if e.opts.Limit > 0 && len(e.s.docs) >= e.opts.Limit {
+				e.hitLimit = true
 				return false
 			}
 		}
-		if maxWorks > 0 && stats.DocsExamined >= maxWorks {
-			completed = false
+	}
+	return e.budgetLeft()
+}
+
+// runCollScan walks the store when no index is usable.
+func (e *exec) runCollScan() bool {
+	completed := true
+	e.coll.Store().Walk(func(id storage.RecordID, raw []byte) bool {
+		e.stats.DocsExamined++
+		if !e.emitRaw(id, raw) {
+			completed = e.hitLimit
 			return false
 		}
 		return true
 	})
+	if e.ctxErr != nil {
+		return false
+	}
 	return completed
 }

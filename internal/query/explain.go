@@ -26,6 +26,11 @@ type Explanation struct {
 	Trials []TrialResult
 	// CacheHit reports whether the winner came from the plan cache.
 	CacheHit bool
+	// CacheHits and CacheMisses are the collection's cumulative
+	// plan-cache counters (including this execution), surfacing how
+	// often the warm trial-free path is taken.
+	CacheHits   int64
+	CacheMisses int64
 	// Execution holds the counters of the full run.
 	Execution ExecStats
 }
@@ -67,9 +72,13 @@ func Explain(coll *collection.Collection, f Filter, cfg *Config) *Explanation {
 		Filter: f.String(),
 		Shape:  ShapeOf(f),
 	}
+	defer func() {
+		ex.CacheHits = coll.PlanCacheHits.Load()
+		ex.CacheMisses = coll.PlanCacheMisses.Load()
+	}()
 	if plan, budget, entry, ok := cachedPlan(coll, f, cfg); ok {
 		start := time.Now()
-		stats, _, completed := runPlan(coll, plan, budget, false)
+		stats, completed := runPlan(coll, plan, budget)
 		if completed {
 			ex.CacheHit = true
 			ex.Winning = explainPlan(plan)
@@ -90,7 +99,7 @@ func Explain(coll *collection.Collection, f Filter, cfg *Config) *Explanation {
 		ex.Rejected = append(ex.Rejected, explainPlan(p))
 	}
 	ex.Winning = explainPlan(plan)
-	stats, _, _ := runPlan(coll, plan, 0, false)
+	stats, _ := runPlan(coll, plan, 0)
 	rememberPlan(coll, f, plan, stats.KeysExamined+stats.DocsExamined)
 	stats.Duration = time.Since(start)
 	stats.IndexUsed = plan.Name()
@@ -105,6 +114,9 @@ func (ex *Explanation) String() string {
 	fmt.Fprintf(&b, "winningPlan: %s\n", planLine(ex.Winning))
 	if ex.CacheHit {
 		fmt.Fprintf(&b, "  (from plan cache)\n")
+	}
+	if ex.CacheHits+ex.CacheMisses > 0 {
+		fmt.Fprintf(&b, "planCache: hits=%d misses=%d\n", ex.CacheHits, ex.CacheMisses)
 	}
 	for _, r := range ex.Rejected {
 		fmt.Fprintf(&b, "rejectedPlan: %s\n", planLine(r))

@@ -3,7 +3,7 @@ package query
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/bson"
@@ -134,12 +134,18 @@ func normalizeIntervals(ivs []ValueInterval) []ValueInterval {
 	if len(live) <= 1 {
 		return live
 	}
-	sort.Slice(live, func(i, j int) bool {
-		c := bson.Compare(live[i].Lo, live[j].Lo)
-		if c != 0 {
-			return c < 0
+	slices.SortFunc(live, func(a, b ValueInterval) int {
+		if c := bson.Compare(a.Lo, b.Lo); c != 0 {
+			return c
 		}
-		return live[i].LoIncl && !live[j].LoIncl
+		switch {
+		case a.LoIncl == b.LoIncl:
+			return 0
+		case a.LoIncl:
+			return -1
+		default:
+			return 1
+		}
 	})
 	out := live[:1]
 	for _, iv := range live[1:] {

@@ -95,25 +95,69 @@ type cacheEntry struct {
 const replanFactor = 10
 
 // cachedPlan looks up the remembered winner for the filter shape and
-// rebuilds its bounds for the current constant values. The returned
-// budget is the works allowance before the plan must be evicted; the
-// returned entry is what evictPlan needs for its compare-and-delete.
+// rebuilds its bounds for the current constant values — only its
+// bounds: the losing candidates' segment building (geo coverings
+// included) is skipped entirely, which is most of what makes the warm
+// path cheap. The returned budget is the works allowance before the
+// plan must be evicted; the returned entry is what evictPlan needs
+// for its compare-and-delete.
 func cachedPlan(coll *collection.Collection, f Filter, cfg *Config) (*Plan, int, cacheEntry, bool) {
 	v, ok := coll.PlanCache.Load(ShapeOf(f))
 	if !ok {
+		coll.PlanCacheMisses.Add(1)
 		return nil, 0, cacheEntry{}, false
 	}
 	entry := v.(cacheEntry)
-	for _, p := range CandidatePlans(coll, f, cfg) {
-		if p.Name() == entry.name {
-			budget := replanFactor * entry.works
-			if budget < minReplanBudget {
-				budget = minReplanBudget
-			}
-			return p, budget, entry, true
-		}
+	p := planByName(coll, f, cfg, entry.name)
+	if p == nil {
+		coll.PlanCacheMisses.Add(1)
+		return nil, 0, cacheEntry{}, false
 	}
-	return nil, 0, cacheEntry{}, false
+	coll.PlanCacheHits.Add(1)
+	budget := replanFactor * entry.works
+	if budget < minReplanBudget {
+		budget = minReplanBudget
+	}
+	return p, budget, entry, true
+}
+
+// planByName rebuilds the single candidate plan with the given name,
+// or nil when the name no longer denotes a usable access path for
+// this filter. It mirrors CandidatePlans' construction exactly —
+// same bounds, segments and residual filter — without building the
+// other candidates.
+func planByName(coll *collection.Collection, f Filter, cfg *Config, name string) *Plan {
+	b := extractBounds(f)
+	if b.impossible {
+		p := &Plan{Index: coll.Index(collection.IDIndexName), Filter: f}
+		if p.Name() != name {
+			return nil
+		}
+		return p
+	}
+	if name == CollScanName {
+		// A collection scan is a candidate only while no index is
+		// usable; usability depends on which fields are constrained
+		// (the shape), so a cached COLLSCAN stays valid unless an
+		// index was created since.
+		for _, ix := range coll.Indexes() {
+			if fieldIntervalSet(ix, ix.Def().Fields[0], b, cfg) != nil {
+				return nil
+			}
+		}
+		return &Plan{Filter: f}
+	}
+	for _, ix := range coll.Indexes() {
+		if ix.Spec() != name {
+			continue
+		}
+		segs, covered, usable := planSegments(ix, b, cfg)
+		if !usable {
+			return nil
+		}
+		return &Plan{Index: ix, Segments: segs, Filter: residualFilter(f, covered)}
+	}
+	return nil
 }
 
 // minReplanBudget keeps trivial cached runs (decision works near

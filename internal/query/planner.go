@@ -81,7 +81,7 @@ func (p *Plan) Name() string {
 	if p.Index == nil {
 		return CollScanName
 	}
-	return p.Index.Def().String()
+	return p.Index.Spec()
 }
 
 // CandidatePlans enumerates every usable access path for the filter:
@@ -345,6 +345,5 @@ func trialScore(t TrialResult) float64 {
 // runTrial executes the plan without collecting documents, stopping
 // once the work budget is exhausted.
 func runTrial(coll *collection.Collection, p *Plan, maxWorks int) (ExecStats, bool) {
-	st, _, completed := runPlan(coll, p, maxWorks, false)
-	return st, completed
+	return runPlan(coll, p, maxWorks)
 }

@@ -1,0 +1,232 @@
+package query
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/geo"
+	"repro/internal/keyenc"
+)
+
+// TestTopKHeapRandomized pins the bounded heap against a plain
+// sort-and-truncate over random duplicate-heavy values, both
+// directions — the property the executor-level differential tests
+// rely on, checked in isolation.
+func TestTopKHeapRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(60)
+		limit := rng.Intn(16) // 0 = keep everything
+		desc := rng.Intn(2) == 1
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(30)) // many ties
+		}
+		var tk topK
+		tk.reset(limit, desc)
+		for _, v := range vals {
+			tk.offer(nil, keyenc.AppendValue(nil, v))
+		}
+		live := tk.finish()
+		want := append([]int64{}, vals...)
+		slices.SortStableFunc(want, func(a, b int64) int {
+			if desc {
+				a, b = b, a
+			}
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		})
+		if limit > 0 && len(want) > limit {
+			want = want[:limit]
+		}
+		if len(live) != len(want) {
+			t.Fatalf("trial %d: kept %d items, want %d", trial, len(live), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(live[i].key, keyenc.AppendValue(nil, want[i])) {
+				t.Fatalf("trial %d (n=%d limit=%d desc=%v): item %d out of order",
+					trial, n, limit, desc, i)
+			}
+		}
+	}
+}
+
+func pushdownQueries() []Filter {
+	return []Filter{
+		NewAnd(
+			GeoWithin{Field: "location", Rect: geo.NewRect(23.6, 37.8, 23.9, 38.1)},
+			TimeRangeFilter("date", baseTime, baseTime.Add(15*24*time.Hour)),
+		),
+		NewAnd(
+			Cmp{Field: "hilbertIndex", Op: OpGTE, Value: int64(10000)},
+			Cmp{Field: "hilbertIndex", Op: OpLTE, Value: int64(60000)},
+			TimeRangeFilter("date", baseTime, baseTime.Add(20*24*time.Hour)),
+		),
+		TimeRangeFilter("date", baseTime.Add(24*time.Hour), baseTime.Add(6*24*time.Hour)),
+	}
+}
+
+// TestLimitIsPrefixOfFullScan: a natural-order limited execution must
+// return byte-for-byte the first Limit documents of the unlimited
+// execution — the invariant that makes the early-exit pushdown
+// transparent to every caller.
+func TestLimitIsPrefixOfFullScan(t *testing.T) {
+	c := newCollWithIndexes(t, 3000)
+	for qi, f := range pushdownQueries() {
+		full := Execute(c, f, nil)
+		for _, limit := range []int{0, 1, 3, 10, full.Stats.NReturned, full.Stats.NReturned + 50} {
+			res := ExecuteOpts(c, f, nil, Opts{Limit: limit})
+			want := full.Docs
+			if limit > 0 && limit < len(want) {
+				want = want[:limit]
+			}
+			if len(res.Docs) != len(want) {
+				t.Fatalf("q%d limit=%d: %d docs, want %d", qi, limit, len(res.Docs), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(res.Docs[i], want[i]) {
+					t.Fatalf("q%d limit=%d: doc %d differs from full-scan prefix", qi, limit, i)
+				}
+			}
+		}
+	}
+}
+
+// stableSortByDate is the reference top-k: stable-sort the full
+// natural-order result by the date field, then truncate.
+func stableSortByDate(t *testing.T, docs []bson.Raw, desc bool) []bson.Raw {
+	t.Helper()
+	out := append([]bson.Raw{}, docs...)
+	// Insertion sort: stable, and the test sets are small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, okA := out[j-1].Lookup("date")
+			b, okB := out[j].Lookup("date")
+			if !okA || !okB {
+				t.Fatal("document without date field")
+			}
+			cmp := bson.Compare(bson.Normalize(a), bson.Normalize(b))
+			if desc {
+				cmp = -cmp
+			}
+			if cmp <= 0 {
+				break
+			}
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// TestTopKMatchesSortThenTruncate: an ordered (and limited) execution
+// must be byte-identical to stable-sorting the unlimited natural
+// result by the order-by field and truncating — the invariant that
+// makes the bounded top-k heap transparent.
+func TestTopKMatchesSortThenTruncate(t *testing.T) {
+	c := newCollWithIndexes(t, 2000)
+	for qi, f := range pushdownQueries() {
+		full := Execute(c, f, nil)
+		for _, desc := range []bool{false, true} {
+			sorted := stableSortByDate(t, full.Docs, desc)
+			for _, limit := range []int{0, 1, 7, 50, len(sorted) + 10} {
+				res := ExecuteOpts(c, f, nil, Opts{Limit: limit, OrderBy: "date", Desc: desc})
+				want := sorted
+				if limit > 0 && limit < len(want) {
+					want = want[:limit]
+				}
+				if len(res.Docs) != len(want) {
+					t.Fatalf("q%d desc=%v limit=%d: %d docs, want %d",
+						qi, desc, limit, len(res.Docs), len(want))
+				}
+				for i := range want {
+					if !bytes.Equal(res.Docs[i], want[i]) {
+						t.Fatalf("q%d desc=%v limit=%d: doc %d differs from sort-then-truncate",
+							qi, desc, limit, i)
+					}
+				}
+				if len(res.Keys) != len(res.Docs) {
+					t.Fatalf("q%d desc=%v limit=%d: %d keys for %d docs",
+						qi, desc, limit, len(res.Keys), len(res.Docs))
+				}
+			}
+		}
+	}
+}
+
+// TestLimitKeepsPlanCached: hitting the limit is a *completed*
+// execution, not a budget overrun — it must not evict the cached plan
+// the way a replan does.
+func TestLimitKeepsPlanCached(t *testing.T) {
+	c := newCollWithIndexes(t, 2000)
+	f := pushdownQueries()[1]
+	Execute(c, f, nil) // cold: plans, trials, remembers
+	missesBefore := c.PlanCacheMisses.Load()
+	hitsBefore := c.PlanCacheHits.Load()
+	for i := 0; i < 5; i++ {
+		ExecuteOpts(c, f, nil, Opts{Limit: 2})
+	}
+	if got := c.PlanCacheMisses.Load(); got != missesBefore {
+		t.Fatalf("limited reruns missed the plan cache: misses %d -> %d", missesBefore, got)
+	}
+	if got := c.PlanCacheHits.Load(); got != hitsBefore+5 {
+		t.Fatalf("plan-cache hits = %d, want %d", got, hitsBefore+5)
+	}
+}
+
+// TestExplainReportsCacheCounters: the explain output must surface the
+// collection's cumulative hit/miss counters.
+func TestExplainReportsCacheCounters(t *testing.T) {
+	c := newCollWithIndexes(t, 500)
+	f := pushdownQueries()[0]
+	ex1 := Explain(c, f, nil)
+	if ex1.CacheHit {
+		t.Fatal("first execution reported a plan-cache hit")
+	}
+	if ex1.CacheMisses < 1 {
+		t.Fatalf("first explain reports %d misses, want >=1", ex1.CacheMisses)
+	}
+	ex2 := Explain(c, f, nil)
+	if !ex2.CacheHit {
+		t.Fatal("second execution missed the plan cache")
+	}
+	if ex2.CacheHits < 1 {
+		t.Fatalf("second explain reports %d hits, want >=1", ex2.CacheHits)
+	}
+	if ex2.CacheMisses < ex1.CacheMisses {
+		t.Fatalf("cumulative misses went backwards: %d -> %d", ex1.CacheMisses, ex2.CacheMisses)
+	}
+}
+
+// TestWarmLimitedPathAllocs guards the pooled read path: a warm
+// limited query on a cached plan must stay within a small constant
+// allocation budget (result materialization plus plan rebuild), far
+// below one allocation per examined key. A regression that clones keys
+// or documents per row blows this bound immediately.
+func TestWarmLimitedPathAllocs(t *testing.T) {
+	c := newCollWithIndexes(t, 3000)
+	f := pushdownQueries()[1]
+	opts := Opts{Limit: 10}
+	// Warm the plan cache and the scratch pool.
+	for i := 0; i < 3; i++ {
+		ExecuteOpts(c, f, nil, opts)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		ExecuteOpts(c, f, nil, opts)
+	})
+	// The warm path allocates the rebuilt plan (bounds, segments,
+	// residual), the exact-size result slice and the stats — tens of
+	// allocations, independent of rows scanned or returned.
+	const maxAllocs = 120
+	if allocs > maxAllocs {
+		t.Fatalf("warm limited query allocates %.0f objects/op, want <= %d", allocs, maxAllocs)
+	}
+}

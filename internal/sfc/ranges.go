@@ -2,7 +2,8 @@ package sfc
 
 import (
 	"fmt"
-	"sort"
+	"cmp"
+	"slices"
 )
 
 // Range is an inclusive interval [Lo, Hi] of curve positions.
@@ -27,7 +28,7 @@ func MergeRanges(rs []Range) []Range {
 	if len(rs) <= 1 {
 		return rs
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	slices.SortFunc(rs, func(a, b Range) int { return cmp.Compare(a.Lo, b.Lo) })
 	out := rs[:1]
 	for _, r := range rs[1:] {
 		last := &out[len(out)-1]
@@ -63,7 +64,7 @@ func CoalesceRanges(rs []Range, maxRanges int) []Range {
 	for i := 0; i+1 < len(rs); i++ {
 		gaps = append(gaps, gap{idx: i, size: rs[i+1].Lo - rs[i].Hi - 1})
 	}
-	sort.Slice(gaps, func(i, j int) bool { return gaps[i].size < gaps[j].size })
+	slices.SortFunc(gaps, func(a, b gap) int { return cmp.Compare(a.size, b.size) })
 	// Mark which gaps get merged (the len(rs)-maxRanges smallest).
 	merged := make([]bool, len(rs))
 	for _, g := range gaps[:len(rs)-maxRanges] {

@@ -2,8 +2,10 @@ package sharding
 
 import (
 	"bytes"
+	"cmp"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -249,6 +251,18 @@ func (c *Cluster) Shards() []*Shard {
 	return append([]*Shard(nil), c.shards...)
 }
 
+// PlanCacheStats sums the cumulative plan-cache hit/miss counters
+// across every primary shard collection.
+func (c *Cluster) PlanCacheStats() (hits, misses int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, sh := range c.shards {
+		hits += sh.Coll.PlanCacheHits.Load()
+		misses += sh.Coll.PlanCacheMisses.Load()
+	}
+	return hits, misses
+}
+
 // Options returns the effective options.
 func (c *Cluster) Options() Options {
 	c.mu.RLock()
@@ -419,7 +433,7 @@ func (c *Cluster) chunkTuples(ch *Chunk) [][]byte {
 		}
 		return true
 	})
-	sort.Slice(tuples, func(i, j int) bool { return bytes.Compare(tuples[i], tuples[j]) < 0 })
+	slices.SortFunc(tuples, bytes.Compare)
 	return tuples
 }
 
@@ -567,7 +581,7 @@ func (c *Cluster) balanceLocked() {
 		for i := range order {
 			order[i] = i
 		}
-		sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+		slices.SortFunc(order, func(a, b int) int { return cmp.Compare(counts[b], counts[a]) })
 		for _, donor := range order {
 			if counts[donor] == 0 {
 				break

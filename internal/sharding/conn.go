@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -24,8 +24,17 @@ type ShardConn interface {
 	// Query executes the filter on the shard, honouring ctx: an
 	// implementation must return promptly (with ctx.Err() or a wrapped
 	// error) once the context is cancelled, and the executor it drives
-	// must stop its scan cooperatively.
-	Query(ctx context.Context, shard *Shard, f query.Filter, cfg *query.Config) (*query.Result, error)
+	// must stop its scan cooperatively. opts is the pushed-down limit
+	// and ordering: the shard stops (or top-k-bounds) its scan so no
+	// more than opts.Limit documents cross this boundary.
+	//
+	// This interface is also the ownership trust boundary: the
+	// Result's slices must be owned by the caller (the executor
+	// materializes them out of its pooled scratch before returning),
+	// while the document bytes remain zero-copy views of the shard's
+	// immutable storage — the single place a real deployment would
+	// serialize.
+	Query(ctx context.Context, shard *Shard, f query.Filter, cfg *query.Config, opts query.Opts) (*query.Result, error)
 }
 
 // LocalConn is the production ShardConn: the direct in-process
@@ -33,8 +42,8 @@ type ShardConn interface {
 type LocalConn struct{}
 
 // Query implements ShardConn.
-func (LocalConn) Query(ctx context.Context, shard *Shard, f query.Filter, cfg *query.Config) (*query.Result, error) {
-	return query.ExecuteCtx(ctx, shard.Coll, f, cfg)
+func (LocalConn) Query(ctx context.Context, shard *Shard, f query.Filter, cfg *query.Config, opts query.Opts) (*query.Result, error) {
+	return query.ExecuteOptsCtx(ctx, shard.Coll, f, cfg, opts)
 }
 
 // ErrShardDown marks a shard as hard-unavailable: not worth retrying.
@@ -152,19 +161,19 @@ func (fc *FaultConn) Attempts(shard int) int {
 
 // Query implements ShardConn: consult the shard's fault program, then
 // delegate to the inner connection.
-func (fc *FaultConn) Query(ctx context.Context, shard *Shard, f query.Filter, cfg *query.Config) (*query.Result, error) {
+func (fc *FaultConn) Query(ctx context.Context, shard *Shard, f query.Filter, cfg *query.Config, opts query.Opts) (*query.Result, error) {
 	fc.mu.Lock()
 	st := fc.shards[shard.ID]
 	if st == nil {
 		fc.mu.Unlock()
-		return fc.inner.Query(ctx, shard, f, cfg)
+		return fc.inner.Query(ctx, shard, f, cfg, opts)
 	}
 	if st.epoch < 0 {
 		st.epoch = shard.Epoch
 	} else if st.epoch != shard.Epoch {
 		// The faulted primary was replaced by a promoted replica.
 		fc.mu.Unlock()
-		return fc.inner.Query(ctx, shard, f, cfg)
+		return fc.inner.Query(ctx, shard, f, cfg, opts)
 	}
 	st.attempts++
 	attempt := st.attempts
@@ -191,7 +200,7 @@ func (fc *FaultConn) Query(ctx context.Context, shard *Shard, f query.Filter, cf
 		return nil, &ShardError{Shard: shard.ID, Transient: true,
 			Err: fmt.Errorf("injected transient fault (attempt %d)", attempt)}
 	}
-	return fc.inner.Query(ctx, shard, f, cfg)
+	return fc.inner.Query(ctx, shard, f, cfg, opts)
 }
 
 // ParseFaultSpec parses a comma-separated per-shard fault list, the
@@ -256,7 +265,7 @@ func FormatFaultShards(m map[int]FaultSpec) string {
 	for id := range m {
 		ids = append(ids, id)
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	parts := make([]string, len(ids))
 	for i, id := range ids {
 		parts[i] = strconv.Itoa(id)

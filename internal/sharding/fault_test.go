@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
-	"sort"
+	"slices"
 	"testing"
 	"time"
 
@@ -38,7 +38,7 @@ func shardIDSet(c *Cluster, f query.Filter, shards []int, exclude int) []string 
 			ids = append(ids, fmt.Sprintf("%v", d.Get("_id")))
 		}
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	return ids
 }
 

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
-	"sort"
+	"slices"
 	"sync"
 	"testing"
 	"time"
@@ -192,7 +192,7 @@ func sortedIDs(docs []bson.Raw) []string {
 	for _, d := range docs {
 		ids = append(ids, fmt.Sprintf("%v", d.Get("_id")))
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	return ids
 }
 

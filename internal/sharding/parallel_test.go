@@ -3,7 +3,7 @@ package sharding
 import (
 	"fmt"
 	"reflect"
-	"sort"
+	"slices"
 	"sync"
 	"testing"
 	"time"
@@ -46,7 +46,7 @@ func idSetOf(res *RoutedResult) []string {
 	for _, d := range res.Docs {
 		ids = append(ids, fmt.Sprintf("%v", d.Get("_id")))
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	return ids
 }
 

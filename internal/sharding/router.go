@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,6 +107,23 @@ func (c *Cluster) Query(f query.Filter) *RoutedResult {
 	return res
 }
 
+// QueryOpts is Query with pushed-down execution options: the limit
+// (and ordering) travels through the ShardConn boundary so every
+// shard stops early or top-k-bounds its scan, and the router merge is
+// bounded by the limit instead of materializing every shard's full
+// result.
+func (c *Cluster) QueryOpts(f query.Filter, opts query.Opts) *RoutedResult {
+	res, _ := c.QueryOptsCtx(context.Background(), f, opts)
+	return res
+}
+
+// QueryOptsCtx is QueryCtx with pushed-down execution options.
+func (c *Cluster) QueryOptsCtx(ctx context.Context, f query.Filter, opts query.Opts) (*RoutedResult, error) {
+	res, err := c.queryCtxLocked(ctx, f, opts)
+	c.promotePending()
+	return res, err
+}
+
 // QueryCtx is the full scatter-gather: route the filter, execute it
 // on every targeted shard through the cluster's ShardConn fault
 // boundary, and merge deterministically. The per-shard executions fan
@@ -127,14 +144,14 @@ func (c *Cluster) Query(f query.Filter) *RoutedResult {
 // and per-shard stats are assembled in TargetedShards order, so the
 // output is byte-identical regardless of shard completion order.
 func (c *Cluster) QueryCtx(ctx context.Context, f query.Filter) (*RoutedResult, error) {
-	res, err := c.queryCtxLocked(ctx, f)
+	res, err := c.queryCtxLocked(ctx, f, query.Opts{})
 	// Failover promotions requested mid-scatter need the write lock;
 	// run them now that the read lock is released.
 	c.promotePending()
 	return res, err
 }
 
-func (c *Cluster) queryCtxLocked(ctx context.Context, f query.Filter) (*RoutedResult, error) {
+func (c *Cluster) queryCtxLocked(ctx context.Context, f query.Filter, opts query.Opts) (*RoutedResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if qt := c.opts.Resilience.QueryTimeout; qt > 0 {
@@ -153,12 +170,12 @@ func (c *Cluster) queryCtxLocked(ctx context.Context, f query.Filter) (*RoutedRe
 	outcomes := make([]shardOutcome, len(targets))
 	failFast := c.opts.Resilience.Policy == FailFast
 	c.scatterLocked(len(targets), func(i int) {
-		outcomes[i] = c.runShard(qctx, targets[i], f)
+		outcomes[i] = c.runShard(qctx, targets[i], f, opts)
 		if outcomes[i].err != nil && failFast {
 			abort() // cancel the in-flight sibling executions
 		}
 	})
-	c.foldLocked(res, outcomes)
+	c.foldLocked(res, outcomes, opts)
 	return res, res.Err
 }
 
@@ -173,6 +190,14 @@ func (c *Cluster) QueryBatch(fs []query.Filter) []*RoutedResult {
 	return results
 }
 
+// QueryBatchOpts is QueryBatch with per-entry pushed-down options;
+// opts must be nil (no pushdown) or aligned with fs.
+func (c *Cluster) QueryBatchOpts(fs []query.Filter, opts []query.Opts) []*RoutedResult {
+	results, _ := c.queryBatchCtxLocked(context.Background(), fs, opts)
+	c.promotePending()
+	return results
+}
+
 // QueryBatchCtx is QueryBatch under a caller context. Fault handling
 // is per entry (retries, hedging, breaker, partial marking), but
 // under Policy FailFast the batch is one operation: the first
@@ -181,12 +206,12 @@ func (c *Cluster) QueryBatch(fs []query.Filter) []*RoutedResult {
 // own is in its Err field). Resilience.QueryTimeout bounds the whole
 // batch.
 func (c *Cluster) QueryBatchCtx(ctx context.Context, fs []query.Filter) ([]*RoutedResult, error) {
-	results, err := c.queryBatchCtxLocked(ctx, fs)
+	results, err := c.queryBatchCtxLocked(ctx, fs, nil)
 	c.promotePending()
 	return results, err
 }
 
-func (c *Cluster) queryBatchCtxLocked(ctx context.Context, fs []query.Filter) ([]*RoutedResult, error) {
+func (c *Cluster) queryBatchCtxLocked(ctx context.Context, fs []query.Filter, opts []query.Opts) ([]*RoutedResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if qt := c.opts.Resilience.QueryTimeout; qt > 0 {
@@ -212,18 +237,24 @@ func (c *Cluster) queryBatchCtxLocked(ctx context.Context, fs []query.Filter) ([
 			tasks = append(tasks, task{qi, ti})
 		}
 	}
+	optAt := func(qi int) query.Opts {
+		if opts == nil {
+			return query.Opts{}
+		}
+		return opts[qi]
+	}
 	failFast := c.opts.Resilience.Policy == FailFast
 	c.scatterLocked(len(tasks), func(i int) {
 		qi, ti := tasks[i].q, tasks[i].t
 		sid := results[qi].TargetedShards[ti]
-		outcomes[qi][ti] = c.runShard(qctx, sid, fs[qi])
+		outcomes[qi][ti] = c.runShard(qctx, sid, fs[qi], optAt(qi))
 		if outcomes[qi][ti].err != nil && failFast {
 			abort()
 		}
 	})
 	var firstErr error
 	for qi := range results {
-		c.foldLocked(results[qi], outcomes[qi])
+		c.foldLocked(results[qi], outcomes[qi], optAt(qi))
 		if firstErr == nil && results[qi].Err != nil {
 			firstErr = results[qi].Err
 		}
@@ -253,18 +284,18 @@ type shardOutcome struct {
 // excepted) and a promotion is requested so writes resume. A
 // successful failover keeps the shard out of FailedShards entirely:
 // the merge is complete.
-func (c *Cluster) runShard(ctx context.Context, sid int, f query.Filter) shardOutcome {
+func (c *Cluster) runShard(ctx context.Context, sid int, f query.Filter, opts query.Opts) shardOutcome {
 	g := c.replGroupLocked(sid)
 	pref := c.opts.ReadPref
 	if g == nil {
-		return c.runPrimary(ctx, sid, f)
+		return c.runPrimary(ctx, sid, f, opts)
 	}
 	if pref.Mode == ReadNearest {
-		if out, ok := c.replicaRead(ctx, sid, f, pref.MaxLagLSN); ok {
+		if out, ok := c.replicaRead(ctx, sid, f, opts, pref.MaxLagLSN); ok {
 			return out
 		}
 	}
-	out := c.runPrimary(ctx, sid, f)
+	out := c.runPrimary(ctx, sid, f, opts)
 	if out.err == nil || pref.Mode == ReadPrimary || ctx.Err() != nil {
 		return out
 	}
@@ -272,7 +303,7 @@ func (c *Cluster) runShard(ctx context.Context, sid int, f query.Filter) shardOu
 	if pref.Mode == ReadNearest {
 		maxLag = pref.MaxLagLSN
 	}
-	if rout, ok := c.replicaRead(ctx, sid, f, maxLag); ok {
+	if rout, ok := c.replicaRead(ctx, sid, f, opts, maxLag); ok {
 		rout.retries = out.retries
 		rout.hedged = out.hedged
 		rout.failedOver = true
@@ -286,7 +317,7 @@ func (c *Cluster) runShard(ctx context.Context, sid int, f query.Filter) shardOu
 // within maxLag, under the follower's read lock. ok is false when no
 // in-bounds replica exists or the execution failed (the caller falls
 // back to the primary path's outcome).
-func (c *Cluster) replicaRead(ctx context.Context, sid int, f query.Filter, maxLag uint64) (shardOutcome, bool) {
+func (c *Cluster) replicaRead(ctx context.Context, sid int, f query.Filter, opts query.Opts, maxLag uint64) (shardOutcome, bool) {
 	g := c.replGroupLocked(sid)
 	idx, lag, ok := g.BestReplica(maxLag)
 	if !ok {
@@ -294,7 +325,7 @@ func (c *Cluster) replicaRead(ctx context.Context, sid int, f query.Filter, maxL
 	}
 	var res *query.Result
 	err := g.View(idx, func(coll *collection.Collection) error {
-		r, err := query.ExecuteCtx(ctx, coll, f, c.opts.QueryConfig)
+		r, err := query.ExecuteOptsCtx(ctx, coll, f, c.opts.QueryConfig, opts)
 		res = r
 		return err
 	})
@@ -309,7 +340,7 @@ func (c *Cluster) replicaRead(ctx context.Context, sid int, f query.Filter, maxL
 // Resilience.MaxAttempts attempts with capped exponential backoff
 // (deterministic jitter) between transient failures, per-attempt
 // deadlines and hedging inside attemptShard.
-func (c *Cluster) runPrimary(ctx context.Context, sid int, f query.Filter) shardOutcome {
+func (c *Cluster) runPrimary(ctx context.Context, sid int, f query.Filter, opts query.Opts) shardOutcome {
 	r := c.opts.Resilience
 	brk := c.breakers[sid]
 	var out shardOutcome
@@ -322,7 +353,7 @@ func (c *Cluster) runPrimary(ctx context.Context, sid int, f query.Filter) shard
 			out.err = &ShardError{Shard: sid, Err: ErrBreakerOpen}
 			return out
 		}
-		res, hedged, err := c.attemptShard(ctx, sid, f)
+		res, hedged, err := c.attemptShard(ctx, sid, f, opts)
 		out.hedged += hedged
 		if err == nil {
 			brk.onSuccess()
@@ -353,7 +384,7 @@ func (c *Cluster) runPrimary(ctx context.Context, sid int, f query.Filter) shard
 // launches once the first has been silent for Resilience.HedgeAfter,
 // and whichever response lands first wins; the loser's scan stops at
 // the shared attempt context's cancellation.
-func (c *Cluster) attemptShard(ctx context.Context, sid int, f query.Filter) (*query.Result, int, error) {
+func (c *Cluster) attemptShard(ctx context.Context, sid int, f query.Filter, opts query.Opts) (*query.Result, int, error) {
 	r := c.opts.Resilience
 	var cancel context.CancelFunc
 	if r.ShardTimeout > 0 {
@@ -364,7 +395,7 @@ func (c *Cluster) attemptShard(ctx context.Context, sid int, f query.Filter) (*q
 	defer cancel()
 	shard := c.shards[sid]
 	if r.HedgeAfter <= 0 {
-		res, err := c.conn.Query(ctx, shard, f, c.opts.QueryConfig)
+		res, err := c.conn.Query(ctx, shard, f, c.opts.QueryConfig, opts)
 		return res, 0, err
 	}
 	type reply struct {
@@ -374,7 +405,7 @@ func (c *Cluster) attemptShard(ctx context.Context, sid int, f query.Filter) (*q
 	ch := make(chan reply, 2)
 	launch := func() {
 		go func() {
-			res, err := c.conn.Query(ctx, shard, f, c.opts.QueryConfig)
+			res, err := c.conn.Query(ctx, shard, f, c.opts.QueryConfig, opts)
 			ch <- reply{res, err}
 		}()
 	}
@@ -401,7 +432,7 @@ func (c *Cluster) attemptShard(ctx context.Context, sid int, f query.Filter) (*q
 // failure bookkeeping (FailedShards, RetriesPerShard, Hedged,
 // Partial, Err per the policy) followed by the deterministic merge of
 // the healthy results.
-func (c *Cluster) foldLocked(res *RoutedResult, outcomes []shardOutcome) {
+func (c *Cluster) foldLocked(res *RoutedResult, outcomes []shardOutcome, opts query.Opts) {
 	perShard := make([]*query.Result, len(outcomes))
 	anyRetries := false
 	for i, o := range outcomes {
@@ -430,7 +461,7 @@ func (c *Cluster) foldLocked(res *RoutedResult, outcomes []shardOutcome) {
 			res.RetriesPerShard[i] = o.retries
 		}
 	}
-	mergeLocked(res, perShard, c.opts.Parallel)
+	mergeLocked(res, perShard, c.opts.Parallel, opts)
 	if len(res.FailedShards) == 0 {
 		return
 	}
@@ -499,14 +530,16 @@ func (c *Cluster) scatterLocked(n int, fn func(i int)) {
 }
 
 // mergeLocked folds the per-shard results into res in TargetedShards
-// order; a nil entry is a failed shard (zero stats, no docs). Docs
-// and PerShard are preallocated to their exact final sizes
-// (Σ NReturned / number of targets) so large broadcasts do not pay
-// repeated append growth. The modelled Duration is the pool makespan
+// order; a nil entry is a failed shard (zero stats, no docs). The
+// merge is bounded by the pushed-down options: a natural-order limit
+// concatenates only until the quota is met, and an ordered query runs
+// a k-way heap merge over the per-shard sorted streams, so a small
+// limit over a wide broadcast never materializes more than
+// limit-many documents. The modelled Duration is the pool makespan
 // of the per-shard execution times at the given width plus the
 // router's own merge time — order-independent, so identical at every
 // completion order.
-func mergeLocked(res *RoutedResult, perShard []*query.Result, width int) {
+func mergeLocked(res *RoutedResult, perShard []*query.Result, width int, opts query.Opts) {
 	durs := make([]time.Duration, 0, len(perShard))
 	total := 0
 	for _, r := range perShard {
@@ -514,14 +547,11 @@ func mergeLocked(res *RoutedResult, perShard []*query.Result, width int) {
 			continue
 		}
 		durs = append(durs, r.Stats.Duration)
-		total += r.Stats.NReturned
+		total += len(r.Docs)
 	}
 	mergeStart := time.Now()
 	if len(perShard) > 0 {
 		res.PerShard = make([]query.ExecStats, 0, len(perShard))
-	}
-	if total > 0 {
-		res.Docs = make([]bson.Raw, 0, total)
 	}
 	for _, r := range perShard {
 		if r == nil {
@@ -529,8 +559,6 @@ func mergeLocked(res *RoutedResult, perShard []*query.Result, width int) {
 			continue
 		}
 		res.PerShard = append(res.PerShard, r.Stats)
-		res.Docs = append(res.Docs, r.Docs...)
-		res.TotalReturned += r.Stats.NReturned
 		if r.Stats.KeysExamined > res.MaxKeysExamined {
 			res.MaxKeysExamined = r.Stats.KeysExamined
 		}
@@ -538,7 +566,102 @@ func mergeLocked(res *RoutedResult, perShard []*query.Result, width int) {
 			res.MaxDocsExamined = r.Stats.DocsExamined
 		}
 	}
+	if opts.Limit > 0 && total > opts.Limit {
+		total = opts.Limit
+	}
+	if total > 0 {
+		res.Docs = make([]bson.Raw, 0, total)
+		if opts.OrderBy != "" {
+			mergeOrdered(res, perShard, opts, total)
+		} else {
+			// Natural order: concatenate in TargetedShards order and
+			// stop at the quota — byte-identical to concatenating
+			// everything and truncating, since truncation only ever
+			// keeps a prefix of the concatenation.
+			for _, r := range perShard {
+				if r == nil {
+					continue
+				}
+				take := len(r.Docs)
+				if rem := total - len(res.Docs); take > rem {
+					take = rem
+				}
+				res.Docs = append(res.Docs, r.Docs[:take]...)
+				if len(res.Docs) == total {
+					break
+				}
+			}
+		}
+	}
+	res.TotalReturned = len(res.Docs)
 	res.Duration = poolMakespan(durs, width) + time.Since(mergeStart)
+}
+
+// mergeCursor is one shard's position in the ordered k-way merge.
+type mergeCursor struct {
+	docs []bson.Raw
+	keys [][]byte
+	pos  int
+	// shardPos is the shard's index in TargetedShards: the tie-break
+	// that makes the merge equal to stably sorting the TargetedShards-
+	// order concatenation.
+	shardPos int
+}
+
+// mergeOrdered streams the per-shard sorted results through a k-way
+// min-heap until `total` documents are out. Each shard's stream is
+// already in (key, within-shard arrival) order, so popping by
+// (key, shardPos) yields exactly the stable sort of the concatenated
+// streams — the same order an unlimited single-stream sort-then-
+// truncate would produce.
+func mergeOrdered(res *RoutedResult, perShard []*query.Result, opts query.Opts, total int) {
+	heap := make([]mergeCursor, 0, len(perShard))
+	for i, r := range perShard {
+		if r == nil || len(r.Docs) == 0 {
+			continue
+		}
+		heap = append(heap, mergeCursor{docs: r.Docs, keys: r.Keys, pos: 0, shardPos: i})
+	}
+	less := func(a, b *mergeCursor) bool {
+		c := bytes.Compare(a.keys[a.pos], b.keys[b.pos])
+		if opts.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+		return a.shardPos < b.shardPos
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && less(&heap[l], &heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && less(&heap[r], &heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(res.Docs) < total && len(heap) > 0 {
+		cur := &heap[0]
+		res.Docs = append(res.Docs, cur.docs[cur.pos])
+		cur.pos++
+		if cur.pos == len(cur.docs) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
+	}
 }
 
 // poolMakespan models the scatter wall time of the per-shard
@@ -635,7 +758,7 @@ func (c *Cluster) routeLocked(f query.Filter) (shards []int, broadcast bool) {
 	for sid := range target {
 		shards = append(shards, sid)
 	}
-	sort.Ints(shards)
+	slices.Sort(shards)
 	return shards, broadcast
 }
 

@@ -3,7 +3,7 @@ package sharding
 import (
 	"bytes"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bson"
 	"repro/internal/btree"
@@ -39,7 +39,7 @@ func (c *Cluster) SetZones(zones []Zone) error {
 	}
 	sorted := make([]Zone, len(zones))
 	copy(sorted, zones)
-	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i].Min, sorted[j].Min) < 0 })
+	slices.SortFunc(sorted, func(a, b Zone) int { return bytes.Compare(a.Min, b.Min) })
 	for i, z := range sorted {
 		if bytes.Compare(z.Min, z.Max) >= 0 {
 			return fmt.Errorf("sharding: zone %q has empty range", z.Name)

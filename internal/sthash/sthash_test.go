@@ -2,7 +2,7 @@ package sthash
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -127,7 +127,7 @@ func TestCoverRangesOrderedPerDay(t *testing.T) {
 	for i, r := range ranges {
 		los[i] = r.Lo
 	}
-	if !sort.StringsAreSorted(los) {
+	if !slices.IsSorted(los) {
 		t.Fatal("single-day cover not sorted")
 	}
 }

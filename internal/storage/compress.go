@@ -3,7 +3,7 @@ package storage
 import (
 	"compress/flate"
 	"io"
-	"sort"
+	"slices"
 )
 
 // blockSize models the storage engine's leaf page: documents are
@@ -29,7 +29,7 @@ func (s *Store) CompressedBytes() int64 {
 	for id := range s.records {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 
 	var (
 		block      []byte

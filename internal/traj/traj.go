@@ -16,7 +16,7 @@ package traj
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/bson"
@@ -89,12 +89,12 @@ func BuildSegments(recs []core.Record, cfg BuilderConfig) []*Segment {
 	for vid := range byVehicle {
 		vehicles = append(vehicles, vid)
 	}
-	sort.Slice(vehicles, func(i, j int) bool { return vehicles[i] < vehicles[j] })
+	slices.Sort(vehicles)
 
 	var out []*Segment
 	for _, vid := range vehicles {
 		traces := byVehicle[vid]
-		sort.Slice(traces, func(i, j int) bool { return traces[i].t.Before(traces[j].t) })
+		slices.SortFunc(traces, func(a, b trace) int { return a.t.Compare(b.t) })
 		var cur *Segment
 		flush := func() {
 			if cur != nil && len(cur.Points) > 0 {

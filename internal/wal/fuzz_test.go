@@ -3,7 +3,7 @@ package wal
 import (
 	"bytes"
 	"fmt"
-	"sort"
+	"slices"
 	"testing"
 )
 
@@ -72,7 +72,7 @@ func (m *memFS) List(string) ([]string, error) {
 	for n := range m.files {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names, nil
 }
 func (m *memFS) Size(name string) (int64, error) {

@@ -2,7 +2,8 @@ package wal
 
 import (
 	"fmt"
-	"sort"
+	"cmp"
+	"slices"
 	"strings"
 )
 
@@ -106,7 +107,7 @@ func Recover(fs FS, truncate bool) (*RecoverResult, error) {
 		all = append(all, sf.recs...)
 	}
 
-	sort.SliceStable(all, func(i, j int) bool { return all[i].LSN < all[j].LSN })
+	slices.SortStableFunc(all, func(a, b Record) int { return cmp.Compare(a.LSN, b.LSN) })
 	cutoff := res.SnapshotLSN
 	for _, rec := range all {
 		if rec.LSN <= cutoff {

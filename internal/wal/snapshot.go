@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -109,7 +109,7 @@ func snapshotNames(fs FS) ([]string, error) {
 			snaps = append(snaps, n)
 		}
 	}
-	sort.Strings(snaps)
+	slices.Sort(snaps)
 	return snaps, nil
 }
 

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Compare two throughput reports (BENCH_throughput.json) cell-by-cell
+# and fail when the new one regresses allocs/op or bytes/op by more
+# than 20% — the allocation guard for the pooled zero-copy read path.
+#
+#   scripts/benchdiff.sh old.json new.json [threshold]
+#
+# Typical flow:
+#   git stash && go run ./cmd/stbench -exp throughput -out /tmp/base.json
+#   git stash pop && go run ./cmd/stbench -exp throughput -out /tmp/new.json
+#   scripts/benchdiff.sh /tmp/base.json /tmp/new.json
+set -eu
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+    echo "usage: $0 old.json new.json [threshold]" >&2
+    exit 2
+fi
+threshold=${3:-0.20}
+exec go run ./cmd/benchdiff -threshold "$threshold" "$1" "$2"

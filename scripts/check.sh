@@ -17,3 +17,8 @@ go test -race -timeout 300s ./internal/sharding/... ./internal/query/... ./inter
 go test -timeout 120s ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 10s
 go test -timeout 120s ./internal/keyenc -fuzz FuzzKeyOrdering -fuzztime 10s
 go test -timeout 120s ./internal/wal -fuzz FuzzFrameRecover -fuzztime 10s
+
+# Not run here (needs a baseline report), but part of the perf
+# workflow: scripts/benchdiff.sh old.json new.json fails on a >20%
+# allocs/op or bytes/op regression between two `stbench -exp
+# throughput` reports. See `make benchdiff`.
