@@ -15,10 +15,11 @@ vet:
 
 # The packages the parallel query router exercises concurrently, plus
 # the durability subsystem (group commit shares journal state across
-# writers) and the store layer whose fault-matrix tests hammer the
-# retry/hedging/breaker machinery from concurrent clients; their
-# stress tests must stay race-clean.
-RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/...
+# writers), the store layer whose fault-matrix tests hammer the
+# retry/hedging/breaker machinery from concurrent clients, and the
+# arena B+tree whose borrowed-slice reads the router runs in parallel;
+# their stress tests must stay race-clean.
+RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/...
 
 .PHONY: race
 race:
@@ -31,13 +32,16 @@ check: build test vet race
 # A short shake of the fuzz targets: the BSON decoder must be total
 # (crash recovery feeds it torn and bit-flipped journal bytes), the
 # key encoding's byte order must agree with the logical BSON order
-# (every index range scan rests on it), and journal recovery must
-# never panic or replay a corrupt frame whatever bytes are on disk.
+# (every index range scan rests on it), journal recovery must never
+# panic or replay a corrupt frame whatever bytes are on disk, and the
+# arena B+tree must stay step-for-step equivalent to a sorted-map
+# oracle under arbitrary operation streams.
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	$(GO) test ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 30s
 	$(GO) test ./internal/keyenc -fuzz FuzzKeyOrdering -fuzztime 30s
 	$(GO) test ./internal/wal -fuzz FuzzFrameRecover -fuzztime 30s
+	$(GO) test ./internal/btree -fuzz FuzzTreeOps -fuzztime 30s
 
 .PHONY: bench
 bench:

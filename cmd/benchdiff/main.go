@@ -1,19 +1,34 @@
 // Command benchdiff compares two BENCH_throughput.json reports
-// cell-by-cell and fails when the new report regresses on allocations.
-// It is the guard that keeps the zero-allocation read path honest: a
-// change that silently reintroduces per-query garbage shows up as an
-// allocs/op (or bytes/op) jump in the throughput report, and benchdiff
-// turns that jump into a non-zero exit status.
+// cell-by-cell and fails when the new report regresses on memory
+// behavior. It is the guard that keeps the zero-allocation read path
+// and the arena index honest: a change that silently reintroduces
+// per-query garbage shows up as an allocs/op (or bytes/op) jump, and
+// a change that re-inflates the index heap or its GC cost shows up in
+// the heap_inuse_bytes / gc_pause_ms columns of the index-scale
+// cells. benchdiff turns any of those jumps into a non-zero exit
+// status.
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.20] old.json new.json
+//	benchdiff [-threshold 0.20] [-mem-threshold 0.25] old.json new.json
 //
-// Cells are matched on (workload, parallel, clients). A cell present
-// in only one report is printed but never fails the diff (the cell
-// matrix legitimately grows). QPS and latency columns are printed for
-// context but do not gate: wall-clock numbers are host-dependent,
-// allocation counts are not.
+// Cells are matched on (workload, parallel, clients, keys). A cell
+// present in only one report is printed but never fails the diff (the
+// cell matrix legitimately grows). QPS and latency columns are
+// printed for context but do not gate: wall-clock numbers are
+// host-dependent, allocation counts and heap sizes are not.
+//
+// Gating rules per matched cell:
+//   - allocs/op or bytes/op growing by more than -threshold fails;
+//   - heap_inuse_bytes growing by more than -mem-threshold fails, but
+//     only when the old cell held at least 1 MiB live (below that the
+//     counter measures the harness, not the workload);
+//   - the GC cost — gc_cycle_ms when the cell measured forced full
+//     cycles (index-scale cells), gc_pause_ms otherwise — growing by
+//     more than -mem-threshold fails, but only when the old cell
+//     accrued at least 1 ms (sub-ms totals are scheduler noise).
+//
+// Cells the old report did not measure (zero counters) never gate.
 package main
 
 import (
@@ -25,12 +40,22 @@ import (
 	"repro/internal/bench"
 )
 
+// Noise floors for the memory gates: old cells below these values
+// carry more harness noise than signal and are printed without
+// gating.
+const (
+	heapGateFloorBytes = 1 << 20 // 1 MiB
+	gcGateFloorMs      = 1.0
+)
+
 func main() {
 	threshold := flag.Float64("threshold", 0.20,
 		"fail when a cell's allocs/op or bytes/op grows by more than this fraction")
+	memThreshold := flag.Float64("mem-threshold", 0.25,
+		"fail when a cell's heap_inuse_bytes or gc_pause_ms grows by more than this fraction")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold frac] old.json new.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold frac] [-mem-threshold frac] old.json new.json\n")
 		os.Exit(2)
 	}
 	oldRep, err := readReport(flag.Arg(0))
@@ -46,59 +71,71 @@ func main() {
 		workload string
 		parallel int
 		clients  int
+		keys     int
 	}
 	oldCells := map[key]bench.ThroughputCell{}
 	for _, c := range oldRep.Cells {
-		oldCells[key{c.Workload, c.Parallel, c.Clients}] = c
+		oldCells[key{c.Workload, c.Parallel, c.Clients, c.Keys}] = c
 	}
 
-	fmt.Printf("%-8s %8s %7s | %12s %12s | %12s %12s | %9s %9s\n",
-		"workload", "parallel", "clients",
-		"allocs/op", "Δallocs", "KB/op", "ΔKB", "qps", "Δqps")
+	fmt.Printf("%-11s %3s %3s %8s | %9s %8s | %8s %8s | %8s %8s | %8s %8s | %8s %8s\n",
+		"workload", "par", "cl", "keys",
+		"allocs/op", "Δallocs", "KB/op", "ΔKB",
+		"heapMB", "Δheap", "gc ms", "Δgc", "qps", "Δqps")
 	failures := 0
 	matched := map[key]bool{}
 	for _, nc := range newRep.Cells {
-		k := key{nc.Workload, nc.Parallel, nc.Clients}
+		k := key{nc.Workload, nc.Parallel, nc.Clients, nc.Keys}
 		oc, ok := oldCells[k]
 		if !ok {
-			fmt.Printf("%-8s %8d %7d | %12d %12s | %12.1f %12s | %9.1f %9s  (new cell)\n",
-				nc.Workload, nc.Parallel, nc.Clients,
-				nc.AllocsPerOp, "-", kb(nc.BytesPerOp), "-", nc.QPS, "-")
+			fmt.Printf("%-11s %3d %3d %8d | %9d %8s | %8.1f %8s | %8.1f %8s | %8.2f %8s | %8.1f %8s  (new cell)\n",
+				nc.Workload, nc.Parallel, nc.Clients, nc.Keys,
+				nc.AllocsPerOp, "-", kb(nc.BytesPerOp), "-",
+				mb(nc.HeapInuseBytes), "-", gcMs(nc), "-", nc.QPS, "-")
 			continue
 		}
 		matched[k] = true
-		allocDelta := frac(oc.AllocsPerOp, nc.AllocsPerOp)
-		byteDelta := frac(oc.BytesPerOp, nc.BytesPerOp)
-		qpsDelta := 0.0
-		if oc.QPS > 0 {
-			qpsDelta = nc.QPS/oc.QPS - 1
-		}
+		allocDelta := frac(float64(oc.AllocsPerOp), float64(nc.AllocsPerOp))
+		byteDelta := frac(float64(oc.BytesPerOp), float64(nc.BytesPerOp))
+		heapDelta := frac(float64(oc.HeapInuseBytes), float64(nc.HeapInuseBytes))
+		gcDelta := frac(gcMs(oc), gcMs(nc))
+		qpsDelta := frac(oc.QPS, nc.QPS)
 		mark := ""
-		// Only gate on cells the old report actually measured: reports
-		// from before the memory instrumentation carry zero counters.
-		if oc.AllocsPerOp > 0 && (allocDelta > *threshold || byteDelta > *threshold) {
-			mark = "  REGRESSION"
+		// Only gate on counters the old report actually measured:
+		// reports from before the instrumentation carry zeros.
+		switch {
+		case oc.AllocsPerOp > 0 && (allocDelta > *threshold || byteDelta > *threshold):
+			mark = "  REGRESSION(alloc)"
+			failures++
+		case oc.HeapInuseBytes >= heapGateFloorBytes && heapDelta > *memThreshold:
+			mark = "  REGRESSION(heap)"
+			failures++
+		case gcMs(oc) >= gcGateFloorMs && gcDelta > *memThreshold:
+			mark = "  REGRESSION(gc)"
 			failures++
 		}
-		fmt.Printf("%-8s %8d %7d | %12d %+11.1f%% | %12.1f %+11.1f%% | %9.1f %+8.1f%%%s\n",
-			nc.Workload, nc.Parallel, nc.Clients,
+		fmt.Printf("%-11s %3d %3d %8d | %9d %+7.1f%% | %8.1f %+7.1f%% | %8.1f %+7.1f%% | %8.2f %+7.1f%% | %8.1f %+7.1f%%%s\n",
+			nc.Workload, nc.Parallel, nc.Clients, nc.Keys,
 			nc.AllocsPerOp, allocDelta*100,
 			kb(nc.BytesPerOp), byteDelta*100,
+			mb(nc.HeapInuseBytes), heapDelta*100,
+			gcMs(nc), gcDelta*100,
 			nc.QPS, qpsDelta*100, mark)
 	}
 	for _, oc := range oldRep.Cells {
-		k := key{oc.Workload, oc.Parallel, oc.Clients}
+		k := key{oc.Workload, oc.Parallel, oc.Clients, oc.Keys}
 		if !matched[k] {
-			fmt.Printf("%-8s %8d %7d | (cell dropped from new report)\n",
-				oc.Workload, oc.Parallel, oc.Clients)
+			fmt.Printf("%-11s %3d %3d %8d | (cell dropped from new report)\n",
+				oc.Workload, oc.Parallel, oc.Clients, oc.Keys)
 		}
 	}
 
 	if failures > 0 {
-		fatal("benchdiff: %d cell(s) regressed allocations by more than %.0f%%",
-			failures, *threshold*100)
+		fatal("benchdiff: %d cell(s) regressed (allocs/bytes > %.0f%%, heap/gc > %.0f%%)",
+			failures, *threshold*100, *memThreshold*100)
 	}
-	fmt.Printf("benchdiff: no allocation regression above %.0f%%\n", *threshold*100)
+	fmt.Printf("benchdiff: no allocation regression above %.0f%%, no heap/GC regression above %.0f%%\n",
+		*threshold*100, *memThreshold*100)
 }
 
 func readReport(path string) (*bench.ThroughputReport, error) {
@@ -115,14 +152,26 @@ func readReport(path string) (*bench.ThroughputReport, error) {
 
 // frac is the fractional growth from old to new; an old value of zero
 // never reports growth (the baseline did not measure the counter).
-func frac(old, new uint64) float64 {
+func frac(old, new float64) float64 {
 	if old == 0 {
 		return 0
 	}
-	return float64(new)/float64(old) - 1
+	return new/old - 1
+}
+
+// gcMs is the cell's GC cost: the wall time of its forced full cycles
+// when measured (index-scale cells — under the concurrent collector
+// that is where tracing cost shows), else the stop-the-world pause
+// total.
+func gcMs(c bench.ThroughputCell) float64 {
+	if c.GCCycleMs > 0 {
+		return c.GCCycleMs
+	}
+	return c.GCPauseMs
 }
 
 func kb(b uint64) float64 { return float64(b) / 1024 }
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	stbench [-exp id[,id...]] [-records n] [-shards n] [-runs n] [-list] [-quiet]
-//	        [-clients n,n,...] [-parallel n] [-out path]
+//	        [-clients n,n,...] [-parallel n] [-out path] [-keys n,n,...]
 //	        [-faults spec] [-fault-seed n]
 //	        [-replicas n] [-read-pref p] [-write-concern w]
 //
@@ -50,6 +50,7 @@ func main() {
 		readPref  = flag.String("read-pref", "", "throughput: primary | primaryPreferred | nearest[=maxLagLSN]")
 		concern   = flag.String("write-concern", "", "throughput: primary | majority | all")
 		limit     = flag.Int("limit", 0, "throughput: pushed-down result cap of the limited workload arm (default 100, negative disables)")
+		keys      = flag.String("keys", "", "throughput: comma-separated keys-per-shard counts for the index-scale arm, e.g. '1e5,1e6'")
 		ops       = flag.Int("ops", 0, "throughput: queries per client per cell (default 24; raise to amortize tail noise)")
 
 		// Profiling (any experiment).
@@ -123,6 +124,17 @@ func main() {
 				os.Exit(2)
 			}
 			topts.Clients = append(topts.Clients, n)
+		}
+	}
+	if *keys != "" {
+		for _, part := range strings.Split(*keys, ",") {
+			// Accept scientific notation ("1e6") alongside plain ints.
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || f < 1 || f != float64(int(f)) {
+				fmt.Fprintf(os.Stderr, "stbench: bad -keys %q\n", *keys)
+				os.Exit(2)
+			}
+			topts.IndexKeys = append(topts.IndexKeys, int(f))
 		}
 	}
 

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"slices"
+	"time"
+
+	"repro/internal/btree"
+)
+
+// The index-scale arm measures the index data structure itself, not
+// the query path: one shard's shard-key index is built at a given key
+// count and the harness reports what that index costs the runtime —
+// the live heap it occupies, the GC pause accrued while it is live
+// (the collector must trace whatever pointers the index exposes), the
+// build rate, and the allocation profile of range scans over it. This
+// is the Fig. 14 index-size axis pushed to paper scale (millions of
+// keys per shard), where the layout of the tree — pointer-heavy nodes
+// versus a page arena — dominates both heap size and GC pause.
+
+// indexScaleScans is the number of measured range scans per cell.
+const indexScaleScans = 64
+
+// indexScaleScanLen is the entry count of each measured range scan.
+const indexScaleScanLen = 2000
+
+// gcRoundsPerCell is how many forced GC cycles run with the index
+// live before the scan phase: their wall time is the cell's
+// gc_cycle_ms observable (the pause they accrue feeds gc_pause_ms),
+// dominated by tracing the index heap.
+const gcRoundsPerCell = 8
+
+// runIndexScaleCell builds one shard-sized index of n synthetic
+// shard-key entries (8-byte curve value + 8-byte record id, fixed
+// seed) and measures it.
+func runIndexScaleCell(n int) ThroughputCell {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	tr := btree.NewTree(0)
+	rng := rand.New(rand.NewSource(42 + int64(n)))
+	var kbuf [16]byte
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		// Random curve values: the out-of-order insert pattern of a
+		// loaded (not bulk-sorted) shard, the worst case for both page
+		// fill and GC tracing.
+		binary.BigEndian.PutUint64(kbuf[:8], rng.Uint64())
+		binary.BigEndian.PutUint64(kbuf[8:], uint64(i))
+		tr.Set(kbuf[:], uint64(i))
+	}
+	build := time.Since(t0)
+
+	// The GC observable: force full cycles with the index live. A
+	// pointer-heavy tree puts O(keys) pointers in front of the
+	// collector every cycle; an arena puts O(1). The wall time of the
+	// forced cycles (gc_cycle_ms) is the honest measure of that
+	// tracing cost — the concurrent collector keeps the
+	// stop-the-world pause counter small regardless.
+	gcStart := time.Now()
+	for i := 0; i < gcRoundsPerCell; i++ {
+		runtime.GC()
+	}
+	gcWall := time.Since(gcStart)
+
+	var mid runtime.MemStats
+	runtime.ReadMemStats(&mid)
+
+	latencies := make([]time.Duration, indexScaleScans)
+	scanStart := time.Now()
+	for s := range latencies {
+		binary.BigEndian.PutUint64(kbuf[:8], rng.Uint64())
+		binary.BigEndian.PutUint64(kbuf[8:], 0)
+		t1 := time.Now()
+		left := indexScaleScanLen
+		tr.Scan(btree.Include(kbuf[:]), btree.Unbounded(),
+			func(_ []byte, _ uint64) bool {
+				left--
+				return left > 0
+			})
+		latencies[s] = time.Since(t1)
+	}
+	scanWall := time.Since(scanStart)
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(tr)
+
+	slices.Sort(latencies)
+	pct := func(q float64) float64 {
+		i := int(q*float64(len(latencies))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i].Seconds() * 1000
+	}
+	return ThroughputCell{
+		Workload: "index-scale",
+		Parallel: 1,
+		Clients:  1,
+		Keys:     n,
+		Ops:      indexScaleScans,
+		BuildMs:  build.Seconds() * 1000,
+		QPS:      float64(indexScaleScans) / scanWall.Seconds(),
+		P50ms:    pct(0.50),
+		P95ms:    pct(0.95),
+		P99ms:    pct(0.99),
+		// Scan-phase allocations only: the build phase is charged to
+		// build_ms, the scan counters answer "what does a warm range
+		// scan cost at this index scale".
+		AllocsPerOp: (after.Mallocs - mid.Mallocs) / indexScaleScans,
+		BytesPerOp:  (after.TotalAlloc - mid.TotalAlloc) / indexScaleScans,
+		// The index's own live footprint: both samples are taken right
+		// after a full GC, so the difference is what building the index
+		// added to the live heap, independent of whatever else the
+		// harness keeps cached.
+		HeapInuseBytes: heapDelta(before.HeapInuse, mid.HeapInuse),
+		GCPauseMs:      float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+		GCCycleMs:      gcWall.Seconds() * 1000,
+	}
+}
+
+func heapDelta(before, after uint64) uint64 {
+	if after <= before {
+		return 0
+	}
+	return after - before
+}

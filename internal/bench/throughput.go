@@ -63,6 +63,13 @@ type ThroughputOptions struct {
 	// replication.ParseWriteConcern syntax ("primary", "majority",
 	// "all").
 	WriteConcern string
+	// IndexKeys, when non-empty, adds the index-scale arm: one cell
+	// per entry, each building a shard-sized synthetic shard-key
+	// index of that many keys (fixed seed) and measuring its live
+	// heap footprint, GC pause, build rate and scan profile. This is
+	// the arm that watches the index data structure itself rather
+	// than the query path.
+	IndexKeys []int
 }
 
 func (o ThroughputOptions) withDefaults() ThroughputOptions {
@@ -87,10 +94,15 @@ func (o ThroughputOptions) withDefaults() ThroughputOptions {
 // ThroughputCell is one measured (workload, pool width, clients)
 // combination.
 type ThroughputCell struct {
-	Workload string  `json:"workload"` // "mixed", "limited" or "big"
-	Parallel int     `json:"parallel"`
-	Clients  int     `json:"clients"`
-	Ops      int     `json:"ops"`
+	Workload string `json:"workload"` // "mixed", "limited", "big" or "index-scale"
+	Parallel int    `json:"parallel"`
+	Clients  int    `json:"clients"`
+	// Keys and BuildMs belong to the index-scale arm (zero — and
+	// omitted — elsewhere): keys per shard in the synthetic index and
+	// the wall time to build it.
+	Keys    int     `json:"keys,omitempty"`
+	BuildMs float64 `json:"build_ms,omitempty"`
+	Ops     int     `json:"ops"`
 	QPS      float64 `json:"qps"`
 	P50ms    float64 `json:"p50_ms"`
 	P95ms    float64 `json:"p95_ms"`
@@ -98,10 +110,19 @@ type ThroughputCell struct {
 	// Memory counters from runtime.ReadMemStats deltas around the
 	// cell: heap allocations and bytes per query, the live heap after
 	// the cell, and the GC pause time accrued during it.
+	// For index-scale cells HeapInuseBytes is the cell's own live-heap
+	// delta (the index's footprint, excluding whatever else the
+	// harness keeps alive); for query cells it is the absolute live
+	// heap after the cell.
 	AllocsPerOp    uint64  `json:"allocs_per_op"`
 	BytesPerOp     uint64  `json:"bytes_per_op"`
 	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
 	GCPauseMs      float64 `json:"gc_pause_ms"`
+	// GCCycleMs (index-scale cells only) is the wall time of the
+	// cell's forced full GC cycles with the index live: the cost of
+	// tracing whatever pointers the index exposes, which stop-the-
+	// world pause alone does not show under the concurrent collector.
+	GCCycleMs float64 `json:"gc_cycle_ms,omitempty"`
 	// Fault-tolerance counters, aggregated over the cell's queries
 	// (all zero — and omitted — on a healthy run).
 	Retries  int `json:"retries,omitempty"`
@@ -134,6 +155,8 @@ type ThroughputReport struct {
 	Parallel int `json:"parallel"` // the parallel arm's pool width
 	// Limit is the "limited" workload arm's pushed-down result cap.
 	Limit int `json:"limit,omitempty"`
+	// IndexKeys echoes the index-scale arm's keys-per-shard cells.
+	IndexKeys []int `json:"index_keys,omitempty"`
 	// Faults echoes the injected fault specification (empty = healthy).
 	Faults string `json:"faults,omitempty"`
 	// Replicas, ReadPref and WriteConcern echo the replication
@@ -294,6 +317,15 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 			runThroughputCell("big", s, big[:], width, 1, opts.OpsPerClient))
 	}
 
+	// The index-scale arm is independent of the loaded store: it
+	// builds its own synthetic shard-key indexes, one cell per
+	// requested key count.
+	for _, n := range opts.IndexKeys {
+		e.progress("throughput: index-scale, %d keys/shard", n)
+		report.IndexKeys = append(report.IndexKeys, n)
+		report.Cells = append(report.Cells, runIndexScaleCell(n))
+	}
+
 	var seqBigQPS, parBigQPS float64
 	for _, c := range report.Cells {
 		if c.Workload == "big" && c.Clients == 1 {
@@ -415,6 +447,9 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 			r.Replicas, r.WriteConcern, r.ReadPref)
 	}
 	header := []string{"Workload", "Parallel", "Clients", "QPS", "p50", "p95", "p99", "allocs/op", "KB/op"}
+	if len(r.IndexKeys) > 0 {
+		header = append(header, "Keys", "Build", "HeapMB", "GCms")
+	}
 	if r.Faults != "" {
 		header = append(header, "Retries", "Hedged", "Partials")
 	}
@@ -433,6 +468,13 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 			fmt.Sprintf("%.2fms", c.P99ms),
 			fmt.Sprintf("%d", c.AllocsPerOp),
 			fmt.Sprintf("%.1f", float64(c.BytesPerOp)/1024),
+		}
+		if len(r.IndexKeys) > 0 {
+			row = append(row,
+				fmt.Sprintf("%d", c.Keys),
+				fmt.Sprintf("%.0fms", c.BuildMs),
+				fmt.Sprintf("%.1f", float64(c.HeapInuseBytes)/(1<<20)),
+				fmt.Sprintf("%.2f", c.GCPauseMs))
 		}
 		if r.Faults != "" {
 			row = append(row,

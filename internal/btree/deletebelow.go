@@ -1,0 +1,190 @@
+package btree
+
+import "bytes"
+
+// DeleteBelow removes every key that sorts strictly below threshold,
+// returning how many were removed. This is the index-level primitive
+// behind retention trims and shard-range drops: because all keys
+// below the threshold occupy a contiguous prefix of the tree, whole
+// subtrees left of the root-to-boundary path are freed into the page
+// free list without decoding a single entry — the cost is
+// O(height + dropped pages), not O(dropped keys). Only the boundary
+// leaf (the one the threshold falls inside) has its entries visited.
+func (t *Tree) DeleteBelow(threshold []byte) int {
+	if t.root == nilPage || len(threshold) == 0 {
+		return 0
+	}
+	t.maybeCompact()
+	// A blind drop cannot know the exact byte count of the keys it
+	// never decoded, so dead bytes are charged at the tree's current
+	// average key length — the compaction trigger only needs the
+	// right order of magnitude.
+	avg := 0
+	if t.length > 0 {
+		avg = (len(t.keys) - t.dead) / t.length
+	}
+	removed := t.dropBelow(t.root, threshold)
+	if removed == 0 {
+		return 0
+	}
+	t.length -= removed
+	t.fixSpine()
+	if t.dead += removed * avg; t.dead > len(t.keys) {
+		t.dead = len(t.keys)
+	}
+	return removed
+}
+
+// DeleteRange removes every key in the range [lo, hi] (bounds as
+// configured), returning how many were removed. Prefix ranges (open
+// lo) reduce to the blind DeleteBelow drop; general interior ranges
+// fall back to collecting and deleting key by key, which allocates.
+func (t *Tree) DeleteRange(lo, hi Bound) int {
+	if t.root == nilPage {
+		return 0
+	}
+	if lo.open() {
+		switch {
+		case hi.open():
+			removed := t.length
+			t.freeSubtree(t.root)
+			t.root = nilPage
+			t.length = 0
+			t.dead = len(t.keys)
+			return removed
+		case !hi.Inclusive:
+			return t.DeleteBelow(hi.Key)
+		default:
+			// Keys <= k are exactly the keys < k||0x00 in byte order.
+			up := make([]byte, len(hi.Key)+1)
+			copy(up, hi.Key)
+			return t.DeleteBelow(up)
+		}
+	}
+	var doomed [][]byte
+	t.Scan(lo, hi, func(k []byte, _ uint64) bool {
+		doomed = append(doomed, bytes.Clone(k))
+		return true
+	})
+	for _, k := range doomed {
+		t.Delete(k)
+	}
+	return len(doomed)
+}
+
+// dropBelow removes the keys below threshold from the subtree at pid,
+// which stays on the root-to-boundary path: children strictly left of
+// the routed child are freed whole, the routed child recursed into.
+func (t *Tree) dropBelow(pid pageID, threshold []byte) int {
+	p := t.page(pid)
+	n := pageCount(p)
+	if pageIsLeaf(p) {
+		refs := t.leafRefs(p)
+		i, _ := t.findKey(refs, n, threshold)
+		if i == 0 {
+			return 0
+		}
+		vals := t.leafVals(p)
+		copy(refs[:n-i], refs[i:n])
+		copy(vals[:n-i], vals[i:n])
+		setPageCount(p, n-i)
+		return i
+	}
+	// Separators <= threshold put their entire left child strictly
+	// below the threshold (child j holds keys < sep[j]).
+	refs, kids := t.intRefs(p), t.intKids(p)
+	r := t.route(refs, n, threshold)
+	removed := 0
+	for j := 0; j < r; j++ {
+		removed += t.freeSubtree(pageID(kids[j]))
+	}
+	removed += t.dropBelow(pageID(kids[r]), threshold)
+	copy(refs[:n-r], refs[r:n])
+	copy(kids[:n+1-r], kids[r:n+1])
+	setPageCount(p, n-r)
+	return removed
+}
+
+// freeSubtree returns every page of the subtree to the free list and
+// reports how many entries it held. Leaves are freed blind — only the
+// meta word (the count) is read, no entry is decoded — which is what
+// makes DeleteBelow O(pages): with fanout >= degree, the internal
+// pages that must be visited to enumerate children are a < 1/degree
+// fraction of the pages freed.
+func (t *Tree) freeSubtree(pid pageID) int {
+	p := t.page(pid)
+	n := pageCount(p)
+	if pageIsLeaf(p) {
+		t.freedBlind++
+		t.freePage(pid)
+		return n
+	}
+	t.freedVisited++
+	kids := t.intKids(p)
+	total := 0
+	for j := 0; j <= n; j++ {
+		total += t.freeSubtree(pageID(kids[j]))
+	}
+	t.freePage(pid)
+	return total
+}
+
+// fixSpine restores the B-tree minimums along the left spine, the
+// only path dropBelow can underflow. It works top-down: each spine
+// node is first brought to one separator above the minimum (the slack
+// lets the next level down merge once without re-underflowing this
+// one), leaves only to the minimum.
+func (t *Tree) fixSpine() {
+	t.collapseRoot()
+	if t.root == nilPage {
+		return
+	}
+	pid := t.root
+	for {
+		p := t.page(pid)
+		if pageIsLeaf(p) {
+			break
+		}
+		child := pageID(t.intKids(p)[0])
+		target := t.minEnt
+		if !pageIsLeaf(t.page(child)) {
+			target++
+		}
+		for pageCount(t.page(child)) < target {
+			if pageCount(p) == 0 {
+				break // unary spine node; the collapse below handles the root case
+			}
+			if c1 := pageID(t.intKids(p)[1]); pageCount(t.page(c1)) > t.minEnt {
+				t.stealFromRight(pid, 0)
+			} else {
+				// Merging a right sibling at the minimum always reaches
+				// the target: >= 0+minEnt leaf entries, or
+				// >= 0+1+minEnt internal separators.
+				t.mergeChildren(pid, 0)
+				break
+			}
+		}
+		pid = child
+	}
+	// Merges at the top level may have emptied the root again.
+	t.collapseRoot()
+}
+
+// collapseRoot drops unary internal roots (and frees an emptied leaf
+// root), shrinking the tree height to match its content.
+func (t *Tree) collapseRoot() {
+	for t.root != nilPage {
+		p := t.page(t.root)
+		if pageCount(p) > 0 {
+			return
+		}
+		if pageIsLeaf(p) {
+			t.freePage(t.root)
+			t.root = nilPage
+			return
+		}
+		kid := pageID(t.intKids(p)[0])
+		t.freePage(t.root)
+		t.root = kid
+	}
+}

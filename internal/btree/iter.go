@@ -1,36 +1,18 @@
 package btree
 
-import (
-	"bytes"
-	"sort"
-)
-
-// iterFrame is one level of an iterator's descent: a node plus the
-// index of the next item to yield there. For an internal node the
-// index doubles as the child currently being explored — children[idx]
-// sorts entirely before items[idx], so when the subtree below is
-// exhausted the frame's own item is the next key in order.
-type iterFrame struct {
-	n   *node
-	idx int
-}
-
-// maxIterDepth is the inline stack capacity. A tree of the default
-// degree reaches depth 13 only beyond 10^19 keys, so the iterator
-// never allocates in practice; deeper trees spill to the heap.
-const maxIterDepth = 13
+import "bytes"
 
 // Iterator is a resumable in-order cursor over a key range. Unlike
-// Scan it does not recurse and it can Seek forward mid-iteration
-// without restarting from the root, which is what turns the
-// executor's skip-scan from repeated root-to-leaf scans into one
-// streaming pass.
+// Scan it can Seek forward mid-iteration without restarting the whole
+// range, which is what turns the executor's skip-scan from repeated
+// root-to-leaf scans into one streaming pass. On the arena tree the
+// iterator carries no descent stack at all: its position is a leaf
+// page id plus an entry index, and advancing follows the leaf chain.
 //
-// Zero-copy contract: Key returns a slice that aliases the tree's
-// internal storage. It is valid only until the next tree mutation and
-// must be copied by callers that retain it. The iterator itself
-// performs no per-key allocation; the descent stack lives in an
-// inline array, so a pooled (or stack-allocated) Iterator makes the
+// Zero-copy contract: Key returns a slice that aliases the tree's key
+// arena. It is valid only until the next tree mutation and must be
+// copied by callers that retain it. The iterator performs no per-key
+// allocation, so a pooled (or stack-allocated) Iterator makes the
 // whole scan path allocation-free.
 //
 // Concurrency: an Iterator is a pure reader with iterator-local
@@ -41,8 +23,8 @@ const maxIterDepth = 13
 type Iterator struct {
 	t        *Tree
 	hi       Bound
-	stack    []iterFrame
-	arr      [maxIterDepth]iterFrame
+	pid      pageID
+	idx      int
 	examined int
 	key      []byte
 	value    uint64
@@ -57,53 +39,20 @@ func (it *Iterator) Init(t *Tree, lo, hi Bound) {
 	it.examined = 0
 	it.key = nil
 	it.value = 0
-	it.descend(lo)
+	it.pid, it.idx = nilPage, 0
+	if t != nil {
+		it.pid, it.idx = t.seekLeaf(lo)
+	}
 }
 
 // Seek repositions the iterator at the first key >= target without
 // resetting the examined count or the upper bound. Seeking backwards
 // is not supported: the executor only ever skips forward.
 func (it *Iterator) Seek(target []byte) {
-	it.descend(Include(target))
-}
-
-// descend rebuilds the stack as the root-to-leaf path toward the
-// first in-bounds key.
-func (it *Iterator) descend(lo Bound) {
-	it.stack = it.arr[:0]
 	if it.t == nil {
 		return
 	}
-	n := it.t.root
-	for n != nil {
-		i := 0
-		if !lo.open() {
-			i = sort.Search(len(n.items), func(i int) bool {
-				c := bytes.Compare(n.items[i].key, lo.Key)
-				if lo.Inclusive {
-					return c >= 0
-				}
-				return c > 0
-			})
-		}
-		it.stack = append(it.stack, iterFrame{n, i})
-		if len(n.children) == 0 {
-			return
-		}
-		n = n.children[i]
-	}
-}
-
-// descendLeft pushes the leftmost path under n, so the next key
-// yielded is the smallest key of n's subtree.
-func (it *Iterator) descendLeft(n *node) {
-	for n != nil {
-		it.stack = append(it.stack, iterFrame{n, 0})
-		if len(n.children) == 0 {
-			return
-		}
-		n = n.children[0]
-	}
+	it.pid, it.idx = it.t.seekLeaf(Include(target))
 }
 
 // Next advances to the next key in the range, reporting whether one
@@ -111,44 +60,28 @@ func (it *Iterator) descendLeft(n *node) {
 // upper bound, which terminates the scan — counts as examined,
 // matching Scan's totalKeysExamined semantics.
 func (it *Iterator) Next() bool {
-	for len(it.stack) > 0 {
-		top := &it.stack[len(it.stack)-1]
-		n, i := top.n, top.idx
-		if i >= len(n.items) {
-			it.stack = it.stack[:len(it.stack)-1]
+	t := it.t
+	for it.pid != nilPage {
+		p := t.page(it.pid)
+		if it.idx >= pageCount(p) {
+			it.pid = leafNext(p)
+			it.idx = 0
 			continue
 		}
-		if len(n.children) == 0 {
-			top.idx++
-			return it.emit(n.items[i])
+		key := t.keyBytes(t.leafRefs(p)[it.idx])
+		value := t.leafVals(p)[it.idx]
+		it.idx++
+		it.examined++
+		if !it.hi.open() {
+			if c := bytes.Compare(key, it.hi.Key); c > 0 || c == 0 && !it.hi.Inclusive {
+				it.pid = nilPage
+				return false
+			}
 		}
-		// Internal node: the subtree under children[i] is exhausted
-		// (we only return to this frame by popping it), so yield the
-		// separating item and stage the next child's leftmost path.
-		top.idx++
-		child := n.children[i+1]
-		if !it.emit(n.items[i]) {
-			return false
-		}
-		it.descendLeft(child)
+		it.key, it.value = key, value
 		return true
 	}
 	return false
-}
-
-// emit records the item as examined, applies the upper bound, and
-// publishes it as the current position.
-func (it *Iterator) emit(x item) bool {
-	it.examined++
-	if !it.hi.open() {
-		c := bytes.Compare(x.key, it.hi.Key)
-		if c > 0 || (c == 0 && !it.hi.Inclusive) {
-			it.stack = it.stack[:0]
-			return false
-		}
-	}
-	it.key, it.value = x.key, x.value
-	return true
 }
 
 // Key returns the current key. The slice is borrowed from the tree:

@@ -1,0 +1,237 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refTree is the retired pointer-based B-tree (one Go allocation per
+// node, one per key), kept as a test oracle: the arena tree must
+// report the same size-model estimate, because SizeEstimate models a
+// hypothetical on-disk layout that does not depend on the in-memory
+// representation.
+type refTree struct {
+	degree     int
+	root       *refNode
+	length     int
+	maxSeen    []byte
+	appends    int
+	nonAppends int
+}
+
+type refItem struct {
+	key   []byte
+	value uint64
+}
+
+type refNode struct {
+	items    []refItem
+	children []*refNode
+}
+
+func newRefTree(degree int) *refTree {
+	if degree < 2 {
+		degree = DefaultDegree
+	}
+	return &refTree{degree: degree}
+}
+
+func (t *refTree) maxItems() int { return 2*t.degree - 1 }
+
+func (n *refNode) find(key []byte) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool {
+		return bytes.Compare(n.items[i].key, key) >= 0
+	})
+	if i < len(n.items) && bytes.Equal(n.items[i].key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+func (t *refTree) Set(key []byte, value uint64) bool {
+	if t.maxSeen == nil || bytes.Compare(key, t.maxSeen) > 0 {
+		t.appends++
+		t.maxSeen = bytes.Clone(key)
+	} else {
+		t.nonAppends++
+	}
+	if t.root == nil {
+		t.root = &refNode{items: []refItem{{key: bytes.Clone(key), value: value}}}
+		t.length = 1
+		return true
+	}
+	if len(t.root.items) >= t.maxItems() {
+		mid, second := t.root.split(t.maxItems() / 2)
+		old := t.root
+		t.root = &refNode{items: []refItem{mid}, children: []*refNode{old, second}}
+	}
+	inserted := t.root.insert(key, value, t.maxItems())
+	if inserted {
+		t.length++
+	}
+	return inserted
+}
+
+func (n *refNode) split(i int) (refItem, *refNode) {
+	mid := n.items[i]
+	next := &refNode{}
+	next.items = append(next.items, n.items[i+1:]...)
+	n.items = n.items[:i]
+	if len(n.children) > 0 {
+		next.children = append(next.children, n.children[i+1:]...)
+		n.children = n.children[:i+1]
+	}
+	return mid, next
+}
+
+func (n *refNode) insert(key []byte, value uint64, maxItems int) bool {
+	i, found := n.find(key)
+	if found {
+		n.items[i].value = value
+		return false
+	}
+	if len(n.children) == 0 {
+		n.items = append(n.items, refItem{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = refItem{key: bytes.Clone(key), value: value}
+		return true
+	}
+	if len(n.children[i].items) >= maxItems {
+		mid, next := n.children[i].split(maxItems / 2)
+		n.items = append(n.items, refItem{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = mid
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = next
+		switch c := bytes.Compare(key, n.items[i].key); {
+		case c > 0:
+			i++
+		case c == 0:
+			n.items[i].value = value
+			return false
+		}
+	}
+	return n.children[i].insert(key, value, maxItems)
+}
+
+func (t *refTree) Scan(fn func(key []byte, value uint64) bool) {
+	var walk func(n *refNode) bool
+	walk = func(n *refNode) bool {
+		for i := 0; i <= len(n.items); i++ {
+			if len(n.children) > 0 && !walk(n.children[i]) {
+				return false
+			}
+			if i == len(n.items) {
+				break
+			}
+			if !fn(n.items[i].key, n.items[i].value) {
+				return false
+			}
+		}
+		return true
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+}
+
+// SizeEstimate is the same model as Tree.SizeEstimate: prefix-
+// compressed bytes over the in-order walk divided by the fill factor
+// implied by the insertion pattern.
+func (t *refTree) SizeEstimate() int64 {
+	var size int64
+	var prev []byte
+	first := true
+	t.Scan(func(key []byte, _ uint64) bool {
+		if first {
+			size += int64(len(key)) + perKeyOverhead
+			first = false
+		} else {
+			size += int64(len(key)-commonPrefixLen(prev, key)) + perKeyOverhead
+		}
+		prev = key
+		return true
+	})
+	total := t.appends + t.nonAppends
+	fill := appendFill
+	if total > 0 {
+		fill -= (appendFill - randomFill) * float64(t.nonAppends) / float64(total)
+	}
+	return int64(float64(size) / fill)
+}
+
+// TestSizeEstimateParity checks that switching the in-memory layout
+// from pointer nodes to the page arena did not move the index-size
+// model: both layouts must estimate the same on-disk size (within 1%)
+// for identical insertion sequences, since the model depends only on
+// the keys and their insertion order.
+func TestSizeEstimateParity(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(i int, rng *rand.Rand) []byte
+	}{
+		{"sequential", func(i int, _ *rand.Rand) []byte {
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], uint64(i))
+			return b[:]
+		}},
+		{"random", func(_ int, rng *rand.Rand) []byte {
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], rng.Uint64())
+			return b[:]
+		}},
+		{"shared-prefix", func(i int, rng *rand.Rand) []byte {
+			b := []byte("tenant-0042/region-eu/")
+			var s [8]byte
+			binary.BigEndian.PutUint64(s[:], rng.Uint64()%1000)
+			b = append(b, s[:]...)
+			binary.BigEndian.PutUint64(s[:], uint64(i))
+			return append(b, s[:]...)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			arena := NewTree(0)
+			ref := newRefTree(0)
+			rngA := rand.New(rand.NewSource(7))
+			rngB := rand.New(rand.NewSource(7))
+			for i := 0; i < 20000; i++ {
+				arena.Set(tc.gen(i, rngA), uint64(i))
+				ref.Set(tc.gen(i, rngB), uint64(i))
+			}
+			if arena.Len() != ref.length {
+				t.Fatalf("length diverged: arena %d, ref %d", arena.Len(), ref.length)
+			}
+			a, r := arena.SizeEstimate(), ref.SizeEstimate()
+			if r == 0 {
+				t.Fatal("reference estimate is zero")
+			}
+			if diff := math.Abs(float64(a)-float64(r)) / float64(r); diff > 0.01 {
+				t.Fatalf("size estimates diverged %.2f%%: arena %d, pointer %d", diff*100, a, r)
+			}
+			// The estimates must also agree entry-for-entry: the two
+			// in-order walks see identical key sequences.
+			var refKeys [][]byte
+			ref.Scan(func(k []byte, _ uint64) bool {
+				refKeys = append(refKeys, k)
+				return true
+			})
+			i := 0
+			arena.Scan(Unbounded(), Unbounded(), func(k []byte, _ uint64) bool {
+				if i >= len(refKeys) || !bytes.Equal(k, refKeys[i]) {
+					t.Fatalf("in-order walk diverged at entry %d", i)
+				}
+				i++
+				return true
+			})
+			if i != len(refKeys) {
+				t.Fatalf("arena walk yielded %d of %d entries", i, len(refKeys))
+			}
+		})
+	}
+}

@@ -9,14 +9,16 @@ set -eux
 go build ./...
 go test -timeout 180s ./...
 go vet ./...
-go test -race -timeout 300s ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/...
+go test -race -timeout 300s ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/...
 
 # A 10-second slice of each fuzz target: BSON decoding is total, key
 # encoding preserves order, journal recovery never panics or replays
-# a corrupt frame.
+# a corrupt frame, and the arena B+tree matches a sorted-map oracle
+# under arbitrary operation streams.
 go test -timeout 120s ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 10s
 go test -timeout 120s ./internal/keyenc -fuzz FuzzKeyOrdering -fuzztime 10s
 go test -timeout 120s ./internal/wal -fuzz FuzzFrameRecover -fuzztime 10s
+go test -timeout 120s ./internal/btree -fuzz FuzzTreeOps -fuzztime 10s
 
 # Not run here (needs a baseline report), but part of the perf
 # workflow: scripts/benchdiff.sh old.json new.json fails on a >20%
