@@ -16,32 +16,46 @@ vet:
 # The packages the parallel query router exercises concurrently, plus
 # the durability subsystem (group commit shares journal state across
 # writers), the store layer whose fault-matrix tests hammer the
-# retry/hedging/breaker machinery from concurrent clients, and the
-# arena B+tree whose borrowed-slice reads the router runs in parallel;
-# their stress tests must stay race-clean.
-RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/...
+# retry/hedging/breaker machinery from concurrent clients, the arena
+# B+tree whose borrowed-slice reads the router runs in parallel, and
+# the network transport (pooled conns, server-side cursors and the
+# cancellation watchdog all cross goroutines); their stress tests must
+# stay race-clean.
+RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/... ./internal/wire/... ./internal/netconn/...
 
 .PHONY: race
 race:
 	$(GO) test -race -timeout 300s $(RACE_PKGS)
 
+# Differential smoke of the real multi-process cluster: two stshardd
+# daemons plus one strouterd on localhost must answer the paper's
+# queries byte-identically to a single in-process store. Bounded by a
+# hard timeout so a wedged daemon fails the check instead of hanging
+# it.
+.PHONY: cluster-smoke
+cluster-smoke:
+	timeout 120 sh scripts/cluster-smoke.sh
+
 # The canonical pre-commit check (also available as scripts/check.sh).
 .PHONY: check
-check: build test vet race
+check: build test vet race cluster-smoke
 
 # A short shake of the fuzz targets: the BSON decoder must be total
 # (crash recovery feeds it torn and bit-flipped journal bytes), the
 # key encoding's byte order must agree with the logical BSON order
 # (every index range scan rests on it), journal recovery must never
-# panic or replay a corrupt frame whatever bytes are on disk, and the
+# panic or replay a corrupt frame whatever bytes are on disk, the
 # arena B+tree must stay step-for-step equivalent to a sorted-map
-# oracle under arbitrary operation streams.
+# oracle under arbitrary operation streams, and the wire protocol's
+# frame and message decoders must never panic or over-allocate on
+# hostile network bytes.
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	$(GO) test ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 30s
 	$(GO) test ./internal/keyenc -fuzz FuzzKeyOrdering -fuzztime 30s
 	$(GO) test ./internal/wal -fuzz FuzzFrameRecover -fuzztime 30s
 	$(GO) test ./internal/btree -fuzz FuzzTreeOps -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzFrameDecode -fuzztime 30s
 
 .PHONY: bench
 bench:

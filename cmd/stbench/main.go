@@ -51,6 +51,7 @@ func main() {
 		concern   = flag.String("write-concern", "", "throughput: primary | majority | all")
 		limit     = flag.Int("limit", 0, "throughput: pushed-down result cap of the limited workload arm (default 100, negative disables)")
 		keys      = flag.String("keys", "", "throughput: comma-separated keys-per-shard counts for the index-scale arm, e.g. '1e5,1e6'")
+		addrs     = flag.String("addrs", "", "throughput: comma-separated stshardd addresses for the network arm (start them with -bench and matching -records/-shards)")
 		ops       = flag.Int("ops", 0, "throughput: queries per client per cell (default 24; raise to amortize tail noise)")
 
 		// Profiling (any experiment).
@@ -115,6 +116,13 @@ func main() {
 		Parallel: *parallel, OutPath: *out, Limit: *limit, OpsPerClient: *ops,
 		Faults: *faults, FaultSeed: *faultSeed,
 		Replicas: *replicas, ReadPref: *readPref, WriteConcern: *concern,
+	}
+	if *addrs != "" {
+		for _, part := range strings.Split(*addrs, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				topts.Addrs = append(topts.Addrs, part)
+			}
+		}
 	}
 	if *clients != "" {
 		for _, part := range strings.Split(*clients, ",") {

@@ -34,11 +34,30 @@
 //
 //	stquery -replicas 2 -faults "1:down" -rect ... -from ... -to ...
 //
+// With -addrs, the store's per-shard executions travel over TCP to
+// stshardd daemons instead of running in-process: this process
+// becomes a query router, and every daemon must have been started
+// with the same data flags (the handshake fingerprint check enforces
+// it):
+//
+//	stquery -addrs 127.0.0.1:7701,127.0.0.1:7702 -shards 4 -rect ... -from ... -to ...
+//
+// With -router, no store is built at all: queries go to a strouterd
+// daemon as single spatio-temporal ops and only the routed results
+// come back (the thin-driver mode; -explain and the local-boundary
+// flags do not apply).
+//
+// With -digest, each result line is reduced to the query name, the
+// returned count and a SHA-256 over the returned documents' bytes —
+// a deterministic line that diffs cleanly between a local run, an
+// -addrs run and a -router run of the same deployment.
+//
 // Omitting -rect/-from/-to/-f runs the paper's eight queries
 // (Q1s..Q4b).
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +69,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/geo"
+	"repro/internal/netconn"
 	"repro/internal/replication"
 	"repro/internal/sharding"
 )
@@ -74,7 +94,10 @@ func main() {
 		replicas = flag.Int("replicas", 0, "followers per shard primary (0 = no replication)")
 		readPref = flag.String("read-pref", "", "primary | primaryPreferred | nearest[=maxLagLSN]")
 		concern  = flag.String("write-concern", "", "primary | majority | all")
+		addrs    = flag.String("addrs", "", "comma-separated stshardd addresses: run per-shard executions over the network")
+		router   = flag.String("router", "", "strouterd address: thin-client mode, no local store")
 	)
+	flag.BoolVar(&digest, "digest", false, "print name, count and SHA-256 of each result (deterministic differential output)")
 	flag.Parse()
 
 	sortOrder, err := parseSort(*sortStr)
@@ -89,6 +112,21 @@ func main() {
 	wc, err := replication.ParseWriteConcern(*concern)
 	if err != nil {
 		fatal("stquery: bad -write-concern: %v", err)
+	}
+
+	if *router != "" {
+		if *explain || *faults != "" || *replicas > 0 || *addrs != "" {
+			fatal("stquery: -router is the thin-client mode; -explain/-faults/-replicas/-addrs need a local store")
+		}
+		cl, err := netconn.DialRouter(*router, netconn.Options{WaitReady: 5 * time.Second})
+		if err != nil {
+			fatal("stquery: -router: %v", err)
+		}
+		defer cl.Close()
+		docs, sum := cl.Fingerprint()
+		fmt.Fprintf(os.Stderr, "router %s: %d documents, fingerprint %016x\n", *router, docs, sum)
+		runQueries(routerQuerier{cl}, *file, *rectStr, *fromStr, *toStr, *limit, sortOrder, *verbose, nil)
+		return
 	}
 
 	var s *core.Store
@@ -128,6 +166,31 @@ func main() {
 		}
 	}
 
+	// The network boundary, when requested, is installed first so the
+	// fault matrix below can wrap it (faults injected router-side, in
+	// front of the wire).
+	var remote sharding.ShardConn
+	if *addrs != "" {
+		rc, err := netconn.Connect(splitAddrs(*addrs), netconn.Options{WaitReady: 5 * time.Second})
+		if err != nil {
+			fatal("stquery: -addrs: %v", err)
+		}
+		defer rc.Close()
+		if err := rc.Covers(len(s.Cluster().Shards())); err != nil {
+			fatal("stquery: -addrs: %v", err)
+		}
+		docs, sum := s.Fingerprint()
+		rdocs, rsum := rc.Fingerprint()
+		if docs != rdocs || sum != rsum {
+			fatal("stquery: shard servers hold different data: local (%d docs, %016x), remote (%d docs, %016x)",
+				docs, sum, rdocs, rsum)
+		}
+		s.Cluster().SetConn(rc)
+		fmt.Fprintf(os.Stderr, "network boundary: shards %v across %d servers (fingerprint %016x)\n",
+			rc.Shards(), len(splitAddrs(*addrs)), sum)
+		remote = rc
+	}
+
 	if *replicas > 0 {
 		// Replication is enabled after the load: followers clone the
 		// loaded primaries once instead of replaying every insert.
@@ -145,7 +208,7 @@ func main() {
 		if err != nil {
 			fatal("stquery: bad -faults: %v", err)
 		}
-		fc := sharding.NewFaultConn(nil, 1)
+		fc := sharding.NewFaultConn(remote, 1)
 		for sid, spec := range specs {
 			fc.SetFault(sid, spec)
 		}
@@ -158,38 +221,68 @@ func main() {
 			sharding.FormatFaultShards(specs))
 	}
 
-	if *file != "" {
-		if err := runQueryFile(s, *file, *limit, sortOrder); err != nil {
+	var explainFn func(core.STQuery)
+	if *explain {
+		explainFn = func(q core.STQuery) {
+			shards, exps := s.Explain(q)
+			for i, ex := range exps {
+				fmt.Printf("--- shard%02d ---\n%s", shards[i], ex)
+			}
+		}
+	}
+	runQueries(s, *file, *rectStr, *fromStr, *toStr, *limit, sortOrder, *verbose, explainFn)
+}
+
+// querier is the execution surface shared by a store (with whatever
+// shard boundary is installed on it) and the thin router client.
+type querier interface {
+	Query(core.STQuery) *core.QueryResult
+}
+
+// routerQuerier adapts the netconn thin client to the querier shape;
+// a router error is fatal for a CLI run.
+type routerQuerier struct{ c *netconn.Client }
+
+func (r routerQuerier) Query(q core.STQuery) *core.QueryResult {
+	res, err := r.c.Query(q)
+	if err != nil {
+		fatal("stquery: router: %v", err)
+	}
+	return res
+}
+
+// runQueries dispatches the selected query mode — a -f batch file, a
+// single -rect query, or the paper's eight — through the querier.
+func runQueries(exec querier, file, rectStr, fromStr, toStr string, limit int, sortOrder core.SortOrder, verbose bool, explainFn func(core.STQuery)) {
+	if file != "" {
+		if err := runQueryFile(exec, file, limit, sortOrder); err != nil {
 			fatal("stquery: %v", err)
 		}
 		return
 	}
-	if *rectStr == "" {
-		runPaperQueries(s, *limit, sortOrder)
+	if rectStr == "" {
+		runPaperQueries(exec, limit, sortOrder)
 		return
 	}
-	rect, err := parseRect(*rectStr)
+	rect, err := parseRect(rectStr)
 	if err != nil {
 		fatal("stquery: %v", err)
 	}
-	from, err := time.Parse(time.RFC3339, *fromStr)
+	from, err := time.Parse(time.RFC3339, fromStr)
 	if err != nil {
 		fatal("stquery: bad -from: %v", err)
 	}
-	to, err := time.Parse(time.RFC3339, *toStr)
+	to, err := time.Parse(time.RFC3339, toStr)
 	if err != nil {
 		fatal("stquery: bad -to: %v", err)
 	}
-	q := core.STQuery{Rect: rect, From: from, To: to, Limit: *limit, Sort: sortOrder}
-	res := s.Query(q)
+	q := core.STQuery{Rect: rect, From: from, To: to, Limit: limit, Sort: sortOrder}
+	res := exec.Query(q)
 	printResult("query", res)
-	if *explain {
-		shards, exps := s.Explain(q)
-		for i, ex := range exps {
-			fmt.Printf("--- shard%02d ---\n%s", shards[i], ex)
-		}
+	if explainFn != nil {
+		explainFn(q)
 	}
-	if *verbose {
+	if verbose {
 		for _, d := range res.Docs {
 			doc, err := d.Decode()
 			if err != nil {
@@ -200,10 +293,20 @@ func main() {
 	}
 }
 
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // runQueryFile parses the file (one query per line:
 // "lon1,lat1,lon2,lat2 from to") and executes all of it as a single
 // batch through the scatter-gather pool.
-func runQueryFile(s *core.Store, path string, limit int, sortOrder core.SortOrder) error {
+func runQueryFile(exec querier, path string, limit int, sortOrder core.SortOrder) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -238,7 +341,17 @@ func runQueryFile(s *core.Store, path string, limit int, sortOrder core.SortOrde
 		return fmt.Errorf("%s: no queries", path)
 	}
 	start := time.Now()
-	results := s.QueryBatch(qs)
+	// The store path runs the whole file as one batch through the
+	// scatter-gather pool; the thin router client has no batch op.
+	var results []*core.QueryResult
+	if s, ok := exec.(*core.Store); ok {
+		results = s.QueryBatch(qs)
+	} else {
+		results = make([]*core.QueryResult, len(qs))
+		for i, q := range qs {
+			results[i] = exec.Query(q)
+		}
+	}
 	elapsed := time.Since(start)
 	for i, res := range results {
 		printResult(names[i], res)
@@ -247,7 +360,7 @@ func runQueryFile(s *core.Store, path string, limit int, sortOrder core.SortOrde
 	return nil
 }
 
-func runPaperQueries(s *core.Store, limit int, sortOrder core.SortOrder) {
+func runPaperQueries(exec querier, limit int, sortOrder core.SortOrder) {
 	ds := &bench.Dataset{
 		Start: data.RStart,
 		Offsets: [4]time.Duration{
@@ -259,7 +372,7 @@ func runPaperQueries(s *core.Store, limit int, sortOrder core.SortOrder) {
 		names := bench.QueryNames(small)
 		for i, q := range ds.Queries(small) {
 			q.Limit, q.Sort = limit, sortOrder
-			printResult(names[i], s.Query(q))
+			printResult(names[i], exec.Query(q))
 		}
 	}
 }
@@ -276,7 +389,19 @@ func parseSort(s string) (core.SortOrder, error) {
 	return core.SortNone, fmt.Errorf("want 'date' or '-date', got %q", s)
 }
 
+// digest switches printResult to the deterministic differential
+// format: name, count, SHA-256 of the returned documents' bytes.
+var digest bool
+
 func printResult(name string, res *core.QueryResult) {
+	if digest {
+		h := sha256.New()
+		for _, d := range res.Docs {
+			h.Write(d)
+		}
+		fmt.Printf("%-5s n=%-7d sha256=%x\n", name, len(res.Docs), h.Sum(nil))
+		return
+	}
 	st := res.Stats
 	fmt.Printf("%-5s returned=%-7d nodes=%-2d maxKeys=%-8d maxDocs=%-8d time=%-12v",
 		name, st.NReturned, st.Nodes, st.MaxKeysExamined, st.MaxDocsExamined, st.Duration)

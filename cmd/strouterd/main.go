@@ -1,0 +1,151 @@
+// Command strouterd is the mongos-style query router daemon: it owns
+// the chunk map (by constructing the same deterministic cluster as
+// its shard servers), executes every per-shard leg of a query through
+// RemoteConns to the stshardd processes in -addrs, and answers the
+// client-facing spatio-temporal query op on -addr.
+//
+// The handshake fingerprint check refuses shard servers whose data
+// disagrees with the router's own construction, so a mis-started
+// deployment fails at connect time rather than returning wrong
+// results:
+//
+//	stshardd -addr 127.0.0.1:7701 -serve 0,2 -shards 4 ... &
+//	stshardd -addr 127.0.0.1:7702 -serve 1,3 -shards 4 ... &
+//	strouterd -addr 127.0.0.1:7700 -addrs 127.0.0.1:7701,127.0.0.1:7702 -shards 4 ...
+//	stquery -router 127.0.0.1:7700 -rect ... -from ... -to ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/netconn"
+	"repro/internal/sharding"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7700", "listen address for query clients")
+		addrs     = flag.String("addrs", "", "comma-separated stshardd addresses (required)")
+		approach  = flag.String("approach", "hil", "bslST | bslTS | hil | hil* | sthash")
+		records   = flag.Int("records", 40000, "R-like records to generate and load")
+		shards    = flag.Int("shards", 12, "number of shards in the cluster")
+		zones     = flag.Bool("zones", false, "configure zones after loading")
+		dir       = flag.String("dir", "", "reopen a durable store directory instead of loading")
+		parallel  = flag.Int("parallel", 0, "scatter-gather pool width (0 = GOMAXPROCS)")
+		waitReady = flag.Duration("wait-ready", 10*time.Second, "keep re-dialing refused shard servers for this long")
+		batch     = flag.Int("batch", netconn.DefaultBatchSize, "cursor batch size requested from shard servers")
+	)
+	flag.Parse()
+	if *addrs == "" {
+		fatal("strouterd: -addrs is required")
+	}
+
+	s := buildStore(*dir, *approach, *records, *shards, *zones, *parallel)
+
+	list := splitAddrs(*addrs)
+	rc, err := netconn.Connect(list, netconn.Options{
+		WaitReady: *waitReady,
+		BatchSize: *batch,
+	})
+	if err != nil {
+		fatal("strouterd: %v", err)
+	}
+	if err := rc.Covers(len(s.Cluster().Shards())); err != nil {
+		fatal("strouterd: %v", err)
+	}
+	docs, sum := s.Fingerprint()
+	rdocs, rsum := rc.Fingerprint()
+	if docs != rdocs || sum != rsum {
+		fatal("strouterd: shard servers hold different data: local (%d docs, %016x), remote (%d docs, %016x)",
+			docs, sum, rdocs, rsum)
+	}
+	s.Cluster().SetConn(rc)
+	// Network legs fail differently from in-process ones; retry through
+	// the existing resilience machinery and tolerate a lost shard with
+	// partial results rather than failing the whole query.
+	s.Cluster().SetResilience(sharding.Resilience{
+		Policy:       sharding.AllowPartial,
+		ShardTimeout: 5 * time.Second,
+	})
+
+	srv := netconn.NewRouterServer(s)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal("strouterd: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "strouterd: routing %d shards across %d servers on %s (%d docs, fingerprint %016x)\n",
+		len(s.Cluster().Shards()), len(list), bound, docs, sum)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "strouterd: shutting down")
+	srv.Close()
+	rc.Close()
+}
+
+func buildStore(dir, approach string, records, shards int, zones bool, parallel int) *core.Store {
+	if dir != "" {
+		s, err := core.OpenDir(dir, core.Config{Parallel: parallel})
+		if err != nil {
+			fatal("strouterd: %v", err)
+		}
+		return s
+	}
+	a, ok := parseApproach(approach)
+	if !ok {
+		fatal("strouterd: unknown approach %q", approach)
+	}
+	fmt.Fprintf(os.Stderr, "strouterd: generating and loading %d records under %s...\n", records, a)
+	recs := data.GenerateReal(data.RealConfig{Records: records})
+	s, err := core.Open(core.Config{
+		Approach:   a,
+		Shards:     shards,
+		DataExtent: data.MBROf(recs),
+		Parallel:   parallel,
+	})
+	if err != nil {
+		fatal("strouterd: %v", err)
+	}
+	if err := s.Load(recs); err != nil {
+		fatal("strouterd: %v", err)
+	}
+	if zones {
+		if err := s.ConfigureZones(); err != nil {
+			fatal("strouterd: %v", err)
+		}
+	}
+	return s
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseApproach(s string) (core.Approach, bool) {
+	for _, a := range core.AllApproaches() {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

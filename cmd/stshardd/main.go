@@ -1,0 +1,171 @@
+// Command stshardd is the shard server daemon: it constructs the
+// cluster deterministically (same flags as stquery — or the same
+// durable directory) and serves a subset of its shards over the wire
+// protocol, answering per-shard query/getMore/killCursor/stats ops
+// from routers.
+//
+// There is no config-server protocol: every process in a deployment
+// builds the identical cluster from the same inputs, and the
+// handshake's content fingerprint catches processes that were started
+// with different ones. A two-server split of a four-shard cluster:
+//
+//	stshardd -addr 127.0.0.1:7701 -serve 0,2 -approach hil -records 40000 -shards 4 &
+//	stshardd -addr 127.0.0.1:7702 -serve 1,3 -approach hil -records 40000 -shards 4 &
+//	stquery  -addrs 127.0.0.1:7701,127.0.0.1:7702 -approach hil -records 40000 -shards 4
+//
+// With -dir the store is reopened from a durable directory instead of
+// being generated; all daemons must point at (copies of) the same
+// directory state.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/netconn"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7701", "listen address")
+		serve     = flag.String("serve", "", "comma-separated shard ids to serve (empty = all)")
+		approach  = flag.String("approach", "hil", "bslST | bslTS | hil | hil* | sthash")
+		records   = flag.Int("records", 40000, "R-like records to generate and load")
+		shards    = flag.Int("shards", 12, "number of shards in the cluster")
+		zones     = flag.Bool("zones", false, "configure zones after loading")
+		dir       = flag.String("dir", "", "reopen a durable store directory instead of loading")
+		benchMode = flag.Bool("bench", false, "construct the store exactly as 'stbench -exp throughput' does (for stbench -addrs)")
+		cursorTTL = flag.Duration("cursor-ttl", netconn.DefaultCursorTTL, "reap cursors idle longer than this")
+		maxBatch  = flag.Int("max-batch", netconn.DefaultMaxBatch, "cap on the per-reply batch size clients may request")
+	)
+	flag.Parse()
+
+	s := buildStore(*dir, *approach, *records, *shards, *zones, *benchMode)
+	ids, err := parseShardIDs(*serve)
+	if err != nil {
+		fatal("stshardd: bad -serve: %v", err)
+	}
+
+	srv, err := netconn.NewShardServer(s.Cluster(), ids, netconn.ServerOptions{
+		CursorTTL: *cursorTTL,
+		MaxBatch:  *maxBatch,
+	})
+	if err != nil {
+		fatal("stshardd: %v", err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal("stshardd: %v", err)
+	}
+	docs, sum := s.Fingerprint()
+	fmt.Fprintf(os.Stderr, "stshardd: serving shards %s of %d on %s (%d docs, fingerprint %016x)\n",
+		describeServe(ids, *shards), *shards, bound, docs, sum)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "stshardd: shutting down")
+	srv.Close()
+}
+
+// buildStore constructs the deterministic store every process in the
+// deployment agrees on: generated from the seeded data generator, or
+// recovered from a durable directory. The construction path must stay
+// identical to stquery's so the content fingerprints match.
+func buildStore(dir, approach string, records, shards int, zones, benchMode bool) *core.Store {
+	if dir != "" {
+		s, err := core.OpenDir(dir, core.Config{})
+		if err != nil {
+			fatal("stshardd: %v", err)
+		}
+		return s
+	}
+	a, ok := parseApproach(approach)
+	if !ok {
+		fatal("stshardd: unknown approach %q", approach)
+	}
+	if benchMode {
+		// The throughput experiment builds its store through the bench
+		// env (extra payload fields, scaled chunk threshold); a daemon
+		// backing `stbench -addrs` must construct the identical one.
+		env := bench.NewEnv(bench.Scale{RRecords: records, Shards: shards})
+		env.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "stshardd: "+format+"\n", args...)
+		}
+		s, err := env.Store(env.DatasetR(), a, zones)
+		if err != nil {
+			fatal("stshardd: %v", err)
+		}
+		return s
+	}
+	fmt.Fprintf(os.Stderr, "stshardd: generating and loading %d records under %s...\n", records, a)
+	start := time.Now()
+	recs := data.GenerateReal(data.RealConfig{Records: records})
+	s, err := core.Open(core.Config{
+		Approach:   a,
+		Shards:     shards,
+		DataExtent: data.MBROf(recs),
+	})
+	if err != nil {
+		fatal("stshardd: %v", err)
+	}
+	if err := s.Load(recs); err != nil {
+		fatal("stshardd: %v", err)
+	}
+	if zones {
+		if err := s.ConfigureZones(); err != nil {
+			fatal("stshardd: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "stshardd: loaded in %v\n", time.Since(start).Round(time.Millisecond))
+	return s
+}
+
+func parseShardIDs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ids []int
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func describeServe(ids []int, shards int) string {
+	if ids == nil {
+		return fmt.Sprintf("0..%d", shards-1)
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseApproach(s string) (core.Approach, bool) {
+	for _, a := range core.AllApproaches() {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

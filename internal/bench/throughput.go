@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netconn"
 	"repro/internal/replication"
 	"repro/internal/sharding"
 )
@@ -63,6 +64,14 @@ type ThroughputOptions struct {
 	// replication.ParseWriteConcern syntax ("primary", "majority",
 	// "all").
 	WriteConcern string
+	// Addrs, when non-empty, adds the network arm: the same mixed
+	// workload re-run with the store's per-shard executions travelling
+	// over TCP to the stshardd daemons at these addresses (which must
+	// have been started with matching data flags — the handshake
+	// fingerprint check enforces it). The resulting cells carry honest
+	// end-to-end network latency next to the in-process ones.
+	// Mutually exclusive with Faults (one shard boundary at a time).
+	Addrs []string
 	// IndexKeys, when non-empty, adds the index-scale arm: one cell
 	// per entry, each building a shard-sized synthetic shard-key
 	// index of that many keys (fixed seed) and measuring its live
@@ -97,6 +106,9 @@ type ThroughputCell struct {
 	Workload string `json:"workload"` // "mixed", "limited", "big" or "index-scale"
 	Parallel int    `json:"parallel"`
 	Clients  int    `json:"clients"`
+	// Network marks a cell whose per-shard executions travelled over
+	// TCP to shard server processes (the -addrs arm).
+	Network bool `json:"network,omitempty"`
 	// Keys and BuildMs belong to the index-scale arm (zero — and
 	// omitted — elsewhere): keys per shard in the synthetic index and
 	// the wall time to build it.
@@ -159,6 +171,8 @@ type ThroughputReport struct {
 	IndexKeys []int `json:"index_keys,omitempty"`
 	// Faults echoes the injected fault specification (empty = healthy).
 	Faults string `json:"faults,omitempty"`
+	// Addrs echoes the shard server addresses of the network arm.
+	Addrs []string `json:"addrs,omitempty"`
 	// Replicas, ReadPref and WriteConcern echo the replication
 	// configuration (zero/empty = no replication).
 	Replicas     int              `json:"replicas,omitempty"`
@@ -185,6 +199,9 @@ const storeApproachForThroughput = core.Hil
 
 func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 	opts = opts.withDefaults()
+	if len(opts.Addrs) > 0 && opts.Faults != "" {
+		return fmt.Errorf("bench: Addrs and Faults are mutually exclusive (one shard boundary at a time)")
+	}
 	s, err := e.Store(e.DatasetR(), storeApproachForThroughput, false)
 	if err != nil {
 		return err
@@ -256,6 +273,7 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 		NumCPU:     runtime.NumCPU(),
 		Parallel:   opts.Parallel,
 		Faults:     opts.Faults,
+		Addrs:      opts.Addrs,
 		Replicas:   opts.Replicas,
 	}
 	if opts.Limit > 0 {
@@ -315,6 +333,36 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 		e.progress("throughput: big workload, parallel=%d, clients=1", width)
 		report.Cells = append(report.Cells,
 			runThroughputCell("big", s, big[:], width, 1, opts.OpsPerClient))
+	}
+
+	// The network arm re-runs the mixed workload with the per-shard
+	// executions travelling over TCP to live stshardd daemons — the
+	// honest end-to-end latency next to the in-process cells above.
+	if len(opts.Addrs) > 0 {
+		rc, err := netconn.Connect(opts.Addrs, netconn.Options{WaitReady: 10 * time.Second})
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		if err := rc.Covers(len(s.Cluster().Shards())); err != nil {
+			return err
+		}
+		docs, sum := s.Fingerprint()
+		rdocs, rsum := rc.Fingerprint()
+		if docs != rdocs || sum != rsum {
+			return fmt.Errorf("bench: shard servers hold different data: local (%d docs, %016x), remote (%d docs, %016x)",
+				docs, sum, rdocs, rsum)
+		}
+		s.Cluster().SetConn(rc)
+		s.SetParallel(opts.Parallel)
+		for _, clients := range opts.Clients {
+			e.progress("throughput: mixed workload over TCP (%d servers), parallel=%d, clients=%d",
+				len(opts.Addrs), opts.Parallel, clients)
+			cell := runThroughputCell("mixed", s, mixed, opts.Parallel, clients, opts.OpsPerClient)
+			cell.Network = true
+			report.Cells = append(report.Cells, cell)
+		}
+		s.Cluster().SetConn(nil)
 	}
 
 	// The index-scale arm is independent of the loaded store: it
@@ -456,10 +504,17 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 	if r.Replicas > 0 {
 		header = append(header, "FailedOver", "ReplReads", "MaxLag")
 	}
+	if len(r.Addrs) > 0 {
+		fmt.Fprintf(w, "  network arm: per-shard executions over TCP to %d shard servers\n", len(r.Addrs))
+	}
 	var rows [][]string
 	for _, c := range r.Cells {
+		workload := c.Workload
+		if c.Network {
+			workload += "(net)"
+		}
 		row := []string{
-			c.Workload,
+			workload,
 			fmt.Sprintf("%d", c.Parallel),
 			fmt.Sprintf("%d", c.Clients),
 			fmt.Sprintf("%.1f", c.QPS),

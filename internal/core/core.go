@@ -125,6 +125,11 @@ type Config struct {
 	// (deadlines, retries, hedging, circuit breaker, partial-result
 	// policy). The zero value is the fail-fast default with retries.
 	Resilience sharding.Resilience
+	// Conn is the per-shard execution boundary (nil means the
+	// in-process LocalConn). A netconn.RemoteConn here turns the store
+	// into a network router whose shard executions travel to stshardd
+	// processes; it can also be swapped later via Cluster().SetConn.
+	Conn sharding.ShardConn
 	// Replicas is the number of in-process followers per shard
 	// primary (0 disables replication). Followers receive the
 	// primary's streamed WAL records, serve reads per ReadPref, and
@@ -211,6 +216,7 @@ func (c Config) clusterOptions() sharding.Options {
 		Parallel:         c.Parallel,
 		QueryConfig:      c.QueryConfig,
 		Resilience:       c.Resilience,
+		Conn:             c.Conn,
 		Replicas:         c.Replicas,
 		WriteConcern:     c.WriteConcern,
 		ReadPref:         c.ReadPref,

@@ -1,0 +1,229 @@
+// Package netconn is the cluster's TCP transport: the client side
+// (RemoteConn, a sharding.ShardConn whose per-shard executions travel
+// the internal/wire protocol to shard server processes) and the
+// server side (ShardServer wrapping a loaded cluster's executor,
+// RouterServer wrapping a whole store behind the mongos-style query
+// op).
+//
+// Deployment model: there is no config-server protocol. Every process
+// — router and shard servers alike — constructs the identical cluster
+// deterministically (same generator seed and scale, or the same
+// durable directory), so the router's chunk map matches the shards'
+// data by construction. The handshake verifies this instead of
+// trusting it: each HelloReply carries the cluster content
+// fingerprint, and Connect refuses peers whose fingerprint disagrees.
+package netconn
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Options configures the client side of the transport.
+type Options struct {
+	// DialTimeout bounds each TCP dial + handshake (default 3s).
+	DialTimeout time.Duration
+	// WaitReady keeps re-dialing a refused address for this long
+	// during Connect — daemons that are still coming up answer as
+	// soon as they bind (default 0: fail on first refusal).
+	WaitReady time.Duration
+	// MaxIdlePerHost caps the idle connections kept per address
+	// (default 4). A checkout beyond the idle set dials a fresh
+	// connection; returns beyond the cap close it.
+	MaxIdlePerHost int
+	// BatchSize is the cursor batch size requested per reply frame
+	// (default 512 documents).
+	BatchSize int
+}
+
+// Defaults for Options.
+const (
+	DefaultDialTimeout    = 3 * time.Second
+	DefaultMaxIdlePerHost = 4
+	DefaultBatchSize      = 512
+)
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.MaxIdlePerHost <= 0 {
+		o.MaxIdlePerHost = DefaultMaxIdlePerHost
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	return o
+}
+
+// conn is one established, handshaken connection. A conn is owned by
+// exactly one request at a time (checkout/return through its pool);
+// there is no pipelining, so a request's frames can never interleave
+// with another's.
+type conn struct {
+	nc    net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	hello wire.HelloReply
+	// broken marks the conn unreturnable: its stream may be out of
+	// sync (torn frame, poisoned deadline, unexpected op).
+	broken bool
+}
+
+// dial establishes and handshakes one connection.
+func dial(addr string, timeout time.Duration) (*conn, error) {
+	deadline := time.Now().Add(timeout)
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	// The handshake runs under the same deadline as the dial.
+	_ = nc.SetDeadline(deadline)
+	op, body, err := c.roundTrip(nil, wire.OpHello, wire.Hello{Version: wire.ProtocolVersion}.Encode(nil))
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("netconn: handshake with %s: %w", addr, err)
+	}
+	if op != wire.OpHelloReply {
+		nc.Close()
+		return nil, fmt.Errorf("netconn: handshake with %s: unexpected op %d", addr, op)
+	}
+	reply, err := wire.DecodeHelloReply(body)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("netconn: handshake with %s: %w", addr, err)
+	}
+	if reply.Version != wire.ProtocolVersion {
+		nc.Close()
+		return nil, fmt.Errorf("netconn: %s speaks protocol %d, want %d", addr, reply.Version, wire.ProtocolVersion)
+	}
+	_ = nc.SetDeadline(time.Time{})
+	c.hello = reply
+	return c, nil
+}
+
+// roundTrip writes one frame and reads one reply frame. When ctx is
+// cancelled mid-IO a watchdog poisons the socket deadline so the
+// blocked read or write returns immediately; the conn is then broken
+// (its stream state is unknown) and the caller must not reuse it.
+func (c *conn) roundTrip(ctx context.Context, op byte, body []byte) (byte, []byte, error) {
+	if ctx != nil && ctx.Done() != nil {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			select {
+			case <-ctx.Done():
+				_ = c.nc.SetDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-done
+			if ctx.Err() != nil {
+				c.broken = true
+			} else {
+				_ = c.nc.SetDeadline(time.Time{})
+			}
+		}()
+	}
+	if err := wire.WriteFrame(c.bw, op, body); err != nil {
+		c.broken = true
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.broken = true
+		return 0, nil, err
+	}
+	rop, rbody, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.broken = true
+		return 0, nil, err
+	}
+	return rop, rbody, nil
+}
+
+func (c *conn) close() { _ = c.nc.Close() }
+
+// pool manages connections to one address: LIFO idle stack, dial on
+// empty, close on overflow or breakage.
+type pool struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	idle   []*conn
+	closed bool
+}
+
+func newPool(addr string, opts Options) *pool {
+	return &pool{addr: addr, opts: opts}
+}
+
+// get checks out a connection: the most recently returned idle one
+// (warmest buffers, least likely to have rotted), or a fresh dial.
+func (p *pool) get() (*conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("netconn: pool for %s is closed", p.addr)
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return dial(p.addr, p.opts.DialTimeout)
+}
+
+// put returns a connection after a request. Broken conns and overflow
+// beyond MaxIdlePerHost are closed.
+func (p *pool) put(c *conn) {
+	if c.broken {
+		c.close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.opts.MaxIdlePerHost {
+		p.mu.Unlock()
+		c.close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// close closes every idle connection and refuses future checkouts.
+func (p *pool) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.close()
+	}
+}
+
+// dialReady dials + handshakes, retrying refused connections until
+// opts.WaitReady elapses — the daemon-startup race absorber.
+func dialReady(addr string, opts Options) (*conn, error) {
+	deadline := time.Now().Add(opts.WaitReady)
+	for {
+		c, err := dial(addr, opts.DialTimeout)
+		if err == nil || time.Now().After(deadline) {
+			return c, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,241 @@
+package netconn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/query"
+	"repro/internal/sharding"
+	"repro/internal/wire"
+)
+
+// RemoteConn is the network ShardConn: each per-shard execution is
+// serialized over a pooled TCP connection to whichever shard server
+// announced that shard at handshake. Failures map onto the router's
+// existing retry machinery — dial refusals, IO errors and torn
+// streams are transient (another attempt may find the daemon healthy
+// again), protocol violations and server-reported hard errors are
+// not, and a server-reported transient error crosses the wire with
+// its Transient bit intact.
+type RemoteConn struct {
+	opts  Options
+	addrs []string
+	// pools maps shard id → the pool of the address serving it.
+	pools    map[int]*pool
+	byAddr   []*pool
+	docs     uint64
+	checksum uint64
+}
+
+// Connect dials every address, handshakes, and builds the shard →
+// address map from the served-shard lists the daemons announce. All
+// peers must agree on the cluster content fingerprint; two daemons
+// announcing the same shard id, or disagreeing fingerprints, mean a
+// misassembled cluster and fail loudly here rather than as wrong
+// query results later.
+func Connect(addrs []string, opts Options) (*RemoteConn, error) {
+	opts = opts.withDefaults()
+	rc := &RemoteConn{opts: opts, addrs: addrs, pools: map[int]*pool{}}
+	for _, addr := range addrs {
+		c, err := dialReady(addr, opts)
+		if err != nil {
+			rc.Close()
+			return nil, err
+		}
+		p := newPool(addr, opts)
+		p.put(c)
+		rc.byAddr = append(rc.byAddr, p)
+		if len(rc.byAddr) == 1 {
+			rc.docs, rc.checksum = c.hello.Docs, c.hello.Checksum
+		} else if c.hello.Docs != rc.docs || c.hello.Checksum != rc.checksum {
+			rc.Close()
+			return nil, fmt.Errorf("netconn: %s fingerprint (%d docs, %016x) disagrees with %s (%d docs, %016x)",
+				addr, c.hello.Docs, c.hello.Checksum, addrs[0], rc.docs, rc.checksum)
+		}
+		for _, id := range c.hello.ShardIDs {
+			if prev, ok := rc.pools[int(id)]; ok {
+				rc.Close()
+				return nil, fmt.Errorf("netconn: shard %d served by both %s and %s", id, prev.addr, addr)
+			}
+			rc.pools[int(id)] = p
+		}
+	}
+	return rc, nil
+}
+
+// Fingerprint returns the cluster content fingerprint every peer
+// announced at handshake.
+func (rc *RemoteConn) Fingerprint() (docs int, checksum uint64) {
+	return int(rc.docs), rc.checksum
+}
+
+// Shards returns the shard ids the connected servers cover,
+// ascending.
+func (rc *RemoteConn) Shards() []int {
+	ids := make([]int, 0, len(rc.pools))
+	for id := range rc.pools {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Covers errors unless the servers cover exactly shards 0..n-1 — the
+// pre-flight check before installing this conn on an n-shard cluster.
+func (rc *RemoteConn) Covers(n int) error {
+	for id := 0; id < n; id++ {
+		if rc.pools[id] == nil {
+			return fmt.Errorf("netconn: no server for shard %d (servers cover %v)", id, rc.Shards())
+		}
+	}
+	return nil
+}
+
+// Close closes every pooled connection.
+func (rc *RemoteConn) Close() {
+	for _, p := range rc.byAddr {
+		p.close()
+	}
+}
+
+// transientErr wraps a transport-level failure as a retryable shard
+// error.
+func transientErr(shard int, err error) error {
+	return &sharding.ShardError{Shard: shard, Transient: true, Err: err}
+}
+
+func hardErr(shard int, err error) error {
+	return &sharding.ShardError{Shard: shard, Transient: false, Err: err}
+}
+
+// Query implements sharding.ShardConn. The filter and the pushed-down
+// options are serialized to the shard's server; result batches stream
+// back through a server-side cursor until drained. cfg is not sent:
+// planning configuration is owned by the server's own cluster (the
+// processes are constructed identically, so the configs agree).
+func (rc *RemoteConn) Query(ctx context.Context, shard *sharding.Shard, f query.Filter, cfg *query.Config, opts query.Opts) (*query.Result, error) {
+	p := rc.pools[shard.ID]
+	if p == nil {
+		return nil, hardErr(shard.ID, fmt.Errorf("netconn: no server for shard %d", shard.ID))
+	}
+	body, err := wire.Query{
+		Shard:     int32(shard.ID),
+		BatchSize: uint32(rc.opts.BatchSize),
+		Limit:     int64(opts.Limit),
+		OrderBy:   opts.OrderBy,
+		Desc:      opts.Desc,
+		Filter:    f,
+	}.Encode(nil)
+	if err != nil {
+		return nil, hardErr(shard.ID, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, err := p.get()
+	if err != nil {
+		return nil, transientErr(shard.ID, err)
+	}
+	res, err := rc.drain(ctx, c, shard.ID, body)
+	p.put(c)
+	return res, err
+}
+
+// drain runs the query round trip and getMore loop on one checked-out
+// connection, assembling the streamed batches into the executor-shaped
+// Result the router expects.
+func (rc *RemoteConn) drain(ctx context.Context, c *conn, shard int, queryBody []byte) (*query.Result, error) {
+	reply, err := rc.exchange(ctx, c, shard, wire.OpQuery, queryBody)
+	if err != nil {
+		return nil, err
+	}
+	res := &query.Result{Stats: reply.Stats()}
+	for {
+		for _, doc := range reply.Docs {
+			res.Docs = append(res.Docs, bson.Raw(doc))
+		}
+		if reply.Keys != nil {
+			res.Keys = append(res.Keys, reply.Keys...)
+		}
+		if reply.Cursor == 0 {
+			return res, nil
+		}
+		// Between batches is the cooperative cancellation point: tell
+		// the server to drop the cursor, keep the connection healthy.
+		if err := ctx.Err(); err != nil {
+			rc.killCursor(c, reply.Cursor)
+			return nil, err
+		}
+		body := wire.GetMore{Cursor: reply.Cursor, BatchSize: uint32(rc.opts.BatchSize)}.Encode(nil)
+		if reply, err = rc.exchange(ctx, c, shard, wire.OpGetMore, body); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// exchange runs one request frame and decodes the QueryReply (or
+// server error) it answers with.
+func (rc *RemoteConn) exchange(ctx context.Context, c *conn, shard int, op byte, body []byte) (wire.QueryReply, error) {
+	rop, rbody, err := c.roundTrip(ctx, op, body)
+	if err != nil {
+		// A cancellation-poisoned socket reports the ctx error, not
+		// the IO timeout it was induced through.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return wire.QueryReply{}, ctxErr
+		}
+		// A frame torn by a connection loss is transient (a retry
+		// dials fresh); any other framing violation — bad length,
+		// checksum mismatch — means the peer is not speaking the
+		// protocol and is not worth retrying.
+		if errors.Is(err, wire.ErrBadFrame) &&
+			!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return wire.QueryReply{}, hardErr(shard, err)
+		}
+		return wire.QueryReply{}, transientErr(shard, err)
+	}
+	switch rop {
+	case wire.OpQueryReply:
+		reply, err := wire.DecodeQueryReply(rbody)
+		if err != nil {
+			c.broken = true
+			return wire.QueryReply{}, hardErr(shard, err)
+		}
+		return reply, nil
+	case wire.OpError:
+		// The structured error frame: the connection stays in sync,
+		// and the server's transient/hard verdict survives the wire.
+		er, err := wire.DecodeErrorReply(rbody)
+		if err != nil {
+			c.broken = true
+			return wire.QueryReply{}, hardErr(shard, err)
+		}
+		return wire.QueryReply{}, &sharding.ShardError{
+			Shard:     int(er.Shard),
+			Transient: er.Transient,
+			Err:       fmt.Errorf("remote: %s", er.Message),
+		}
+	default:
+		c.broken = true
+		return wire.QueryReply{}, hardErr(shard, fmt.Errorf("netconn: unexpected op %d", rop))
+	}
+}
+
+// killCursor best-effort closes a server-side cursor after the caller
+// abandoned the result. It runs under its own short deadline (the
+// caller's ctx is already cancelled) so an unresponsive server cannot
+// stall the cancellation path; failure just breaks the conn, and the
+// server's disconnect cleanup drops the cursor anyway.
+func (rc *RemoteConn) killCursor(c *conn, cursor uint64) {
+	_ = c.nc.SetDeadline(time.Now().Add(time.Second))
+	op, _, err := c.roundTrip(nil, wire.OpKillCursor, wire.KillCursor{Cursor: cursor}.Encode(nil))
+	if err != nil || op != wire.OpKillReply {
+		c.broken = true
+		return
+	}
+	_ = c.nc.SetDeadline(time.Time{})
+}

@@ -1,0 +1,191 @@
+package netconn
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/wire"
+)
+
+// RouterServer is the mongos-style daemon's core: it owns a full
+// store (chunk map, scatter-gather, merge) and answers the
+// client-facing spatio-temporal query op. The store's per-shard
+// executions typically run through a RemoteConn installed on its
+// cluster, making this process a pure router; with the default
+// LocalConn it degenerates to a single-process server.
+type RouterServer struct {
+	store *core.Store
+	lst   listenState
+}
+
+// NewRouterServer wraps the store.
+func NewRouterServer(store *core.Store) *RouterServer {
+	return &RouterServer{store: store}
+}
+
+// Listen binds addr and starts serving; it returns the bound address.
+func (s *RouterServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lst.start(ln, s.handleConn)
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting and closes every open connection.
+func (s *RouterServer) Close() { s.lst.close() }
+
+func (s *RouterServer) handleConn(nc net.Conn) {
+	h := &connHandler{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	docs, checksum := s.store.Fingerprint()
+	// A router serves no shards directly: empty shard id list.
+	if !h.handshake(wire.HelloReply{
+		Version:  wire.ProtocolVersion,
+		Docs:     uint64(docs),
+		Checksum: checksum,
+	}) {
+		return
+	}
+	for {
+		op, body, err := wire.ReadFrame(h.br)
+		if err != nil {
+			return
+		}
+		if !s.handleOp(h, op, body) {
+			return
+		}
+	}
+}
+
+func (s *RouterServer) handleOp(h *connHandler, op byte, body []byte) bool {
+	switch op {
+	case wire.OpPing:
+		return h.reply(wire.OpPong, nil)
+	case wire.OpSTQuery:
+		msg, err := wire.DecodeSTQuery(body)
+		if err != nil {
+			return h.replyErr(-1, false, err)
+		}
+		res := s.store.Query(stQueryFromWire(msg))
+		return h.reply(wire.OpSTQueryReply, stReplyToWire(res).Encode(nil))
+	default:
+		return h.replyErr(-1, false, fmt.Errorf("unsupported op %d on router", op))
+	}
+}
+
+func stQueryFromWire(m wire.STQuery) core.STQuery {
+	return core.STQuery{
+		Rect:  geo.NewRect(m.MinLon, m.MinLat, m.MaxLon, m.MaxLat),
+		From:  time.Unix(0, m.FromNS).UTC(),
+		To:    time.Unix(0, m.ToNS).UTC(),
+		Limit: int(m.Limit),
+		Sort:  core.SortOrder(m.Sort),
+	}
+}
+
+func stReplyToWire(res *core.QueryResult) wire.STQueryReply {
+	reply := wire.STQueryReply{
+		Nodes:           int32(res.Stats.Nodes),
+		MaxKeysExamined: int64(res.Stats.MaxKeysExamined),
+		MaxDocsExamined: int64(res.Stats.MaxDocsExamined),
+		DurationNS:      int64(res.Stats.Duration),
+		Broadcast:       res.Stats.Broadcast,
+		Partial:         res.Stats.Partial,
+	}
+	for _, id := range res.Stats.FailedShards {
+		reply.FailedShards = append(reply.FailedShards, int32(id))
+	}
+	for _, doc := range res.Docs {
+		reply.Docs = append(reply.Docs, doc)
+	}
+	return reply
+}
+
+// Client is the thin driver for a RouterServer: one pooled-connection
+// client exposing the spatio-temporal query.
+type Client struct {
+	pool *pool
+	docs uint64
+	sum  uint64
+}
+
+// DialRouter connects (and handshakes) to a router daemon.
+func DialRouter(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	c, err := dialReady(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := newPool(addr, opts)
+	p.put(c)
+	return &Client{pool: p, docs: c.hello.Docs, sum: c.hello.Checksum}, nil
+}
+
+// Fingerprint returns the router's announced content fingerprint.
+func (cl *Client) Fingerprint() (docs int, checksum uint64) {
+	return int(cl.docs), cl.sum
+}
+
+// Close closes the pooled connections.
+func (cl *Client) Close() { cl.pool.close() }
+
+// Query executes one spatio-temporal query on the router and returns
+// the routed result. Stats fields that only exist router-side (cover
+// timings, plan-cache counters) are zero.
+func (cl *Client) Query(q core.STQuery) (*core.QueryResult, error) {
+	msg := wire.STQuery{
+		MinLon: q.Rect.Min.Lon, MinLat: q.Rect.Min.Lat,
+		MaxLon: q.Rect.Max.Lon, MaxLat: q.Rect.Max.Lat,
+		FromNS: q.From.UTC().UnixNano(), ToNS: q.To.UTC().UnixNano(),
+		Limit:  int64(q.Limit),
+		Sort:   uint8(q.Sort),
+	}
+	c, err := cl.pool.get()
+	if err != nil {
+		return nil, err
+	}
+	defer cl.pool.put(c)
+	op, body, err := c.roundTrip(nil, wire.OpSTQuery, msg.Encode(nil))
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case wire.OpSTQueryReply:
+		reply, err := wire.DecodeSTQueryReply(body)
+		if err != nil {
+			c.broken = true
+			return nil, err
+		}
+		res := &core.QueryResult{}
+		res.Stats.Nodes = int(reply.Nodes)
+		res.Stats.MaxKeysExamined = int(reply.MaxKeysExamined)
+		res.Stats.MaxDocsExamined = int(reply.MaxDocsExamined)
+		res.Stats.NReturned = len(reply.Docs)
+		res.Stats.Duration = time.Duration(reply.DurationNS)
+		res.Stats.Broadcast = reply.Broadcast
+		res.Stats.Partial = reply.Partial
+		for _, id := range reply.FailedShards {
+			res.Stats.FailedShards = append(res.Stats.FailedShards, int(id))
+		}
+		for _, doc := range reply.Docs {
+			res.Docs = append(res.Docs, bson.Raw(doc))
+		}
+		return res, nil
+	case wire.OpError:
+		er, err := wire.DecodeErrorReply(body)
+		if err != nil {
+			c.broken = true
+			return nil, err
+		}
+		return nil, fmt.Errorf("router: %s", er.Message)
+	default:
+		c.broken = true
+		return nil, fmt.Errorf("netconn: unexpected op %d", op)
+	}
+}

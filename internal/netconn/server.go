@@ -1,0 +1,451 @@
+package netconn
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sharding"
+	"repro/internal/wire"
+)
+
+// ServerOptions configures a ShardServer.
+type ServerOptions struct {
+	// Conn is the execution boundary queries run through (nil means
+	// the in-process LocalConn). Tests install a FaultConn here so
+	// injected shard faults travel the wire as structured error
+	// frames.
+	Conn sharding.ShardConn
+	// CursorTTL reaps cursors idle longer than this (default 60s):
+	// a client that vanished without killCursor — or a router whose
+	// retry abandoned the conn — cannot pin result memory forever.
+	CursorTTL time.Duration
+	// MaxBatch caps the per-reply batch size a client may request
+	// (default 4096 documents).
+	MaxBatch int
+}
+
+// Defaults for ServerOptions.
+const (
+	DefaultCursorTTL = 60 * time.Second
+	DefaultMaxBatch  = 4096
+)
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Conn == nil {
+		o.Conn = sharding.LocalConn{}
+	}
+	if o.CursorTTL <= 0 {
+		o.CursorTTL = DefaultCursorTTL
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	return o
+}
+
+// ShardServer serves a subset of a cluster's shards over the wire
+// protocol: one stshardd process constructs the full cluster (so its
+// content fingerprint matches every peer's) but answers queries only
+// for the shards it was assigned.
+type ShardServer struct {
+	cluster *sharding.Cluster
+	shards  map[int]*sharding.Shard
+	ids     []int32
+	opts    ServerOptions
+
+	lst    listenState
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	handlers map[*connHandler]struct{}
+}
+
+// NewShardServer wraps the cluster, serving the given shard ids (nil
+// means every shard).
+func NewShardServer(cluster *sharding.Cluster, serve []int, opts ServerOptions) (*ShardServer, error) {
+	s := &ShardServer{
+		cluster:  cluster,
+		shards:   map[int]*sharding.Shard{},
+		opts:     opts.withDefaults(),
+		handlers: map[*connHandler]struct{}{},
+	}
+	all := cluster.Shards()
+	if serve == nil {
+		for _, sh := range all {
+			serve = append(serve, sh.ID)
+		}
+	}
+	for _, id := range serve {
+		if id < 0 || id >= len(all) {
+			return nil, fmt.Errorf("netconn: shard %d out of range (cluster has %d)", id, len(all))
+		}
+		s.shards[id] = all[id]
+		s.ids = append(s.ids, int32(id))
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	return s, nil
+}
+
+// Listen binds addr (":0" for an ephemeral port) and starts serving.
+// It returns the bound address.
+func (s *ShardServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lst.start(ln, s.handleConn)
+	s.lst.wg.Add(1)
+	go s.reap()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting, closes every open connection (dropping their
+// cursors) and waits for the handlers to drain.
+func (s *ShardServer) Close() {
+	s.cancel()
+	s.lst.close()
+}
+
+// OpenCursors reports the live cursor count across all connections.
+func (s *ShardServer) OpenCursors() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for h := range s.handlers {
+		n += h.cursorCount()
+	}
+	return n
+}
+
+// reap expires idle cursors until the server closes.
+func (s *ShardServer) reap() {
+	defer s.lst.wg.Done()
+	tick := time.NewTicker(s.opts.CursorTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-tick.C:
+			s.mu.Lock()
+			for h := range s.handlers {
+				h.expire(now.Add(-s.opts.CursorTTL))
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *ShardServer) handleConn(nc net.Conn) {
+	h := &connHandler{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc), cursors: map[uint64]*cursor{}}
+	s.mu.Lock()
+	s.handlers[h] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.handlers, h)
+		s.mu.Unlock()
+	}()
+	docs, checksum := s.cluster.ContentFingerprint()
+	if !h.handshake(wire.HelloReply{
+		Version:  wire.ProtocolVersion,
+		Docs:     uint64(docs),
+		Checksum: checksum,
+		ShardIDs: s.ids,
+	}) {
+		return
+	}
+	for {
+		op, body, err := wire.ReadFrame(h.br)
+		if err != nil {
+			return // disconnect (or torn stream): drop conn and its cursors
+		}
+		if !s.handleOp(h, op, body) {
+			return
+		}
+	}
+}
+
+// handleOp dispatches one request frame; false poisons the conn.
+func (s *ShardServer) handleOp(h *connHandler, op byte, body []byte) bool {
+	switch op {
+	case wire.OpPing:
+		return h.reply(wire.OpPong, nil)
+	case wire.OpQuery:
+		q, err := wire.DecodeQuery(body)
+		if err != nil {
+			return h.replyErr(-1, false, err)
+		}
+		return s.runQuery(h, q)
+	case wire.OpGetMore:
+		gm, err := wire.DecodeGetMore(body)
+		if err != nil {
+			return h.replyErr(-1, false, err)
+		}
+		cur := h.lookup(gm.Cursor)
+		if cur == nil {
+			return h.replyErr(-1, false, fmt.Errorf("cursor %d not found (expired or killed)", gm.Cursor))
+		}
+		return h.reply(wire.OpQueryReply, cur.batch(gm.Cursor, s.clampBatch(int(gm.BatchSize)), h).Encode(nil))
+	case wire.OpKillCursor:
+		kc, err := wire.DecodeKillCursor(body)
+		if err != nil {
+			return h.replyErr(-1, false, err)
+		}
+		h.kill(kc.Cursor)
+		return h.reply(wire.OpKillReply, nil)
+	case wire.OpStats:
+		reply := wire.StatsReply{Cursors: uint32(h.cursorCount())}
+		for _, id := range s.ids {
+			reply.ShardIDs = append(reply.ShardIDs, id)
+			reply.Docs = append(reply.Docs, int64(s.shards[int(id)].Coll.Len()))
+		}
+		return h.reply(wire.OpStatsReply, reply.Encode(nil))
+	default:
+		return h.replyErr(-1, false, fmt.Errorf("unsupported op %d", op))
+	}
+}
+
+func (s *ShardServer) clampBatch(n int) int {
+	if n <= 0 {
+		return DefaultBatchSize
+	}
+	if n > s.opts.MaxBatch {
+		return s.opts.MaxBatch
+	}
+	return n
+}
+
+// runQuery executes the filter through the server's conn boundary and
+// streams the first batch, opening a cursor when more remains.
+func (s *ShardServer) runQuery(h *connHandler, q wire.Query) bool {
+	shard := s.shards[int(q.Shard)]
+	if shard == nil {
+		return h.replyErr(q.Shard, false, fmt.Errorf("shard %d not served here", q.Shard))
+	}
+	res, err := s.opts.Conn.Query(s.ctx, shard, q.Filter, s.cluster.Options().QueryConfig, q.Opts())
+	if err != nil {
+		var se *sharding.ShardError
+		if errors.As(err, &se) {
+			return h.replyErr(int32(se.Shard), se.Transient, se.Err)
+		}
+		// A per-attempt deadline expiry is retryable by convention.
+		return h.replyErr(q.Shard, errors.Is(err, context.DeadlineExceeded), err)
+	}
+	cur := &cursor{}
+	cur.touch()
+	cur.docs = make([][]byte, len(res.Docs))
+	for i, d := range res.Docs {
+		cur.docs[i] = d
+	}
+	cur.keys = res.Keys
+	reply := cur.batch(0, s.clampBatch(int(q.BatchSize)), h)
+	reply.KeysExamined = int64(res.Stats.KeysExamined)
+	reply.DocsExamined = int64(res.Stats.DocsExamined)
+	reply.NReturned = int64(res.Stats.NReturned)
+	reply.DurationNS = int64(res.Stats.Duration)
+	reply.IndexUsed = res.Stats.IndexUsed
+	return h.reply(wire.OpQueryReply, reply.Encode(nil))
+}
+
+// cursor is one open server-side result stream: the materialized
+// (already limit/top-k-bounded) execution result plus a position.
+// Cursors are conn-owned — registered in their connection's handler,
+// advanced only by that connection's frames, dropped wholesale on
+// disconnect.
+type cursor struct {
+	docs [][]byte
+	keys [][]byte
+	pos  int
+	// used is the last-touched unix-nano timestamp, atomic because
+	// the reaper reads it concurrently with the conn's handler.
+	used atomic.Int64
+}
+
+func (c *cursor) touch() { c.used.Store(time.Now().UnixNano()) }
+
+// batch builds the next reply batch. id is the cursor's registered id
+// (0 when not yet registered); registration happens lazily on the
+// first partial batch.
+func (c *cursor) batch(id uint64, n int, h *connHandler) wire.QueryReply {
+	end := c.pos + n
+	if end > len(c.docs) {
+		end = len(c.docs)
+	}
+	reply := wire.QueryReply{Docs: c.docs[c.pos:end]}
+	if c.keys != nil {
+		reply.Keys = c.keys[c.pos:end]
+	}
+	c.pos = end
+	if c.pos < len(c.docs) {
+		if id == 0 {
+			id = h.register(c)
+		}
+		c.touch()
+		reply.Cursor = id
+	} else if id != 0 {
+		h.kill(id)
+	}
+	return reply
+}
+
+// connHandler is the per-connection server state: buffered stream and
+// the connection's cursor table.
+type connHandler struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	mu      sync.Mutex
+	cursors map[uint64]*cursor
+	nextID  uint64
+}
+
+func (h *connHandler) handshake(reply wire.HelloReply) bool {
+	// A peer that cannot produce a valid Hello within a grace period
+	// is not speaking the protocol.
+	_ = h.nc.SetDeadline(time.Now().Add(10 * time.Second))
+	op, body, err := wire.ReadFrame(h.br)
+	if err != nil || op != wire.OpHello {
+		return false
+	}
+	hello, err := wire.DecodeHello(body)
+	if err != nil {
+		return false
+	}
+	if hello.Version != wire.ProtocolVersion {
+		h.replyErr(-1, false, fmt.Errorf("protocol version %d not supported (want %d)", hello.Version, wire.ProtocolVersion))
+		return false
+	}
+	if !h.reply(wire.OpHelloReply, reply.Encode(nil)) {
+		return false
+	}
+	_ = h.nc.SetDeadline(time.Time{})
+	return true
+}
+
+func (h *connHandler) reply(op byte, body []byte) bool {
+	if err := wire.WriteFrame(h.bw, op, body); err != nil {
+		return false
+	}
+	return h.bw.Flush() == nil
+}
+
+// replyErr sends a structured error frame; the connection stays in
+// sync and usable.
+func (h *connHandler) replyErr(shard int32, transient bool, err error) bool {
+	body := wire.ErrorReply{Shard: shard, Transient: transient, Message: err.Error()}.Encode(nil)
+	return h.reply(wire.OpError, body)
+}
+
+func (h *connHandler) register(c *cursor) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextID++
+	id := h.nextID
+	h.cursors[id] = c
+	return id
+}
+
+func (h *connHandler) lookup(id uint64) *cursor {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cursors[id]
+}
+
+func (h *connHandler) kill(id uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.cursors, id)
+}
+
+func (h *connHandler) cursorCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.cursors)
+}
+
+// expire drops cursors last used before the cutoff.
+func (h *connHandler) expire(cutoff time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id, c := range h.cursors {
+		if c.used.Load() < cutoff.UnixNano() {
+			delete(h.cursors, id)
+		}
+	}
+}
+
+// listenState is the shared accept-loop plumbing: tracked conns, a
+// WaitGroup over handlers, idempotent close.
+type listenState struct {
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func (l *listenState) start(ln net.Listener, handle func(net.Conn)) {
+	l.mu.Lock()
+	l.ln = ln
+	l.conns = map[net.Conn]struct{}{}
+	l.mu.Unlock()
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				nc.Close()
+				return
+			}
+			l.conns[nc] = struct{}{}
+			l.mu.Unlock()
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				handle(nc)
+				nc.Close()
+				l.mu.Lock()
+				delete(l.conns, nc)
+				l.mu.Unlock()
+			}()
+		}
+	}()
+}
+
+func (l *listenState) close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.wg.Wait()
+		return
+	}
+	l.closed = true
+	ln := l.ln
+	conns := make([]net.Conn, 0, len(l.conns))
+	for nc := range l.conns {
+		conns = append(conns, nc)
+	}
+	l.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, nc := range conns {
+		nc.Close()
+	}
+	l.wg.Wait()
+}

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the frame and message
+// decoders. Invariants: no panic, no oversized allocation (enforced
+// structurally by length caps and count validation), and any input
+// DecodeFrame accepts must re-encode to the identical prefix.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, OpPing, nil))
+	f.Add(AppendFrame(nil, OpHello, Hello{Version: ProtocolVersion}.Encode(nil)))
+	f.Add(AppendFrame(nil, OpHelloReply, HelloReply{Version: 1, Docs: 10, Checksum: 99, ShardIDs: []int32{0, 1}}.Encode(nil)))
+	f.Add(AppendFrame(nil, OpGetMore, GetMore{Cursor: 7, BatchSize: 100}.Encode(nil)))
+	f.Add(AppendFrame(nil, OpQueryReply, QueryReply{Cursor: 1, Docs: [][]byte{[]byte("d")}}.Encode(nil)))
+	f.Add(AppendFrame(nil, OpError, ErrorReply{Shard: 1, Transient: true, Message: "x"}.Encode(nil)))
+	f.Add(AppendFrame(nil, OpSTQuery, STQuery{MinLon: 1, MaxLon: 2, Limit: 5}.Encode(nil)))
+	// Corrupt variants: flipped payload byte, truncated tail, huge length.
+	good := AppendFrame(nil, OpQuery, []byte("payload"))
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+	f.Add(good[:len(good)-2])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, body, size, ok := DecodeFrame(data)
+		if ok {
+			if size <= 0 || size > len(data) {
+				t.Fatalf("size %d out of range for %d input bytes", size, len(data))
+			}
+			if !bytes.Equal(AppendFrame(nil, op, body), data[:size]) {
+				t.Fatal("accepted frame does not re-encode to its input")
+			}
+		}
+		// ReadFrame over the same bytes must agree with DecodeFrame on
+		// acceptance and never panic.
+		rop, rbody, err := ReadFrame(bytes.NewReader(data))
+		if ok != (err == nil) {
+			t.Fatalf("DecodeFrame ok=%v but ReadFrame err=%v", ok, err)
+		}
+		if ok && (rop != op || !bytes.Equal(rbody, body)) {
+			t.Fatal("ReadFrame and DecodeFrame disagree on accepted frame")
+		}
+
+		// Every message decoder must handle an arbitrary body without
+		// panicking or over-allocating.
+		msgBody := data
+		if ok {
+			msgBody = body
+		}
+		DecodeHello(msgBody)
+		DecodeHelloReply(msgBody)
+		DecodeQuery(msgBody)
+		DecodeQueryReply(msgBody)
+		DecodeGetMore(msgBody)
+		DecodeKillCursor(msgBody)
+		DecodeStatsReply(msgBody)
+		DecodeErrorReply(msgBody)
+		DecodeSTQuery(msgBody)
+		DecodeSTQueryReply(msgBody)
+		DecodeFilter(msgBody)
+	})
+}

@@ -1,0 +1,382 @@
+package wire
+
+import (
+	"time"
+
+	"repro/internal/query"
+)
+
+// Hello opens every connection (client → server).
+type Hello struct {
+	Version uint32
+}
+
+// Encode appends the message body to buf.
+func (m Hello) Encode(buf []byte) []byte {
+	return appendU32(buf, m.Version)
+}
+
+// DecodeHello decodes a Hello body.
+func DecodeHello(b []byte) (Hello, error) {
+	d := &dec{b: b}
+	m := Hello{Version: d.u32("version")}
+	return m, d.finish()
+}
+
+// HelloReply answers the handshake: the server's protocol version,
+// the cluster content fingerprint (live document count plus the
+// order-independent checksum the durability layer computes), and the
+// shard ids this server answers queries for. A router daemon serves
+// no shards directly and sends an empty id list.
+type HelloReply struct {
+	Version  uint32
+	Docs     uint64
+	Checksum uint64
+	ShardIDs []int32
+}
+
+// Encode appends the message body to buf.
+func (m HelloReply) Encode(buf []byte) []byte {
+	buf = appendU32(buf, m.Version)
+	buf = appendU64(buf, m.Docs)
+	buf = appendU64(buf, m.Checksum)
+	buf = appendU32(buf, uint32(len(m.ShardIDs)))
+	for _, id := range m.ShardIDs {
+		buf = appendU32(buf, uint32(id))
+	}
+	return buf
+}
+
+// DecodeHelloReply decodes a HelloReply body.
+func DecodeHelloReply(b []byte) (HelloReply, error) {
+	d := &dec{b: b}
+	m := HelloReply{
+		Version:  d.u32("version"),
+		Docs:     d.u64("docs"),
+		Checksum: d.u64("checksum"),
+	}
+	n := d.count(4, "shard ids")
+	m.ShardIDs = make([]int32, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		m.ShardIDs = append(m.ShardIDs, int32(d.u32("shard id")))
+	}
+	return m, d.finish()
+}
+
+// Query asks a shard server to execute a filter on one shard and
+// open a server-side cursor over the result. The pushed-down options
+// travel with it, so the shard bounds its scan exactly as the
+// in-process executor would.
+type Query struct {
+	Shard     int32
+	BatchSize uint32
+	Limit     int64
+	OrderBy   string
+	Desc      bool
+	Filter    query.Filter
+}
+
+// Encode appends the message body to buf. Filter encoding can fail on
+// exotic filter types; everything else is total.
+func (m Query) Encode(buf []byte) ([]byte, error) {
+	buf = appendU32(buf, uint32(m.Shard))
+	buf = appendU32(buf, m.BatchSize)
+	buf = appendI64(buf, m.Limit)
+	buf = appendString(buf, m.OrderBy)
+	buf = appendBool(buf, m.Desc)
+	return AppendFilter(buf, m.Filter)
+}
+
+// DecodeQuery decodes a Query body.
+func DecodeQuery(b []byte) (Query, error) {
+	d := &dec{b: b}
+	m := Query{
+		Shard:     int32(d.u32("shard")),
+		BatchSize: d.u32("batch size"),
+		Limit:     d.i64("limit"),
+		OrderBy:   d.string("order by"),
+		Desc:      d.bool("desc"),
+	}
+	if d.err != nil {
+		return m, d.err
+	}
+	f, err := DecodeFilter(b[d.off:])
+	if err != nil {
+		return m, err
+	}
+	m.Filter = f
+	return m, nil
+}
+
+// Opts translates the pushed-down options into the executor's form.
+func (m Query) Opts() query.Opts {
+	return query.Opts{Limit: int(m.Limit), OrderBy: m.OrderBy, Desc: m.Desc}
+}
+
+// QueryReply carries one result batch. The first batch of a cursor
+// also carries the execution stats (they are complete once the scan
+// ran — the cursor streams an already-bounded materialized result);
+// getMore batches leave them zero. Cursor is non-zero while more
+// batches remain; the final batch carries Cursor 0.
+type QueryReply struct {
+	Cursor       uint64
+	KeysExamined int64
+	DocsExamined int64
+	NReturned    int64
+	DurationNS   int64
+	IndexUsed    string
+	Docs         [][]byte
+	// Keys are the encoded sort keys, index-aligned with Docs; present
+	// only for ordered executions (the router's k-way merge needs
+	// them).
+	Keys [][]byte
+}
+
+// Encode appends the message body to buf.
+func (m QueryReply) Encode(buf []byte) []byte {
+	buf = appendU64(buf, m.Cursor)
+	buf = appendI64(buf, m.KeysExamined)
+	buf = appendI64(buf, m.DocsExamined)
+	buf = appendI64(buf, m.NReturned)
+	buf = appendI64(buf, m.DurationNS)
+	buf = appendString(buf, m.IndexUsed)
+	buf = appendU32(buf, uint32(len(m.Docs)))
+	for _, doc := range m.Docs {
+		buf = appendBytes(buf, doc)
+	}
+	buf = appendBool(buf, m.Keys != nil)
+	if m.Keys != nil {
+		for _, k := range m.Keys {
+			buf = appendBytes(buf, k)
+		}
+	}
+	return buf
+}
+
+// DecodeQueryReply decodes a QueryReply body.
+func DecodeQueryReply(b []byte) (QueryReply, error) {
+	d := &dec{b: b}
+	m := QueryReply{
+		Cursor:       d.u64("cursor"),
+		KeysExamined: d.i64("keys examined"),
+		DocsExamined: d.i64("docs examined"),
+		NReturned:    d.i64("n returned"),
+		DurationNS:   d.i64("duration"),
+		IndexUsed:    d.string("index used"),
+	}
+	n := d.count(4, "docs")
+	m.Docs = make([][]byte, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Docs = append(m.Docs, d.bytes("doc"))
+	}
+	if d.bool("has keys") && d.err == nil {
+		m.Keys = make([][]byte, 0, len(m.Docs))
+		for i := 0; i < len(m.Docs) && d.err == nil; i++ {
+			m.Keys = append(m.Keys, d.bytes("key"))
+		}
+	}
+	return m, d.finish()
+}
+
+// Stats converts the wire counters into executor stats.
+func (m QueryReply) Stats() query.ExecStats {
+	return query.ExecStats{
+		KeysExamined: int(m.KeysExamined),
+		DocsExamined: int(m.DocsExamined),
+		NReturned:    int(m.NReturned),
+		IndexUsed:    m.IndexUsed,
+		Duration:     time.Duration(m.DurationNS),
+	}
+}
+
+// GetMore requests the next batch of an open cursor.
+type GetMore struct {
+	Cursor    uint64
+	BatchSize uint32
+}
+
+// Encode appends the message body to buf.
+func (m GetMore) Encode(buf []byte) []byte {
+	return appendU32(appendU64(buf, m.Cursor), m.BatchSize)
+}
+
+// DecodeGetMore decodes a GetMore body.
+func DecodeGetMore(b []byte) (GetMore, error) {
+	d := &dec{b: b}
+	m := GetMore{Cursor: d.u64("cursor"), BatchSize: d.u32("batch size")}
+	return m, d.finish()
+}
+
+// KillCursor closes an open cursor without draining it (the client's
+// cooperative cancellation path). The server answers OpKillReply with
+// an empty body.
+type KillCursor struct {
+	Cursor uint64
+}
+
+// Encode appends the message body to buf.
+func (m KillCursor) Encode(buf []byte) []byte {
+	return appendU64(buf, m.Cursor)
+}
+
+// DecodeKillCursor decodes a KillCursor body.
+func DecodeKillCursor(b []byte) (KillCursor, error) {
+	d := &dec{b: b}
+	m := KillCursor{Cursor: d.u64("cursor")}
+	return m, d.finish()
+}
+
+// StatsReply reports the server's served shards and their live
+// document counts (observability; OpStats carries an empty request
+// body).
+type StatsReply struct {
+	ShardIDs []int32
+	Docs     []int64
+	Cursors  uint32
+}
+
+// Encode appends the message body to buf.
+func (m StatsReply) Encode(buf []byte) []byte {
+	buf = appendU32(buf, uint32(len(m.ShardIDs)))
+	for i, id := range m.ShardIDs {
+		buf = appendU32(buf, uint32(id))
+		buf = appendI64(buf, m.Docs[i])
+	}
+	return appendU32(buf, m.Cursors)
+}
+
+// DecodeStatsReply decodes a StatsReply body.
+func DecodeStatsReply(b []byte) (StatsReply, error) {
+	d := &dec{b: b}
+	n := d.count(12, "shard stats")
+	m := StatsReply{ShardIDs: make([]int32, 0, n), Docs: make([]int64, 0, n)}
+	for i := 0; i < n && d.err == nil; i++ {
+		m.ShardIDs = append(m.ShardIDs, int32(d.u32("shard id")))
+		m.Docs = append(m.Docs, d.i64("shard docs"))
+	}
+	m.Cursors = d.u32("cursors")
+	return m, d.finish()
+}
+
+// ErrorReply is the structured error frame: which shard failed,
+// whether the failure is transient (worth retrying — the
+// ShardError.Transient semantics preserved across the network), and a
+// human-readable cause.
+type ErrorReply struct {
+	Shard     int32
+	Transient bool
+	Message   string
+}
+
+// Encode appends the message body to buf.
+func (m ErrorReply) Encode(buf []byte) []byte {
+	buf = appendU32(buf, uint32(m.Shard))
+	buf = appendBool(buf, m.Transient)
+	return appendString(buf, m.Message)
+}
+
+// DecodeErrorReply decodes an ErrorReply body.
+func DecodeErrorReply(b []byte) (ErrorReply, error) {
+	d := &dec{b: b}
+	m := ErrorReply{
+		Shard:     int32(d.u32("shard")),
+		Transient: d.bool("transient"),
+		Message:   d.string("message"),
+	}
+	return m, d.finish()
+}
+
+// STQuery is the router daemon's client-facing operation: one
+// spatio-temporal range query (rectangle, closed time interval,
+// optional limit and date ordering), routed and scatter-gathered by
+// the daemon exactly as the embedded router would.
+type STQuery struct {
+	MinLon, MinLat float64
+	MaxLon, MaxLat float64
+	FromNS, ToNS   int64
+	Limit          int64
+	// Sort: 0 none, 1 date ascending, 2 date descending.
+	Sort uint8
+}
+
+// Encode appends the message body to buf.
+func (m STQuery) Encode(buf []byte) []byte {
+	buf = appendF64(buf, m.MinLon)
+	buf = appendF64(buf, m.MinLat)
+	buf = appendF64(buf, m.MaxLon)
+	buf = appendF64(buf, m.MaxLat)
+	buf = appendI64(buf, m.FromNS)
+	buf = appendI64(buf, m.ToNS)
+	buf = appendI64(buf, m.Limit)
+	return appendU8(buf, m.Sort)
+}
+
+// DecodeSTQuery decodes an STQuery body.
+func DecodeSTQuery(b []byte) (STQuery, error) {
+	d := &dec{b: b}
+	m := STQuery{
+		MinLon: d.f64("min lon"), MinLat: d.f64("min lat"),
+		MaxLon: d.f64("max lon"), MaxLat: d.f64("max lat"),
+		FromNS: d.i64("from"), ToNS: d.i64("to"),
+		Limit: d.i64("limit"),
+		Sort:  d.u8("sort"),
+	}
+	return m, d.finish()
+}
+
+// STQueryReply is the routed query's answer: the merged documents and
+// the routing/execution metrics a client needs to print the paper's
+// observables.
+type STQueryReply struct {
+	Nodes           int32
+	MaxKeysExamined int64
+	MaxDocsExamined int64
+	DurationNS      int64
+	Broadcast       bool
+	Partial         bool
+	FailedShards    []int32
+	Docs            [][]byte
+}
+
+// Encode appends the message body to buf.
+func (m STQueryReply) Encode(buf []byte) []byte {
+	buf = appendU32(buf, uint32(m.Nodes))
+	buf = appendI64(buf, m.MaxKeysExamined)
+	buf = appendI64(buf, m.MaxDocsExamined)
+	buf = appendI64(buf, m.DurationNS)
+	buf = appendBool(buf, m.Broadcast)
+	buf = appendBool(buf, m.Partial)
+	buf = appendU32(buf, uint32(len(m.FailedShards)))
+	for _, id := range m.FailedShards {
+		buf = appendU32(buf, uint32(id))
+	}
+	buf = appendU32(buf, uint32(len(m.Docs)))
+	for _, doc := range m.Docs {
+		buf = appendBytes(buf, doc)
+	}
+	return buf
+}
+
+// DecodeSTQueryReply decodes an STQueryReply body.
+func DecodeSTQueryReply(b []byte) (STQueryReply, error) {
+	d := &dec{b: b}
+	m := STQueryReply{
+		Nodes:           int32(d.u32("nodes")),
+		MaxKeysExamined: d.i64("max keys"),
+		MaxDocsExamined: d.i64("max docs"),
+		DurationNS:      d.i64("duration"),
+		Broadcast:       d.bool("broadcast"),
+		Partial:         d.bool("partial"),
+	}
+	nf := d.count(4, "failed shards")
+	m.FailedShards = make([]int32, 0, nf)
+	for i := 0; i < nf && d.err == nil; i++ {
+		m.FailedShards = append(m.FailedShards, int32(d.u32("failed shard")))
+	}
+	nd := d.count(4, "docs")
+	m.Docs = make([][]byte, 0, nd)
+	for i := 0; i < nd && d.err == nil; i++ {
+		m.Docs = append(m.Docs, d.bytes("doc"))
+	}
+	return m, d.finish()
+}

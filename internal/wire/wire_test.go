@@ -1,0 +1,307 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/query"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	bodies := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, body := range bodies {
+		enc := AppendFrame(nil, OpQuery, body)
+		op, got, size, ok := DecodeFrame(enc)
+		if !ok || op != OpQuery || size != len(enc) || !bytes.Equal(got, body) {
+			t.Fatalf("DecodeFrame(%d bytes) = op %d, %d bytes, size %d, ok %v", len(body), op, len(got), size, ok)
+		}
+
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, OpQuery, body); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), enc) {
+			t.Fatalf("WriteFrame and AppendFrame disagree for %d-byte body", len(body))
+		}
+		op, got, err := ReadFrame(&buf)
+		if err != nil || op != OpQuery || !bytes.Equal(got, body) {
+			t.Fatalf("ReadFrame = op %d, %d bytes, err %v", op, len(got), err)
+		}
+	}
+}
+
+func TestFrameBackToBack(t *testing.T) {
+	var stream []byte
+	stream = AppendFrame(stream, OpPing, nil)
+	stream = AppendFrame(stream, OpQuery, []byte("abc"))
+	var buf bytes.Buffer
+	buf.Write(stream)
+
+	op, _, err := ReadFrame(&buf)
+	if err != nil || op != OpPing {
+		t.Fatalf("first frame: op %d err %v", op, err)
+	}
+	op, body, err := ReadFrame(&buf)
+	if err != nil || op != OpQuery || string(body) != "abc" {
+		t.Fatalf("second frame: op %d body %q err %v", op, body, err)
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	enc := AppendFrame(nil, OpQuery, []byte("hello world"))
+
+	// Any single flipped bit in the payload must fail the checksum.
+	for i := frameHeaderSize; i < len(enc); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, _, _, ok := DecodeFrame(bad); ok {
+			t.Fatalf("DecodeFrame accepted frame with byte %d flipped", i)
+		}
+		if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("ReadFrame(byte %d flipped) = %v, want ErrBadFrame", i, err)
+		}
+	}
+
+	// Every truncation must fail without panicking.
+	for i := 0; i < len(enc); i++ {
+		if _, _, _, ok := DecodeFrame(enc[:i]); ok {
+			t.Fatalf("DecodeFrame accepted %d-byte truncation", i)
+		}
+		if _, _, err := ReadFrame(bytes.NewReader(enc[:i])); err == nil {
+			t.Fatalf("ReadFrame accepted %d-byte truncation", i)
+		}
+	}
+
+	// A mid-payload truncation is a torn frame, not a clean EOF.
+	if _, _, err := ReadFrame(bytes.NewReader(enc[:len(enc)-3])); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("torn frame: %v, want ErrBadFrame", err)
+	}
+
+	// An oversized length prefix must be rejected before any allocation.
+	huge := append([]byte(nil), enc...)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, _, ok := DecodeFrame(huge); ok {
+		t.Fatal("DecodeFrame accepted oversized length")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized length: %v, want ErrBadFrame", err)
+	}
+
+	// Zero length (no op byte) is invalid.
+	zero := make([]byte, frameHeaderSize)
+	if _, _, err := ReadFrame(bytes.NewReader(zero)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("zero length: %v, want ErrBadFrame", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := Hello{Version: ProtocolVersion}
+	out, err := DecodeHello(in.Encode(nil))
+	if err != nil || out != in {
+		t.Fatalf("got %+v, %v", out, err)
+	}
+
+	reply := HelloReply{Version: 1, Docs: 12345, Checksum: 0xDEADBEEFCAFE, ShardIDs: []int32{0, 2, 5}}
+	gotReply, err := DecodeHelloReply(reply.Encode(nil))
+	if err != nil || !reflect.DeepEqual(gotReply, reply) {
+		t.Fatalf("got %+v, %v", gotReply, err)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	in := Query{
+		Shard:     3,
+		BatchSize: 512,
+		Limit:     100,
+		OrderBy:   "date",
+		Desc:      true,
+		Filter: query.And{Children: []query.Filter{
+			query.GeoWithin{Field: "location", Rect: geo.NewRect(23, 37, 25, 39)},
+			query.Cmp{Field: "date", Op: query.OpGTE, Value: time.Date(2018, 7, 1, 0, 0, 0, 0, time.UTC)},
+			query.Cmp{Field: "date", Op: query.OpLTE, Value: time.Date(2018, 8, 1, 0, 0, 0, 0, time.UTC)},
+		}},
+	}
+	body, err := in.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeQuery(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	opts := out.Opts()
+	if opts.Limit != 100 || opts.OrderBy != "date" || !opts.Desc {
+		t.Fatalf("Opts() = %+v", opts)
+	}
+}
+
+func TestFilterRoundTrip(t *testing.T) {
+	poly, err := geo.NewPolygon(
+		geo.Point{Lon: 23, Lat: 37},
+		geo.Point{Lon: 25, Lat: 37},
+		geo.Point{Lon: 24, Lat: 39},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := []query.Filter{
+		query.Cmp{Field: "a", Op: query.OpEQ, Value: int64(7)},
+		query.Cmp{Field: "b", Op: query.OpEQ, Value: "text"},
+		query.Cmp{Field: "c", Op: query.OpGT, Value: 1.5},
+		query.Cmp{Field: "d", Op: query.OpLT, Value: nil},
+		query.Cmp{Field: "e", Op: query.OpGTE, Value: true},
+		query.In{Field: "f", Values: []any{int64(1), "two", 3.0}},
+		query.Or{Children: []query.Filter{
+			query.Cmp{Field: "x", Op: query.OpEQ, Value: int64(1)},
+			query.And{Children: []query.Filter{
+				query.Cmp{Field: "y", Op: query.OpGT, Value: int64(2)},
+				query.GeoWithinPolygon{Field: "location", Polygon: poly},
+			}},
+		}},
+		query.GeoWithin{Field: "location", Rect: geo.NewRect(-10, -20, 10, 20)},
+	}
+	for _, f := range filters {
+		enc, err := AppendFilter(nil, f)
+		if err != nil {
+			t.Fatalf("%T: %v", f, err)
+		}
+		dec, err := DecodeFilter(enc)
+		if err != nil {
+			t.Fatalf("%T: %v", f, err)
+		}
+		if !reflect.DeepEqual(dec, f) {
+			t.Fatalf("%T round trip mismatch:\n in: %+v\nout: %+v", f, f, dec)
+		}
+	}
+}
+
+func TestFilterDepthCap(t *testing.T) {
+	var f query.Filter = query.Cmp{Field: "a", Op: query.OpEQ, Value: int64(1)}
+	for i := 0; i < maxFilterDepth+8; i++ {
+		f = query.And{Children: []query.Filter{f}}
+	}
+	enc, err := AppendFilter(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFilter(enc); err == nil {
+		t.Fatal("expected depth-cap error for deeply nested filter")
+	}
+}
+
+func TestQueryReplyRoundTrip(t *testing.T) {
+	in := QueryReply{
+		Cursor:       42,
+		KeysExamined: 10,
+		DocsExamined: 9,
+		NReturned:    8,
+		DurationNS:   1234567,
+		IndexUsed:    "st_btree",
+		Docs:         [][]byte{[]byte("doc-one"), []byte("doc-two"), {}},
+		Keys:         [][]byte{[]byte("k1"), []byte("k2"), []byte("k3")},
+	}
+	out, err := DecodeQueryReply(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty byte strings decode as nil slices; compare element-wise.
+	if out.Cursor != in.Cursor || out.IndexUsed != in.IndexUsed || len(out.Docs) != len(in.Docs) || len(out.Keys) != len(in.Keys) {
+		t.Fatalf("got %+v", out)
+	}
+	for i := range in.Docs {
+		if !bytes.Equal(out.Docs[i], in.Docs[i]) || !bytes.Equal(out.Keys[i], in.Keys[i]) {
+			t.Fatalf("doc/key %d mismatch", i)
+		}
+	}
+	st := out.Stats()
+	if st.KeysExamined != 10 || st.DocsExamined != 9 || st.NReturned != 8 || st.IndexUsed != "st_btree" || st.Duration != 1234567*time.Nanosecond {
+		t.Fatalf("Stats() = %+v", st)
+	}
+
+	// Unordered reply: no keys at all.
+	in.Keys = nil
+	out, err = DecodeQueryReply(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Keys != nil {
+		t.Fatalf("expected nil keys, got %v", out.Keys)
+	}
+}
+
+func TestSmallMessageRoundTrips(t *testing.T) {
+	gm := GetMore{Cursor: 99, BatchSize: 1000}
+	if out, err := DecodeGetMore(gm.Encode(nil)); err != nil || out != gm {
+		t.Fatalf("GetMore: %+v, %v", out, err)
+	}
+	kc := KillCursor{Cursor: 77}
+	if out, err := DecodeKillCursor(kc.Encode(nil)); err != nil || out != kc {
+		t.Fatalf("KillCursor: %+v, %v", out, err)
+	}
+	er := ErrorReply{Shard: 4, Transient: true, Message: "shard 4: replica offline"}
+	if out, err := DecodeErrorReply(er.Encode(nil)); err != nil || out != er {
+		t.Fatalf("ErrorReply: %+v, %v", out, err)
+	}
+	sr := StatsReply{ShardIDs: []int32{0, 1}, Docs: []int64{500, 700}, Cursors: 3}
+	if out, err := DecodeStatsReply(sr.Encode(nil)); err != nil || !reflect.DeepEqual(out, sr) {
+		t.Fatalf("StatsReply: %+v, %v", out, err)
+	}
+}
+
+func TestSTQueryRoundTrip(t *testing.T) {
+	in := STQuery{
+		MinLon: 23.5, MinLat: 37.5, MaxLon: 24.5, MaxLat: 38.5,
+		FromNS: 1_530_000_000_000_000_000, ToNS: 1_540_000_000_000_000_000,
+		Limit: 50, Sort: 2,
+	}
+	if out, err := DecodeSTQuery(in.Encode(nil)); err != nil || out != in {
+		t.Fatalf("STQuery: %+v, %v", out, err)
+	}
+
+	reply := STQueryReply{
+		Nodes:           3,
+		MaxKeysExamined: 100,
+		MaxDocsExamined: 90,
+		DurationNS:      5555,
+		Broadcast:       true,
+		Partial:         true,
+		FailedShards:    []int32{2},
+		Docs:            [][]byte{[]byte("d1"), []byte("d2")},
+	}
+	out, err := DecodeSTQueryReply(reply.Encode(nil))
+	if err != nil || !reflect.DeepEqual(out, reply) {
+		t.Fatalf("STQueryReply: %+v, %v", out, err)
+	}
+}
+
+func TestDecodeRejectsHostileCounts(t *testing.T) {
+	// A QueryReply body claiming 2^31 docs in a handful of bytes must be
+	// rejected by count validation, not attempted as an allocation.
+	var body []byte
+	body = appendU64(body, 0)         // cursor
+	for i := 0; i < 4; i++ {          // four i64 counters
+		body = appendI64(body, 0)
+	}
+	body = appendString(body, "")     // index used
+	body = appendU32(body, 1<<31-1)   // hostile doc count
+	if _, err := DecodeQueryReply(body); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("hostile count: %v, want ErrBadMessage", err)
+	}
+
+	// Trailing garbage after a valid message is an error too.
+	valid := Hello{Version: 1}.Encode(nil)
+	if _, err := DecodeHello(append(valid, 0xFF)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing bytes: %v, want ErrBadMessage", err)
+	}
+}
