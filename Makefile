@@ -36,9 +36,18 @@ race:
 cluster-smoke:
 	timeout 120 sh scripts/cluster-smoke.sh
 
+# Seeded deterministic chaos soak: SIGKILL/SIGTERM daemon cycling,
+# injected link faults and 4x overload bursts against the real
+# 2-daemon + router cluster, with every reply byte-verified or
+# explicitly partial/shed, restarts fingerprint-checked, and
+# cursor/in-flight/goroutine hygiene asserted at the end.
+.PHONY: chaos-soak
+chaos-soak:
+	timeout 300 sh scripts/chaos-soak.sh
+
 # The canonical pre-commit check (also available as scripts/check.sh).
 .PHONY: check
-check: build test vet race cluster-smoke
+check: build test vet race cluster-smoke chaos-soak
 
 # A short shake of the fuzz targets: the BSON decoder must be total
 # (crash recovery feeds it torn and bit-flipped journal bytes), the

@@ -72,6 +72,7 @@ import (
 	"repro/internal/netconn"
 	"repro/internal/replication"
 	"repro/internal/sharding"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -96,9 +97,24 @@ func main() {
 		concern  = flag.String("write-concern", "", "primary | majority | all")
 		addrs    = flag.String("addrs", "", "comma-separated stshardd addresses: run per-shard executions over the network")
 		router   = flag.String("router", "", "strouterd address: thin-client mode, no local store")
+		stats    = flag.String("stats", "", "daemon address: print its health state and admission counters, then exit")
 	)
 	flag.BoolVar(&digest, "digest", false, "print name, count and SHA-256 of each result (deterministic differential output)")
 	flag.Parse()
+
+	if *stats != "" {
+		// The ops probe: one dial, the handshake identity and the
+		// health/admission counters, formatted for a runbook eye.
+		hello, st, err := netconn.Probe(*stats, netconn.Options{WaitReady: 5 * time.Second})
+		if err != nil {
+			fatal("stquery: -stats: %v", err)
+		}
+		fmt.Printf("%s: state=%s docs=%d fingerprint=%016x shards=%v\n",
+			*stats, wire.StateName(st.State), hello.Docs, hello.Checksum, hello.ShardIDs)
+		fmt.Printf("  inFlight=%d shed=%d cursors=%d heapInuse=%d\n",
+			st.InFlight, st.Shed, st.Cursors, st.HeapInuse)
+		return
+	}
 
 	sortOrder, err := parseSort(*sortStr)
 	if err != nil {

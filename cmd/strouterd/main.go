@@ -42,6 +42,13 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "scatter-gather pool width (0 = GOMAXPROCS)")
 		waitReady = flag.Duration("wait-ready", 10*time.Second, "keep re-dialing refused shard servers for this long")
 		batch     = flag.Int("batch", netconn.DefaultBatchSize, "cursor batch size requested from shard servers")
+
+		maxConns      = flag.Int("max-conns", netconn.DefaultMaxConns, "cap on concurrently open client connections")
+		maxInFlight   = flag.Int("max-inflight", 0, "cap on concurrently executing queries (0 = 4x GOMAXPROCS)")
+		admissionWait = flag.Duration("admission-wait", netconn.DefaultAdmissionWait, "how long a query may queue for an in-flight slot before being shed")
+		retryAfter    = flag.Duration("retry-after", netconn.DefaultRetryAfterHint, "backoff hint carried in overload errors")
+		memWatermark  = flag.Uint64("mem-watermark", 0, "shed new queries while heap-in-use exceeds this many bytes (0 = off)")
+		drainBudget   = flag.Duration("drain", netconn.DefaultDrainTimeout, "graceful-drain budget on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 	if *addrs == "" {
@@ -76,7 +83,14 @@ func main() {
 		ShardTimeout: 5 * time.Second,
 	})
 
-	srv := netconn.NewRouterServer(s)
+	srv := netconn.NewRouterServer(s, netconn.AdmitOptions{
+		MaxConns:       *maxConns,
+		MaxInFlight:    *maxInFlight,
+		AdmissionWait:  *admissionWait,
+		RetryAfterHint: *retryAfter,
+		MemWatermark:   *memWatermark,
+		DrainTimeout:   *drainBudget,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal("strouterd: %v", err)
@@ -84,12 +98,33 @@ func main() {
 	fmt.Fprintf(os.Stderr, "strouterd: routing %d shards across %d servers on %s (%d docs, fingerprint %016x)\n",
 		len(s.Cluster().Shards()), len(list), bound, docs, sum)
 
-	sig := make(chan os.Signal, 1)
+	// SIGTERM/SIGINT drain gracefully (in-flight scatter-gathers
+	// finish within the budget); a second signal forces exit.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "strouterd: shutting down")
-	srv.Close()
+	fmt.Fprintf(os.Stderr, "strouterd: draining (budget %v; signal again to force)\n", *drainBudget)
+	done := make(chan bool, 1)
+	go func() { done <- srv.Drain(*drainBudget) }()
+	select {
+	case clean := <-done:
+		if !clean {
+			fmt.Fprintln(os.Stderr, "strouterd: drain budget expired with queries in flight")
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "strouterd: forced shutdown")
+		os.Exit(1)
+	}
 	rc.Close()
+	if s.Durable() {
+		if err := s.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "strouterd: checkpoint: %v\n", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "strouterd: close: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "strouterd: shut down")
 }
 
 func buildStore(dir, approach string, records, shards int, zones bool, parallel int) *core.Store {

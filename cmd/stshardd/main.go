@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/netconn"
+	"repro/internal/sharding"
 )
 
 func main() {
@@ -46,6 +47,15 @@ func main() {
 		benchMode = flag.Bool("bench", false, "construct the store exactly as 'stbench -exp throughput' does (for stbench -addrs)")
 		cursorTTL = flag.Duration("cursor-ttl", netconn.DefaultCursorTTL, "reap cursors idle longer than this")
 		maxBatch  = flag.Int("max-batch", netconn.DefaultMaxBatch, "cap on the per-reply batch size clients may request")
+
+		maxConns      = flag.Int("max-conns", netconn.DefaultMaxConns, "cap on concurrently open connections")
+		maxInFlight   = flag.Int("max-inflight", 0, "cap on concurrently executing requests (0 = 4x GOMAXPROCS)")
+		admissionWait = flag.Duration("admission-wait", netconn.DefaultAdmissionWait, "how long a request may queue for an in-flight slot before being shed")
+		retryAfter    = flag.Duration("retry-after", netconn.DefaultRetryAfterHint, "backoff hint carried in overload errors")
+		memWatermark  = flag.Uint64("mem-watermark", 0, "shed new requests while heap-in-use exceeds this many bytes (0 = off)")
+		queryDeadline = flag.Duration("query-deadline", 0, "server-side per-query deadline; expiry sheds as overload (0 = off)")
+		drainBudget   = flag.Duration("drain", netconn.DefaultDrainTimeout, "graceful-drain budget on SIGTERM/SIGINT")
+		chaosLatency  = flag.Duration("chaos-latency", 0, "inject this much execution latency into every shard op (chaos-testing hook; 0 = off)")
 	)
 	flag.Parse()
 
@@ -55,9 +65,32 @@ func main() {
 		fatal("stshardd: bad -serve: %v", err)
 	}
 
+	// The chaos hook slows shard executions so in-flight slots stay
+	// occupied long enough for overload bursts to contend realistically;
+	// on an unloaded in-memory store ops finish in microseconds and
+	// admission control would never be reached.
+	var conn sharding.ShardConn
+	if *chaosLatency > 0 {
+		fc := sharding.NewFaultConn(nil, 1)
+		for _, sh := range s.Cluster().Shards() {
+			fc.SetFault(sh.ID, sharding.FaultSpec{Latency: *chaosLatency})
+		}
+		conn = fc
+	}
+
 	srv, err := netconn.NewShardServer(s.Cluster(), ids, netconn.ServerOptions{
 		CursorTTL: *cursorTTL,
 		MaxBatch:  *maxBatch,
+		Conn:      conn,
+		Admit: netconn.AdmitOptions{
+			MaxConns:       *maxConns,
+			MaxInFlight:    *maxInFlight,
+			AdmissionWait:  *admissionWait,
+			RetryAfterHint: *retryAfter,
+			MemWatermark:   *memWatermark,
+			QueryDeadline:  *queryDeadline,
+			DrainTimeout:   *drainBudget,
+		},
 	})
 	if err != nil {
 		fatal("stshardd: %v", err)
@@ -70,11 +103,33 @@ func main() {
 	fmt.Fprintf(os.Stderr, "stshardd: serving shards %s of %d on %s (%d docs, fingerprint %016x)\n",
 		describeServe(ids, *shards), *shards, bound, docs, sum)
 
-	sig := make(chan os.Signal, 1)
+	// SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish
+	// in-flight requests within the drain budget, checkpoint the WAL.
+	// A second signal skips the wait and exits immediately.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "stshardd: shutting down")
-	srv.Close()
+	fmt.Fprintf(os.Stderr, "stshardd: draining (budget %v; signal again to force)\n", *drainBudget)
+	done := make(chan bool, 1)
+	go func() { done <- srv.Drain(*drainBudget) }()
+	select {
+	case clean := <-done:
+		if !clean {
+			fmt.Fprintln(os.Stderr, "stshardd: drain budget expired with requests in flight")
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "stshardd: forced shutdown")
+		os.Exit(1)
+	}
+	if s.Durable() {
+		if err := s.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "stshardd: checkpoint: %v\n", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "stshardd: close: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "stshardd: shut down")
 }
 
 // buildStore constructs the deterministic store every process in the

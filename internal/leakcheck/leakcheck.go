@@ -1,0 +1,74 @@
+// Package leakcheck asserts that a test (or a chaos-soak cycle)
+// does not leak goroutines: it snapshots the goroutine count at the
+// start and verifies, with retries for asynchronous teardown, that
+// the count returns to the baseline.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Defaults for the settle loop: teardown is asynchronous (conn
+// handlers unwinding, reapers noticing a closed context), so the
+// check polls instead of sampling once.
+const (
+	defaultAttempts = 50
+	defaultInterval = 20 * time.Millisecond
+	// slack tolerates runtime-internal goroutines that come and go
+	// (GC workers, netpoller) without failing the check.
+	slack = 3
+)
+
+// TB is the subset of testing.TB the checker needs, so non-test
+// binaries (the chaos orchestrator) can implement it too.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the goroutine count and registers a cleanup that
+// fails the test if the count has not settled back near the baseline
+// by the end.
+//
+//	func TestServer(t *testing.T) {
+//		leakcheck.Check(t)
+//		... start servers, register t.Cleanup closers ...
+//	}
+//
+// Cleanups run LIFO, so Check must be called before the resources it
+// is meant to observe are created.
+func Check(t TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if err := Settle(base, defaultAttempts, defaultInterval); err != nil {
+			t.Errorf("leakcheck: %v", err)
+		}
+	})
+}
+
+// Settle waits for the goroutine count to drop to base+slack,
+// polling attempts times every interval. On failure it returns an
+// error carrying the full goroutine dump, so the leak is
+// identifiable from the report alone.
+func Settle(base, attempts int, interval time.Duration) error {
+	var n int
+	for i := 0; i < attempts; i++ {
+		n = runtime.NumGoroutine()
+		if n <= base+slack {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("%d goroutines still running (baseline %d):\n%s", n, base, buf)
+}
+
+// Baseline returns the current goroutine count — the non-test entry
+// point (the chaos orchestrator snapshots before its cycles and
+// calls Settle after).
+func Baseline() int { return runtime.NumGoroutine() }

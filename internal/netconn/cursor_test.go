@@ -3,11 +3,14 @@ package netconn
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/leakcheck"
 	"repro/internal/query"
 	"repro/internal/sharding"
 	"repro/internal/wire"
@@ -271,7 +274,7 @@ func TestRouterDaemonDifferential(t *testing.T) {
 	router.Cluster().SetConn(rc)
 	defer router.Cluster().SetConn(nil)
 
-	rs := NewRouterServer(router)
+	rs := NewRouterServer(router, AdmitOptions{})
 	addr, err := rs.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -295,6 +298,128 @@ func TestRouterDaemonDifferential(t *testing.T) {
 			t.Fatalf("query %d: stats diverge: %+v vs %+v", i, got.Stats, want.Stats)
 		}
 	}
+}
+
+// stepCancelCtx is a context whose Err() flips to Canceled after the
+// first check, with Done() == nil so roundTrip never arms its socket
+// watchdog. It makes the cooperative cancellation point in the
+// getMore drain loop deterministic: the first check (in Query, before
+// the dial) passes, the second (between batches) observes the cancel
+// — on a connection whose stream is perfectly healthy.
+type stepCancelCtx struct {
+	context.Context
+	calls atomic.Int32
+}
+
+func (c *stepCancelCtx) Done() <-chan struct{} { return nil }
+func (c *stepCancelCtx) Err() error {
+	if c.calls.Add(1) > 1 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCtxCancelMidGetMoreKillsCursor pins the cooperative half of
+// cursor hygiene: a ctx cancelled between batches issues killCursor
+// on the still-healthy connection (no TTL reaper involved — the
+// cursor is gone immediately), and the pooled conn stays reusable.
+func TestCtxCancelMidGetMoreKillsCursor(t *testing.T) {
+	leakcheck.Check(t)
+	s := openStore(t, core.Hil, 2, 1500)
+	srv, addr := startOneServer(t, s, ServerOptions{})
+	rc := connectRemote(t, s, []string{addr}, Options{BatchSize: 1})
+
+	f, _, _ := s.Filter(core.STQuery{Rect: testRect, From: testStart, To: testStart.Add(7 * 24 * time.Hour)})
+	ctx := &stepCancelCtx{Context: context.Background()}
+	_, err := rc.Query(ctx, s.Cluster().Shards()[0], f, nil, query.Opts{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	// killCursor ran synchronously on the healthy conn: no waiting, no
+	// reaper — the cursor must already be gone.
+	if n := srv.OpenCursors(); n != 0 {
+		t.Fatalf("OpenCursors = %d immediately after cancel, want 0 (cooperative killCursor)", n)
+	}
+
+	// The connection survived the cooperative path and is reusable.
+	res, err := rc.Query(context.Background(), s.Cluster().Shards()[0], f, nil, query.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) == 0 {
+		t.Fatal("expected documents on the reused conn")
+	}
+}
+
+// TestReaperVsGetMoreRace hammers batch-1 getMore streams while an
+// aggressive TTL reaper expires cursors underneath them: every reply
+// must be a clean QueryReply or a structured cursor-not-found error,
+// never a torn conn — and the -race gate watches the cursor table.
+func TestReaperVsGetMoreRace(t *testing.T) {
+	leakcheck.Check(t)
+	s := openStore(t, core.Hil, 2, 1500)
+	srv, addr := startOneServer(t, s, ServerOptions{CursorTTL: 20 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := dial(addr, DefaultDialTimeout)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.close()
+			for i := 0; i < 20; i++ {
+				op, body, err := c.roundTrip(nil, wire.OpQuery, rawQueryBody(t, s, 1))
+				if err != nil || op != wire.OpQueryReply {
+					errs <- fmt.Errorf("query: op %d, err %v", op, err)
+					return
+				}
+				reply, err := wire.DecodeQueryReply(body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for cur := reply.Cursor; cur != 0; {
+					if i%3 == 0 {
+						// Let some cursors go idle so the reaper races the
+						// getMore that follows.
+						time.Sleep(25 * time.Millisecond)
+					}
+					op, body, err := c.roundTrip(nil, wire.OpGetMore, wire.GetMore{Cursor: cur, BatchSize: 64}.Encode(nil))
+					if err != nil {
+						errs <- fmt.Errorf("getMore: %v", err)
+						return
+					}
+					switch op {
+					case wire.OpQueryReply:
+						next, err := wire.DecodeQueryReply(body)
+						if err != nil {
+							errs <- err
+							return
+						}
+						cur = next.Cursor
+					case wire.OpError:
+						// Reaped underneath us: a clean structured error on a
+						// still-healthy conn is the contract.
+						cur = 0
+					default:
+						errs <- fmt.Errorf("unexpected op %d", op)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "cursor table drain", func() bool { return srv.OpenCursors() == 0 })
 }
 
 // TestConnectRejectsMismatchedFingerprints: servers constructed from

@@ -17,7 +17,9 @@ package netconn
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync"
 	"time"
@@ -91,6 +93,16 @@ func dial(addr string, timeout time.Duration) (*conn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("netconn: handshake with %s: %w", addr, err)
 	}
+	if op == wire.OpError {
+		// The server refused us with a structured goodbye (over the
+		// connection cap, draining): surface its message so dialers
+		// can tell an overload refusal from a protocol problem.
+		nc.Close()
+		if er, derr := wire.DecodeErrorReply(body); derr == nil {
+			return nil, fmt.Errorf("netconn: %s refused connection: %s", addr, er.Message)
+		}
+		return nil, fmt.Errorf("netconn: %s refused connection", addr)
+	}
 	if op != wire.OpHelloReply {
 		nc.Close()
 		return nil, fmt.Errorf("netconn: handshake with %s: unexpected op %d", addr, op)
@@ -153,15 +165,28 @@ func (c *conn) roundTrip(ctx context.Context, op byte, body []byte) (byte, []byt
 
 func (c *conn) close() { _ = c.nc.Close() }
 
+// ErrFingerprintChanged marks a re-dial that reached a server whose
+// content fingerprint differs from the one this pool first
+// handshook: the peer restarted with different data (or a different
+// process answers on that port). Retrying cannot help — the error is
+// classified hard.
+var ErrFingerprintChanged = errors.New("netconn: peer content fingerprint changed")
+
 // pool manages connections to one address: LIFO idle stack, dial on
-// empty, close on overflow or breakage.
+// empty, close on overflow or breakage. The first connection pins
+// the peer's content fingerprint; every later re-dial must announce
+// the identical one, so a daemon that restarts with different data
+// is caught at the transport instead of polluting merged results.
 type pool struct {
 	addr string
 	opts Options
 
-	mu     sync.Mutex
-	idle   []*conn
-	closed bool
+	mu         sync.Mutex
+	idle       []*conn
+	closed     bool
+	pinned     bool
+	expectDocs uint64
+	expectSum  uint64
 }
 
 func newPool(addr string, opts Options) *pool {
@@ -169,7 +194,8 @@ func newPool(addr string, opts Options) *pool {
 }
 
 // get checks out a connection: the most recently returned idle one
-// (warmest buffers, least likely to have rotted), or a fresh dial.
+// (warmest buffers, least likely to have rotted), or a fresh dial
+// verified against the pinned fingerprint.
 func (p *pool) get() (*conn, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -183,13 +209,43 @@ func (p *pool) get() (*conn, error) {
 		return c, nil
 	}
 	p.mu.Unlock()
-	return dial(p.addr, p.opts.DialTimeout)
+	c, err := dial(p.addr, p.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.checkPin(c); err != nil {
+		c.close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// checkPin verifies (or records, on first contact) the peer's
+// announced content fingerprint.
+func (p *pool) checkPin(c *conn) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.pinned {
+		p.pinned = true
+		p.expectDocs, p.expectSum = c.hello.Docs, c.hello.Checksum
+		return nil
+	}
+	if c.hello.Docs != p.expectDocs || c.hello.Checksum != p.expectSum {
+		return fmt.Errorf("%w: %s announces (%d docs, %016x), pinned (%d docs, %016x)",
+			ErrFingerprintChanged, p.addr, c.hello.Docs, c.hello.Checksum, p.expectDocs, p.expectSum)
+	}
+	return nil
 }
 
 // put returns a connection after a request. Broken conns and overflow
-// beyond MaxIdlePerHost are closed.
+// beyond MaxIdlePerHost are closed. The first conn a pool sees pins
+// the fingerprint (Connect and DialRouter seed pools this way).
 func (p *pool) put(c *conn) {
 	if c.broken {
+		c.close()
+		return
+	}
+	if p.checkPin(c) != nil {
 		c.close()
 		return
 	}
@@ -216,14 +272,65 @@ func (p *pool) close() {
 }
 
 // dialReady dials + handshakes, retrying refused connections until
-// opts.WaitReady elapses — the daemon-startup race absorber.
+// opts.WaitReady elapses — the daemon-startup race absorber. Retries
+// back off with the same capped exponential + deterministic FNV
+// jitter schedule the router's retry path uses, so a fleet of
+// clients waiting on one restarting daemon does not thunder at a
+// fixed cadence.
 func dialReady(addr string, opts Options) (*conn, error) {
 	deadline := time.Now().Add(opts.WaitReady)
-	for {
+	for attempt := 0; ; attempt++ {
 		c, err := dial(addr, opts.DialTimeout)
 		if err == nil || time.Now().After(deadline) {
 			return c, err
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(dialBackoff(addr, attempt))
 	}
+}
+
+// dialBackoff is the delay before redial attempt (0-based): 5ms base
+// doubling to a 250ms cap, jittered into [50%, 100%) by an FNV hash
+// of (addr, attempt) — deterministic per (addr, attempt) so tests
+// replay identically, yet different clients and attempts spread out.
+func dialBackoff(addr string, attempt int) time.Duration {
+	const (
+		base     = 5 * time.Millisecond
+		maxDelay = 250 * time.Millisecond
+	)
+	d := base << uint(attempt)
+	if d > maxDelay || d <= 0 {
+		d = maxDelay
+	}
+	h := fnv.New32a()
+	h.Write([]byte(addr))
+	h.Write([]byte{byte(attempt)})
+	frac := 0.5 + float64(h.Sum32()%1024)/2048 // [0.5, 1.0)
+	return time.Duration(float64(d) * frac)
+}
+
+// Probe dials addr once (honouring opts.WaitReady), fetches the
+// server's handshake identity and health stats, and hangs up. It is
+// the readiness / ops primitive: scripts and the chaos orchestrator
+// use it to wait for "ready", verify fingerprints after a restart,
+// and read the shed/in-flight/cursor counters.
+func Probe(addr string, opts Options) (wire.HelloReply, wire.StatsReply, error) {
+	opts = opts.withDefaults()
+	c, err := dialReady(addr, opts)
+	if err != nil {
+		return wire.HelloReply{}, wire.StatsReply{}, err
+	}
+	defer c.close()
+	_ = c.nc.SetDeadline(time.Now().Add(opts.DialTimeout))
+	op, body, err := c.roundTrip(nil, wire.OpStats, nil)
+	if err != nil {
+		return c.hello, wire.StatsReply{}, err
+	}
+	if op != wire.OpStatsReply {
+		return c.hello, wire.StatsReply{}, fmt.Errorf("netconn: probe %s: unexpected op %d", addr, op)
+	}
+	stats, err := wire.DecodeStatsReply(body)
+	if err != nil {
+		return c.hello, wire.StatsReply{}, err
+	}
+	return c.hello, stats, nil
 }

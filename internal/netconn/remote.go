@@ -139,6 +139,11 @@ func (rc *RemoteConn) Query(ctx context.Context, shard *sharding.Shard, f query.
 	}
 	c, err := p.get()
 	if err != nil {
+		// A re-dial that reaches a server with different content is a
+		// misassembled cluster, not a blip: retrying cannot fix it.
+		if errors.Is(err, ErrFingerprintChanged) {
+			return nil, hardErr(shard.ID, err)
+		}
 		return nil, transientErr(shard.ID, err)
 	}
 	res, err := rc.drain(ctx, c, shard.ID, body)
@@ -214,10 +219,13 @@ func (rc *RemoteConn) exchange(ctx context.Context, c *conn, shard int, op byte,
 			c.broken = true
 			return wire.QueryReply{}, hardErr(shard, err)
 		}
+		// An overload/draining shed carries the server's retry-after
+		// hint; the router's retry schedule honours it as a floor.
 		return wire.QueryReply{}, &sharding.ShardError{
-			Shard:     int(er.Shard),
-			Transient: er.Transient,
-			Err:       fmt.Errorf("remote: %s", er.Message),
+			Shard:      int(er.Shard),
+			Transient:  er.Transient,
+			RetryAfter: time.Duration(er.RetryAfterNS),
+			Err:        fmt.Errorf("remote: %s", er.Message),
 		}
 	default:
 		c.broken = true

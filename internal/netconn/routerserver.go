@@ -2,8 +2,10 @@ package netconn
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/bson"
@@ -19,13 +21,17 @@ import (
 // cluster, making this process a pure router; with the default
 // LocalConn it degenerates to a single-process server.
 type RouterServer struct {
-	store *core.Store
-	lst   listenState
+	store     *core.Store
+	lst       listenState
+	gate      *gate
+	drainOnce sync.Once
+	drained   bool
 }
 
-// NewRouterServer wraps the store.
-func NewRouterServer(store *core.Store) *RouterServer {
-	return &RouterServer{store: store}
+// NewRouterServer wraps the store with the given admission control
+// (zero value = defaults).
+func NewRouterServer(store *core.Store, admit AdmitOptions) *RouterServer {
+	return &RouterServer{store: store, gate: newGate(admit)}
 }
 
 // Listen binds addr and starts serving; it returns the bound address.
@@ -34,12 +40,34 @@ func (s *RouterServer) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.lst.start(ln, s.handleConn)
+	s.lst.start(ln, s.handleConn, s.gate.opts.MaxConns, s.gate)
+	s.gate.state.Store(uint32(wire.StateReady))
 	return ln.Addr().String(), nil
 }
 
-// Close stops accepting and closes every open connection.
-func (s *RouterServer) Close() { s.lst.close() }
+// State reports the router's health state.
+func (s *RouterServer) State() uint8 { return uint8(s.gate.state.Load()) }
+
+// Drain shuts down gracefully: stop accepting, refuse new queries
+// with a draining error, wait up to budget (<=0 means the configured
+// DrainTimeout) for in-flight scatter-gathers, then close every
+// connection. Reports whether in-flight work finished in time.
+func (s *RouterServer) Drain(budget time.Duration) bool {
+	s.drainOnce.Do(func() {
+		if budget <= 0 {
+			budget = s.gate.opts.DrainTimeout
+		}
+		s.gate.state.Store(uint32(wire.StateDraining))
+		s.lst.stopAccept()
+		s.drained = s.gate.waitIdle(budget)
+		s.lst.close()
+	})
+	return s.drained
+}
+
+// Close drains under the configured budget, then closes every open
+// connection.
+func (s *RouterServer) Close() { s.Drain(0) }
 
 func (s *RouterServer) handleConn(nc net.Conn) {
 	h := &connHandler{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
@@ -55,6 +83,9 @@ func (s *RouterServer) handleConn(nc net.Conn) {
 	for {
 		op, body, err := wire.ReadFrame(h.br)
 		if err != nil {
+			if isProtocolViolation(err) {
+				h.replyErrCode(-1, false, wire.ErrCodeBadFrame, 0, err)
+			}
 			return
 		}
 		if !s.handleOp(h, op, body) {
@@ -72,8 +103,20 @@ func (s *RouterServer) handleOp(h *connHandler, op byte, body []byte) bool {
 		if err != nil {
 			return h.replyErr(-1, false, err)
 		}
+		if shed := s.gate.admit(); shed != nil {
+			return h.reply(wire.OpError, shed.Encode(nil))
+		}
+		defer s.gate.release()
 		res := s.store.Query(stQueryFromWire(msg))
 		return h.reply(wire.OpSTQueryReply, stReplyToWire(res).Encode(nil))
+	case wire.OpStats:
+		reply := wire.StatsReply{
+			State:     s.State(),
+			InFlight:  uint32(s.gate.inFlight()),
+			Shed:      s.gate.shed.Load(),
+			HeapInuse: s.gate.heapInuse(),
+		}
+		return h.reply(wire.OpStatsReply, reply.Encode(nil))
 	default:
 		return h.replyErr(-1, false, fmt.Errorf("unsupported op %d on router", op))
 	}
@@ -183,9 +226,45 @@ func (cl *Client) Query(q core.STQuery) (*core.QueryResult, error) {
 			c.broken = true
 			return nil, err
 		}
-		return nil, fmt.Errorf("router: %s", er.Message)
+		return nil, &ServerError{
+			Code:       er.Code,
+			Transient:  er.Transient,
+			RetryAfter: time.Duration(er.RetryAfterNS),
+			Message:    er.Message,
+		}
 	default:
 		c.broken = true
 		return nil, fmt.Errorf("netconn: unexpected op %d", op)
 	}
+}
+
+// ServerError is a structured error frame surfaced to a router
+// client: the machine-readable code and retry hint, so callers can
+// distinguish an overload shed from a real failure.
+type ServerError struct {
+	Code       uint8
+	Transient  bool
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *ServerError) Error() string {
+	switch e.Code {
+	case wire.ErrCodeOverload:
+		return fmt.Sprintf("router: overloaded (retry after %v): %s", e.RetryAfter, e.Message)
+	case wire.ErrCodeDraining:
+		return fmt.Sprintf("router: draining: %s", e.Message)
+	default:
+		return fmt.Sprintf("router: %s", e.Message)
+	}
+}
+
+// IsOverload reports whether err is a structured overload/draining
+// shed from a server.
+func IsOverload(err error) bool {
+	var se *ServerError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Code == wire.ErrCodeOverload || se.Code == wire.ErrCodeDraining
 }

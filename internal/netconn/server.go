@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,9 @@ type ServerOptions struct {
 	// MaxBatch caps the per-reply batch size a client may request
 	// (default 4096 documents).
 	MaxBatch int
+	// Admit is the server's admission control (conn cap, in-flight
+	// semaphore, shedding, drain budget).
+	Admit AdmitOptions
 }
 
 // Defaults for ServerOptions.
@@ -59,9 +63,12 @@ type ShardServer struct {
 	ids     []int32
 	opts    ServerOptions
 
-	lst    listenState
-	ctx    context.Context
-	cancel context.CancelFunc
+	lst       listenState
+	gate      *gate
+	ctx       context.Context
+	cancel    context.CancelFunc
+	drainOnce sync.Once
+	drained   bool
 
 	mu       sync.Mutex
 	handlers map[*connHandler]struct{}
@@ -89,6 +96,8 @@ func NewShardServer(cluster *sharding.Cluster, serve []int, opts ServerOptions) 
 		s.shards[id] = all[id]
 		s.ids = append(s.ids, int32(id))
 	}
+	s.gate = newGate(s.opts.Admit)
+	s.opts.Admit = s.gate.opts
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	return s, nil
 }
@@ -100,18 +109,40 @@ func (s *ShardServer) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.lst.start(ln, s.handleConn)
+	s.lst.start(ln, s.handleConn, s.opts.Admit.MaxConns, s.gate)
 	s.lst.wg.Add(1)
 	go s.reap()
+	s.gate.state.Store(uint32(wire.StateReady))
 	return ln.Addr().String(), nil
 }
 
-// Close stops accepting, closes every open connection (dropping their
-// cursors) and waits for the handlers to drain.
-func (s *ShardServer) Close() {
-	s.cancel()
-	s.lst.close()
+// State reports the server's health state (wire.StateStarting /
+// StateReady / StateDraining).
+func (s *ShardServer) State() uint8 { return uint8(s.gate.state.Load()) }
+
+// Drain shuts the server down gracefully: stop accepting, refuse new
+// requests with a draining error, wait (up to budget; <=0 means the
+// configured DrainTimeout) for in-flight requests to finish, then
+// drop cursors and close every connection. It reports whether the
+// in-flight work finished inside the budget. Subsequent calls (and
+// Close) wait for the same drain.
+func (s *ShardServer) Drain(budget time.Duration) bool {
+	s.drainOnce.Do(func() {
+		if budget <= 0 {
+			budget = s.opts.Admit.DrainTimeout
+		}
+		s.gate.state.Store(uint32(wire.StateDraining))
+		s.lst.stopAccept()
+		s.drained = s.gate.waitIdle(budget)
+		s.cancel()
+		s.lst.close()
+	})
+	return s.drained
 }
+
+// Close drains under the configured budget, then closes every open
+// connection (dropping their cursors) and waits for the handlers.
+func (s *ShardServer) Close() { s.Drain(0) }
 
 // OpenCursors reports the live cursor count across all connections.
 func (s *ShardServer) OpenCursors() int {
@@ -165,7 +196,14 @@ func (s *ShardServer) handleConn(nc net.Conn) {
 	for {
 		op, body, err := wire.ReadFrame(h.br)
 		if err != nil {
-			return // disconnect (or torn stream): drop conn and its cursors
+			// A framing violation with a parseable header (oversized
+			// length, checksum mismatch) gets a structured goodbye so
+			// the client can log *why* before the conn dies; a plain
+			// disconnect or torn stream is dropped silently.
+			if isProtocolViolation(err) {
+				h.replyErrCode(-1, false, wire.ErrCodeBadFrame, 0, err)
+			}
+			return // drop conn and its cursors
 		}
 		if !s.handleOp(h, op, body) {
 			return
@@ -173,7 +211,18 @@ func (s *ShardServer) handleConn(nc net.Conn) {
 	}
 }
 
+// isProtocolViolation distinguishes a client speaking garbage (bad
+// length, checksum mismatch) from a connection simply going away
+// (EOF, torn stream, reset).
+func isProtocolViolation(err error) bool {
+	return errors.Is(err, wire.ErrBadFrame) &&
+		!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF)
+}
+
 // handleOp dispatches one request frame; false poisons the conn.
+// Query and getMore pass through the admission gate; ping, stats and
+// killCursor are exempt so health checks and cursor cleanup keep
+// working on a saturated or draining server.
 func (s *ShardServer) handleOp(h *connHandler, op byte, body []byte) bool {
 	switch op {
 	case wire.OpPing:
@@ -183,12 +232,20 @@ func (s *ShardServer) handleOp(h *connHandler, op byte, body []byte) bool {
 		if err != nil {
 			return h.replyErr(-1, false, err)
 		}
+		if shed := s.gate.admit(); shed != nil {
+			return h.reply(wire.OpError, shed.Encode(nil))
+		}
+		defer s.gate.release()
 		return s.runQuery(h, q)
 	case wire.OpGetMore:
 		gm, err := wire.DecodeGetMore(body)
 		if err != nil {
 			return h.replyErr(-1, false, err)
 		}
+		if shed := s.gate.admit(); shed != nil {
+			return h.reply(wire.OpError, shed.Encode(nil))
+		}
+		defer s.gate.release()
 		cur := h.lookup(gm.Cursor)
 		if cur == nil {
 			return h.replyErr(-1, false, fmt.Errorf("cursor %d not found (expired or killed)", gm.Cursor))
@@ -202,7 +259,13 @@ func (s *ShardServer) handleOp(h *connHandler, op byte, body []byte) bool {
 		h.kill(kc.Cursor)
 		return h.reply(wire.OpKillReply, nil)
 	case wire.OpStats:
-		reply := wire.StatsReply{Cursors: uint32(h.cursorCount())}
+		reply := wire.StatsReply{
+			Cursors:   uint32(s.OpenCursors()),
+			State:     s.State(),
+			InFlight:  uint32(s.gate.inFlight()),
+			Shed:      s.gate.shed.Load(),
+			HeapInuse: s.gate.heapInuse(),
+		}
 		for _, id := range s.ids {
 			reply.ShardIDs = append(reply.ShardIDs, id)
 			reply.Docs = append(reply.Docs, int64(s.shards[int(id)].Coll.Len()))
@@ -230,8 +293,22 @@ func (s *ShardServer) runQuery(h *connHandler, q wire.Query) bool {
 	if shard == nil {
 		return h.replyErr(q.Shard, false, fmt.Errorf("shard %d not served here", q.Shard))
 	}
-	res, err := s.opts.Conn.Query(s.ctx, shard, q.Filter, s.cluster.Options().QueryConfig, q.Opts())
+	ctx := s.ctx
+	if d := s.opts.Admit.QueryDeadline; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	res, err := s.opts.Conn.Query(ctx, shard, q.Filter, s.cluster.Options().QueryConfig, q.Opts())
 	if err != nil {
+		if s.opts.Admit.QueryDeadline > 0 && ctx.Err() != nil && s.ctx.Err() == nil {
+			// The server-side per-query deadline expired: this server is
+			// too slow right now, which is an overload signal — shed
+			// with the retry-after hint rather than a generic error.
+			shed := s.gate.overloadReply(fmt.Sprintf(
+				"overloaded: query exceeded server deadline %v", s.opts.Admit.QueryDeadline))
+			return h.reply(wire.OpError, shed.Encode(nil))
+		}
 		var se *sharding.ShardError
 		if errors.As(err, &se) {
 			return h.replyErr(int32(se.Shard), se.Transient, se.Err)
@@ -341,7 +418,16 @@ func (h *connHandler) reply(op byte, body []byte) bool {
 // replyErr sends a structured error frame; the connection stays in
 // sync and usable.
 func (h *connHandler) replyErr(shard int32, transient bool, err error) bool {
-	body := wire.ErrorReply{Shard: shard, Transient: transient, Message: err.Error()}.Encode(nil)
+	return h.replyErrCode(shard, transient, wire.ErrCodeGeneric, 0, err)
+}
+
+// replyErrCode is replyErr with an explicit error code and retry
+// hint.
+func (h *connHandler) replyErrCode(shard int32, transient bool, code uint8, retryAfter time.Duration, err error) bool {
+	body := wire.ErrorReply{
+		Shard: shard, Transient: transient, Code: code,
+		RetryAfterNS: int64(retryAfter), Message: err.Error(),
+	}.Encode(nil)
 	return h.reply(wire.OpError, body)
 }
 
@@ -383,8 +469,9 @@ func (h *connHandler) expire(cutoff time.Time) {
 	}
 }
 
-// listenState is the shared accept-loop plumbing: tracked conns, a
-// WaitGroup over handlers, idempotent close.
+// listenState is the shared accept-loop plumbing: tracked conns
+// (bounded by the admission conn cap), a WaitGroup over handlers,
+// idempotent stop-accept and close.
 type listenState struct {
 	mu     sync.Mutex
 	ln     net.Listener
@@ -393,7 +480,11 @@ type listenState struct {
 	wg     sync.WaitGroup
 }
 
-func (l *listenState) start(ln net.Listener, handle func(net.Conn)) {
+// start runs the accept loop. Connections beyond maxConns (0 = no
+// cap) are refused via rejectConn with a structured overload error
+// instead of being queued; refused conns never enter the conns map,
+// but their goodbye goroutine is still WaitGroup-tracked.
+func (l *listenState) start(ln net.Listener, handle func(net.Conn), maxConns int, g *gate) {
 	l.mu.Lock()
 	l.ln = ln
 	l.conns = map[net.Conn]struct{}{}
@@ -412,6 +503,15 @@ func (l *listenState) start(ln net.Listener, handle func(net.Conn)) {
 				nc.Close()
 				return
 			}
+			if maxConns > 0 && len(l.conns) >= maxConns {
+				l.mu.Unlock()
+				l.wg.Add(1)
+				go func() {
+					defer l.wg.Done()
+					rejectConn(nc, g)
+				}()
+				continue
+			}
 			l.conns[nc] = struct{}{}
 			l.mu.Unlock()
 			l.wg.Add(1)
@@ -425,6 +525,18 @@ func (l *listenState) start(ln net.Listener, handle func(net.Conn)) {
 			}()
 		}
 	}()
+}
+
+// stopAccept closes the listener without touching live connections:
+// the drain's first step. New dials are refused by the OS; in-flight
+// requests and open conns continue.
+func (l *listenState) stopAccept() {
+	l.mu.Lock()
+	ln := l.ln
+	l.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
 }
 
 func (l *listenState) close() {

@@ -58,7 +58,11 @@ var ErrBreakerOpen = errors.New("circuit breaker open")
 type ShardError struct {
 	Shard     int
 	Transient bool
-	Err       error
+	// RetryAfter is the server's backoff hint when the failure was an
+	// admission-control shed (overload/draining): the router waits at
+	// least this long before the next attempt. 0 means no hint.
+	RetryAfter time.Duration
+	Err        error
 }
 
 func (e *ShardError) Error() string {

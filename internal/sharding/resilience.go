@@ -2,6 +2,7 @@ package sharding
 
 import (
 	"context"
+	"errors"
 	"hash/fnv"
 	"sync"
 	"time"
@@ -110,6 +111,21 @@ func backoffDelay(r Resilience, shard, retry int) time.Duration {
 	h.Write([]byte{byte(shard), byte(shard >> 8), byte(retry)})
 	frac := 0.5 + float64(h.Sum32()%1024)/2048 // [0.5, 1.0)
 	return time.Duration(float64(d) * frac)
+}
+
+// retryDelay is backoffDelay, floored by the server's retry-after
+// hint when the failed attempt was shed under admission control: an
+// overloaded server knows better than the client's schedule how soon
+// it wants to see the request again, but the jittered exponential
+// still wins once it has grown past the hint (so repeated sheds keep
+// de-synchronising).
+func retryDelay(r Resilience, shard, retry int, err error) time.Duration {
+	d := backoffDelay(r, shard, retry)
+	var se *ShardError
+	if errors.As(err, &se) && se.RetryAfter > d {
+		d = se.RetryAfter
+	}
+	return d
 }
 
 // sleepCtx sleeps d or until the context is cancelled; it reports

@@ -372,7 +372,7 @@ func (c *Cluster) runPrimary(ctx context.Context, sid int, f query.Filter, opts 
 			return out
 		}
 		out.retries++
-		if !sleepCtx(ctx, backoffDelay(r, sid, attempt)) {
+		if !sleepCtx(ctx, retryDelay(r, sid, attempt, err)) {
 			out.err = ctx.Err()
 			return out
 		}

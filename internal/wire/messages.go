@@ -227,12 +227,19 @@ func DecodeKillCursor(b []byte) (KillCursor, error) {
 }
 
 // StatsReply reports the server's served shards and their live
-// document counts (observability; OpStats carries an empty request
-// body).
+// document counts, plus the health/admission observables the ops
+// tooling and the chaos orchestrator watch: the
+// starting/ready/draining state, live cursor and in-flight request
+// counts, the running total of shed requests, and the sampled
+// heap-in-use (OpStats carries an empty request body).
 type StatsReply struct {
-	ShardIDs []int32
-	Docs     []int64
-	Cursors  uint32
+	ShardIDs  []int32
+	Docs      []int64
+	Cursors   uint32
+	State     uint8 // StateStarting | StateReady | StateDraining
+	InFlight  uint32
+	Shed      uint64
+	HeapInuse uint64
 }
 
 // Encode appends the message body to buf.
@@ -242,7 +249,11 @@ func (m StatsReply) Encode(buf []byte) []byte {
 		buf = appendU32(buf, uint32(id))
 		buf = appendI64(buf, m.Docs[i])
 	}
-	return appendU32(buf, m.Cursors)
+	buf = appendU32(buf, m.Cursors)
+	buf = appendU8(buf, m.State)
+	buf = appendU32(buf, m.InFlight)
+	buf = appendU64(buf, m.Shed)
+	return appendU64(buf, m.HeapInuse)
 }
 
 // DecodeStatsReply decodes a StatsReply body.
@@ -255,23 +266,33 @@ func DecodeStatsReply(b []byte) (StatsReply, error) {
 		m.Docs = append(m.Docs, d.i64("shard docs"))
 	}
 	m.Cursors = d.u32("cursors")
+	m.State = d.u8("state")
+	m.InFlight = d.u32("in flight")
+	m.Shed = d.u64("shed")
+	m.HeapInuse = d.u64("heap inuse")
 	return m, d.finish()
 }
 
 // ErrorReply is the structured error frame: which shard failed,
 // whether the failure is transient (worth retrying — the
-// ShardError.Transient semantics preserved across the network), and a
-// human-readable cause.
+// ShardError.Transient semantics preserved across the network), a
+// machine-readable code, an optional retry-after backoff hint
+// (overload/draining sheds carry one so clients back off instead of
+// hammering), and a human-readable cause.
 type ErrorReply struct {
-	Shard     int32
-	Transient bool
-	Message   string
+	Shard        int32
+	Transient    bool
+	Code         uint8
+	RetryAfterNS int64
+	Message      string
 }
 
 // Encode appends the message body to buf.
 func (m ErrorReply) Encode(buf []byte) []byte {
 	buf = appendU32(buf, uint32(m.Shard))
 	buf = appendBool(buf, m.Transient)
+	buf = appendU8(buf, m.Code)
+	buf = appendI64(buf, m.RetryAfterNS)
 	return appendString(buf, m.Message)
 }
 
@@ -279,9 +300,11 @@ func (m ErrorReply) Encode(buf []byte) []byte {
 func DecodeErrorReply(b []byte) (ErrorReply, error) {
 	d := &dec{b: b}
 	m := ErrorReply{
-		Shard:     int32(d.u32("shard")),
-		Transient: d.bool("transient"),
-		Message:   d.string("message"),
+		Shard:        int32(d.u32("shard")),
+		Transient:    d.bool("transient"),
+		Code:         d.u8("code"),
+		RetryAfterNS: d.i64("retry after"),
+		Message:      d.string("message"),
 	}
 	return m, d.finish()
 }

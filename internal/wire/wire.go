@@ -30,7 +30,10 @@ import (
 
 // ProtocolVersion is bumped on any incompatible codec change; the
 // handshake rejects a peer speaking a different version.
-const ProtocolVersion = 1
+//
+// Version 2 extended ErrorReply with an error code + retry-after hint
+// and StatsReply with the server health state and admission counters.
+const ProtocolVersion = 2
 
 // MaxFrameBody bounds a single frame body. Result batches are bounded
 // by the server's batch size, so real frames stay far below this; the
@@ -58,6 +61,47 @@ const (
 	OpPong
 	OpError
 )
+
+// ErrorReply codes: the machine-readable classification riding next
+// to the transient bit, so clients can react to *why* a request was
+// refused rather than pattern-matching the message.
+const (
+	// ErrCodeGeneric is an ordinary execution failure.
+	ErrCodeGeneric uint8 = iota
+	// ErrCodeOverload means the server shed the request under
+	// admission control (in-flight cap, heap watermark, or server-side
+	// query deadline); the reply carries a retry-after hint the client
+	// should honour before the next attempt.
+	ErrCodeOverload
+	// ErrCodeDraining means the server is shutting down gracefully:
+	// in-flight requests finish, new ones are refused.
+	ErrCodeDraining
+	// ErrCodeBadFrame is the server's goodbye after the client sent an
+	// unreadable frame (oversized length or checksum mismatch); the
+	// connection closes right after this reply.
+	ErrCodeBadFrame
+)
+
+// Server health states carried in StatsReply.State.
+const (
+	StateStarting uint8 = iota
+	StateReady
+	StateDraining
+)
+
+// StateName renders a health state for logs and CLIs.
+func StateName(s uint8) string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateReady:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("state(%d)", s)
+	}
+}
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 

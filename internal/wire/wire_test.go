@@ -253,7 +253,13 @@ func TestSmallMessageRoundTrips(t *testing.T) {
 	if out, err := DecodeErrorReply(er.Encode(nil)); err != nil || out != er {
 		t.Fatalf("ErrorReply: %+v, %v", out, err)
 	}
-	sr := StatsReply{ShardIDs: []int32{0, 1}, Docs: []int64{500, 700}, Cursors: 3}
+	shed := ErrorReply{Shard: -1, Transient: true, Code: ErrCodeOverload,
+		RetryAfterNS: int64(25 * time.Millisecond), Message: "overloaded"}
+	if out, err := DecodeErrorReply(shed.Encode(nil)); err != nil || out != shed {
+		t.Fatalf("overload ErrorReply: %+v, %v", out, err)
+	}
+	sr := StatsReply{ShardIDs: []int32{0, 1}, Docs: []int64{500, 700}, Cursors: 3,
+		State: StateDraining, InFlight: 2, Shed: 17, HeapInuse: 1 << 20}
 	if out, err := DecodeStatsReply(sr.Encode(nil)); err != nil || !reflect.DeepEqual(out, sr) {
 		t.Fatalf("StatsReply: %+v, %v", out, err)
 	}

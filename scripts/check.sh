@@ -27,6 +27,11 @@ go test -timeout 120s ./internal/wire -fuzz FuzzFrameDecode -fuzztime 10s
 # byte-identically to a single in-process store.
 timeout 120 sh scripts/cluster-smoke.sh
 
+# Seeded deterministic chaos soak: kill/restart daemon cycling, link
+# faults and overload bursts, with every routed reply byte-verified or
+# explicitly partial/shed and restarts fingerprint-checked.
+timeout 300 sh scripts/chaos-soak.sh
+
 # Not run here (needs a baseline report), but part of the perf
 # workflow: scripts/benchdiff.sh old.json new.json fails on a >20%
 # allocs/op or bytes/op regression between two `stbench -exp
