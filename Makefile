@@ -19,9 +19,10 @@ vet:
 # retry/hedging/breaker machinery from concurrent clients, the arena
 # B+tree whose borrowed-slice reads the router runs in parallel, and
 # the network transport (pooled conns, server-side cursors and the
-# cancellation watchdog all cross goroutines); their stress tests must
-# stay race-clean.
-RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/... ./internal/wire/... ./internal/netconn/...
+# cancellation watchdog all cross goroutines), and replication (the
+# group-commit ingest path fans acks out across follower goroutines);
+# their stress tests must stay race-clean.
+RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/... ./internal/wire/... ./internal/netconn/... ./internal/replication/...
 
 .PHONY: race
 race:
@@ -45,9 +46,19 @@ cluster-smoke:
 chaos-soak:
 	timeout 300 sh scripts/chaos-soak.sh
 
+# Crash-safe continuous ingest against the real cluster: concurrent
+# idempotent write batches through the write-enabled router while
+# shard daemons are SIGKILLed mid-ingest and restarted from their
+# durable directories, with write bursts shed against a one-batch
+# ingest queue, every process fingerprint-converged to an in-process
+# reference, and whole replicas byte-verified over the wire read path.
+.PHONY: ingest-soak
+ingest-soak:
+	timeout 420 sh scripts/ingest-soak.sh
+
 # The canonical pre-commit check (also available as scripts/check.sh).
 .PHONY: check
-check: build test vet race cluster-smoke chaos-soak
+check: build test vet race cluster-smoke chaos-soak ingest-soak
 
 # A short shake of the fuzz targets: the BSON decoder must be total
 # (crash recovery feeds it torn and bit-flipped journal bytes), the
@@ -56,8 +67,8 @@ check: build test vet race cluster-smoke chaos-soak
 # panic or replay a corrupt frame whatever bytes are on disk, the
 # arena B+tree must stay step-for-step equivalent to a sorted-map
 # oracle under arbitrary operation streams, and the wire protocol's
-# frame and message decoders must never panic or over-allocate on
-# hostile network bytes.
+# frame, message and insert-op decoders must never panic or
+# over-allocate on hostile network bytes.
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	$(GO) test ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 30s
@@ -65,6 +76,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wal -fuzz FuzzFrameRecover -fuzztime 30s
 	$(GO) test ./internal/btree -fuzz FuzzTreeOps -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzFrameDecode -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzInsertDecode -fuzztime 30s
 
 .PHONY: bench
 bench:

@@ -41,18 +41,20 @@ func main() {
 		dir     = flag.String("dir", "", "persist loaded stores under this directory and reopen them on later runs")
 
 		// Throughput-experiment options (used by -exp throughput only).
-		clients   = flag.String("clients", "", "throughput: comma-separated client counts (default 1,4,16)")
-		parallel  = flag.Int("parallel", 0, "throughput: pool width of the parallel arm (default GOMAXPROCS)")
-		out       = flag.String("out", "", "throughput: JSON report path (default BENCH_throughput.json, '-' disables)")
-		faults    = flag.String("faults", "", "throughput: per-shard fault injection, e.g. '0:down,2:slow=2ms,3:flaky=1' (allow-partial policy)")
-		faultSeed = flag.Int64("fault-seed", 1, "throughput: seed for the injected fault schedule")
-		replicas  = flag.Int("replicas", 0, "throughput: followers per shard primary (0 = no replication)")
-		readPref  = flag.String("read-pref", "", "throughput: primary | primaryPreferred | nearest[=maxLagLSN]")
-		concern   = flag.String("write-concern", "", "throughput: primary | majority | all")
-		limit     = flag.Int("limit", 0, "throughput: pushed-down result cap of the limited workload arm (default 100, negative disables)")
-		keys      = flag.String("keys", "", "throughput: comma-separated keys-per-shard counts for the index-scale arm, e.g. '1e5,1e6'")
-		addrs     = flag.String("addrs", "", "throughput: comma-separated stshardd addresses for the network arm (start them with -bench and matching -records/-shards)")
-		ops       = flag.Int("ops", 0, "throughput: queries per client per cell (default 24; raise to amortize tail noise)")
+		clients     = flag.String("clients", "", "throughput: comma-separated client counts (default 1,4,16)")
+		parallel    = flag.Int("parallel", 0, "throughput: pool width of the parallel arm (default GOMAXPROCS)")
+		out         = flag.String("out", "", "throughput: JSON report path (default BENCH_throughput.json, '-' disables)")
+		faults      = flag.String("faults", "", "throughput: per-shard fault injection, e.g. '0:down,2:slow=2ms,3:flaky=1' (allow-partial policy)")
+		faultSeed   = flag.Int64("fault-seed", 1, "throughput: seed for the injected fault schedule")
+		replicas    = flag.Int("replicas", 0, "throughput: followers per shard primary (0 = no replication)")
+		readPref    = flag.String("read-pref", "", "throughput: primary | primaryPreferred | nearest[=maxLagLSN]")
+		concern     = flag.String("write-concern", "", "throughput: primary | majority | all")
+		limit       = flag.Int("limit", 0, "throughput: pushed-down result cap of the limited workload arm (default 100, negative disables)")
+		keys        = flag.String("keys", "", "throughput: comma-separated keys-per-shard counts for the index-scale arm, e.g. '1e5,1e6'")
+		addrs       = flag.String("addrs", "", "throughput: comma-separated stshardd addresses for the network arm (start them with -bench and matching -records/-shards)")
+		ops         = flag.Int("ops", 0, "throughput: queries per client per cell (default 24; raise to amortize tail noise)")
+		ingest      = flag.Bool("ingest", false, "throughput: add the continuous-write arm (ingest rate, shed rate, balance convergence, 4x overload burst; with -replicas also the lag observed under write load)")
+		ingestBatch = flag.Int("ingest-batch", 0, "throughput: documents per client batch in the ingest arm (default 64)")
 
 		// Profiling (any experiment).
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -116,6 +118,7 @@ func main() {
 		Parallel: *parallel, OutPath: *out, Limit: *limit, OpsPerClient: *ops,
 		Faults: *faults, FaultSeed: *faultSeed,
 		Replicas: *replicas, ReadPref: *readPref, WriteConcern: *concern,
+		Ingest: *ingest, IngestBatchDocs: *ingestBatch,
 	}
 	if *addrs != "" {
 		for _, part := range strings.Split(*addrs, ",") {

@@ -69,9 +69,29 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 8, "per-daemon in-flight cap under test")
 		drain       = flag.Duration("drain", 3*time.Second, "daemon drain budget")
 		workers     = flag.Int("workers", 3, "concurrent load workers through the router")
+		ingestMode  = flag.Bool("ingest", false, "run the crash-safe continuous-ingest soak instead of the query-path soak")
+		ingestRecs  = flag.Int("ingest-records", 60000, "records in the ingest stream (-ingest only)")
+		authSecret  = flag.String("auth-secret", "", "shared handshake secret passed to every daemon and client (empty = auth off)")
 	)
 	flag.BoolVar(&verbose, "v", false, "log every cycle")
 	flag.Parse()
+
+	if *ingestMode {
+		os.Exit(runIngestSoak(ingestCfg{
+			seed:       *seed,
+			cycles:     *cycles,
+			records:    *records,
+			ingestRecs: *ingestRecs,
+			shards:     *shards,
+			sharddBin:  *sharddBin,
+			routerdBin: *routerdBin,
+			port:       *port,
+			burst:      *burst,
+			workers:    *workers,
+			drain:      *drain,
+			secret:     *authSecret,
+		}))
+	}
 
 	baseline := leakcheck.Baseline()
 	ch := &chaos{
@@ -247,11 +267,11 @@ type chaos struct {
 	burst       int
 	maxInflight int
 
-	ok, partial, shed, errored  atomic.Int64
-	burstAdmitted, burstShed    atomic.Int64
-	burstMaxNS                  atomic.Int64
-	mu                          sync.Mutex
-	violations                  []string
+	ok, partial, shed, errored atomic.Int64
+	burstAdmitted, burstShed   atomic.Int64
+	burstMaxNS                 atomic.Int64
+	mu                         sync.Mutex
+	violations                 []string
 }
 
 func (ch *chaos) violate(format string, args ...any) {

@@ -98,6 +98,7 @@ func main() {
 		addrs    = flag.String("addrs", "", "comma-separated stshardd addresses: run per-shard executions over the network")
 		router   = flag.String("router", "", "strouterd address: thin-client mode, no local store")
 		stats    = flag.String("stats", "", "daemon address: print its health state and admission counters, then exit")
+		secret   = flag.String("auth-secret", "", "shared secret for the handshake HMAC challenge (must match the daemons')")
 	)
 	flag.BoolVar(&digest, "digest", false, "print name, count and SHA-256 of each result (deterministic differential output)")
 	flag.Parse()
@@ -105,7 +106,7 @@ func main() {
 	if *stats != "" {
 		// The ops probe: one dial, the handshake identity and the
 		// health/admission counters, formatted for a runbook eye.
-		hello, st, err := netconn.Probe(*stats, netconn.Options{WaitReady: 5 * time.Second})
+		hello, st, err := netconn.Probe(*stats, netconn.Options{WaitReady: 5 * time.Second, AuthSecret: secretBytes(*secret)})
 		if err != nil {
 			fatal("stquery: -stats: %v", err)
 		}
@@ -134,7 +135,7 @@ func main() {
 		if *explain || *faults != "" || *replicas > 0 || *addrs != "" {
 			fatal("stquery: -router is the thin-client mode; -explain/-faults/-replicas/-addrs need a local store")
 		}
-		cl, err := netconn.DialRouter(*router, netconn.Options{WaitReady: 5 * time.Second})
+		cl, err := netconn.DialRouter(*router, netconn.Options{WaitReady: 5 * time.Second, AuthSecret: secretBytes(*secret)})
 		if err != nil {
 			fatal("stquery: -router: %v", err)
 		}
@@ -187,7 +188,7 @@ func main() {
 	// front of the wire).
 	var remote sharding.ShardConn
 	if *addrs != "" {
-		rc, err := netconn.Connect(splitAddrs(*addrs), netconn.Options{WaitReady: 5 * time.Second})
+		rc, err := netconn.Connect(splitAddrs(*addrs), netconn.Options{WaitReady: 5 * time.Second, AuthSecret: secretBytes(*secret)})
 		if err != nil {
 			fatal("stquery: -addrs: %v", err)
 		}
@@ -247,6 +248,41 @@ func main() {
 		}
 	}
 	runQueries(s, *file, *rectStr, *fromStr, *toStr, *limit, sortOrder, *verbose, explainFn)
+	if *replicas > 0 {
+		printReplicationStatus(s.Cluster())
+	}
+}
+
+// printReplicationStatus renders each shard's replica group with both
+// lag dimensions: LSNs behind, and — while behind — for how long. The
+// age is what distinguishes a stalled follower from an idle shard
+// whose followers simply have nothing to apply.
+func printReplicationStatus(c *sharding.Cluster) {
+	sts := c.ReplicationStatus()
+	if len(sts) == 0 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "replication status:")
+	for _, st := range sts {
+		line := fmt.Sprintf("  shard%02d: lastLSN=%d promotions=%d", st.Shard, st.LastLSN, st.Promotions)
+		if st.MaxLagAge > 0 {
+			line += fmt.Sprintf(" maxLagAge=%v", st.MaxLagAge.Round(time.Millisecond))
+		}
+		for _, fs := range st.Followers {
+			line += fmt.Sprintf(" [f%d applied=%d lag=%d", fs.ID, fs.Applied, fs.Lag)
+			if fs.LagAge > 0 {
+				line += fmt.Sprintf(" lagAge=%v", fs.LagAge.Round(time.Millisecond))
+			}
+			if fs.Stopped {
+				line += " STOPPED"
+			}
+			if fs.NeedsResync {
+				line += " RESYNC"
+			}
+			line += "]"
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 }
 
 // querier is the execution surface shared by a store (with whatever
@@ -480,6 +516,13 @@ func parseApproach(s string) (core.Approach, bool) {
 		}
 	}
 	return 0, false
+}
+
+func secretBytes(s string) []byte {
+	if s == "" {
+		return nil
+	}
+	return []byte(s)
 }
 
 func fatal(format string, args ...any) {

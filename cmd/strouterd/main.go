@@ -49,6 +49,11 @@ func main() {
 		retryAfter    = flag.Duration("retry-after", netconn.DefaultRetryAfterHint, "backoff hint carried in overload errors")
 		memWatermark  = flag.Uint64("mem-watermark", 0, "shed new queries while heap-in-use exceeds this many bytes (0 = off)")
 		drainBudget   = flag.Duration("drain", netconn.DefaultDrainTimeout, "graceful-drain budget on SIGTERM/SIGINT")
+		authSecret    = flag.String("auth-secret", "", "shared secret for the handshake HMAC challenge, used both toward shard servers and toward clients (empty = no authentication)")
+		writes        = flag.Bool("writes", false, "accept the insert op and broadcast batches to every shard server; relaxes the startup fingerprint equality checks (daemons may be mid-convergence after a crash)")
+		ingestBatch   = flag.Int("ingest-batch", 0, "documents coalesced per ingest group commit (0 = default)")
+		ingestQueue   = flag.Int("ingest-queue", 0, "ingest queue bound in documents; full queues shed with overload (0 = default)")
+		ingestWait    = flag.Duration("ingest-wait", 0, "how long an ingest enqueue may wait for queue space before being shed with overload (0 = default)")
 	)
 	flag.Parse()
 	if *addrs == "" {
@@ -59,8 +64,10 @@ func main() {
 
 	list := splitAddrs(*addrs)
 	rc, err := netconn.Connect(list, netconn.Options{
-		WaitReady: *waitReady,
-		BatchSize: *batch,
+		WaitReady:  *waitReady,
+		BatchSize:  *batch,
+		AuthSecret: secretBytes(*authSecret),
+		Mutable:    *writes,
 	})
 	if err != nil {
 		fatal("strouterd: %v", err)
@@ -71,10 +78,22 @@ func main() {
 	docs, sum := s.Fingerprint()
 	rdocs, rsum := rc.Fingerprint()
 	if docs != rdocs || sum != rsum {
-		fatal("strouterd: shard servers hold different data: local (%d docs, %016x), remote (%d docs, %016x)",
+		// A write-enabled deployment tolerates startup disagreement: a
+		// crash can leave an unacknowledged batch applied on some
+		// processes only, and the retrying client reconverges them.
+		if !*writes {
+			fatal("strouterd: shard servers hold different data: local (%d docs, %016x), remote (%d docs, %016x)",
+				docs, sum, rdocs, rsum)
+		}
+		fmt.Fprintf(os.Stderr, "strouterd: fingerprints disagree at startup: local (%d docs, %016x), remote (%d docs, %016x) — expecting retries to converge\n",
 			docs, sum, rdocs, rsum)
 	}
 	s.Cluster().SetConn(rc)
+	s.SetIngestOptions(sharding.IngestOptions{
+		MaxBatchDocs:  *ingestBatch,
+		QueueDocs:     *ingestQueue,
+		AdmissionWait: *ingestWait,
+	})
 	// Network legs fail differently from in-process ones; retry through
 	// the existing resilience machinery and tolerate a lost shard with
 	// partial results rather than failing the whole query.
@@ -91,6 +110,7 @@ func main() {
 		MemWatermark:   *memWatermark,
 		DrainTimeout:   *drainBudget,
 	})
+	srv.AuthSecret = secretBytes(*authSecret)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal("strouterd: %v", err)
@@ -178,6 +198,14 @@ func parseApproach(s string) (core.Approach, bool) {
 		}
 	}
 	return 0, false
+}
+
+// secretBytes maps the flag onto the wire secret (empty = auth off).
+func secretBytes(s string) []byte {
+	if s == "" {
+		return nil
+	}
+	return []byte(s)
 }
 
 func fatal(format string, args ...any) {

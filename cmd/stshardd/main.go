@@ -56,6 +56,10 @@ func main() {
 		queryDeadline = flag.Duration("query-deadline", 0, "server-side per-query deadline; expiry sheds as overload (0 = off)")
 		drainBudget   = flag.Duration("drain", netconn.DefaultDrainTimeout, "graceful-drain budget on SIGTERM/SIGINT")
 		chaosLatency  = flag.Duration("chaos-latency", 0, "inject this much execution latency into every shard op (chaos-testing hook; 0 = off)")
+		authSecret    = flag.String("auth-secret", "", "shared secret for the handshake HMAC challenge (empty = no authentication)")
+		ingestBatch   = flag.Int("ingest-batch", 0, "documents coalesced per ingest group commit (0 = default)")
+		ingestQueue   = flag.Int("ingest-queue", 0, "ingest queue bound in documents; full queues shed with overload (0 = default)")
+		ingestWait    = flag.Duration("ingest-wait", 0, "how long an ingest enqueue may wait for queue space before being shed with overload (0 = default)")
 	)
 	flag.Parse()
 
@@ -79,9 +83,15 @@ func main() {
 	}
 
 	srv, err := netconn.NewShardServer(s.Cluster(), ids, netconn.ServerOptions{
-		CursorTTL: *cursorTTL,
-		MaxBatch:  *maxBatch,
-		Conn:      conn,
+		CursorTTL:  *cursorTTL,
+		MaxBatch:   *maxBatch,
+		Conn:       conn,
+		AuthSecret: secretBytes(*authSecret),
+		Ingest: sharding.IngestOptions{
+			MaxBatchDocs:  *ingestBatch,
+			QueueDocs:     *ingestQueue,
+			AdmissionWait: *ingestWait,
+		},
 		Admit: netconn.AdmitOptions{
 			MaxConns:       *maxConns,
 			MaxInFlight:    *maxInFlight,
@@ -100,8 +110,11 @@ func main() {
 		fatal("stshardd: %v", err)
 	}
 	docs, sum := s.Fingerprint()
+	// The store's real shard count, not the -shards flag: with -dir the
+	// manifest wins and the flag keeps its default.
+	nshards := len(s.Cluster().Shards())
 	fmt.Fprintf(os.Stderr, "stshardd: serving shards %s of %d on %s (%d docs, fingerprint %016x)\n",
-		describeServe(ids, *shards), *shards, bound, docs, sum)
+		describeServe(ids, nshards), nshards, bound, docs, sum)
 
 	// SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish
 	// in-flight requests within the drain budget, checkpoint the WAL.
@@ -218,6 +231,14 @@ func parseApproach(s string) (core.Approach, bool) {
 		}
 	}
 	return 0, false
+}
+
+// secretBytes maps the flag onto the wire secret (empty = auth off).
+func secretBytes(s string) []byte {
+	if s == "" {
+		return nil
+	}
+	return []byte(s)
 }
 
 func fatal(format string, args ...any) {

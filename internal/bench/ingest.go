@@ -1,0 +1,459 @@
+package bench
+
+// The ingest arm of the throughput experiment: the continuous write
+// path the paper's load-then-query pipeline does not measure. Every
+// cell runs on a fresh store (the cached read-side store is shared
+// with other experiments and must never be mutated):
+//
+//   - "ingest": N writers drain the R data set through the
+//     group-commit batcher as idempotent batches — docs/s, batch ack
+//     tail, shed fraction, and (with -replicas) the worst replication
+//     lag sampled while writes were in flight. After the drain the
+//     balancer runs until a pass migrates nothing, and the cell
+//     records how long convergence took.
+//   - "mixed-rw": readers run the paper's mixed query workload while
+//     writers ingest the second half of the data set into a store
+//     preloaded with the first half — read latency under write load
+//     next to the concurrent write rate.
+//   - "ingest-burst": 4x the ingest queue's batch capacity fired at
+//     once against a tightly bounded batcher; admitted writes must
+//     keep a bounded tail while the rest shed with structured
+//     overload errors. The shed batches are not retried — the cell
+//     measures admission control, not convergence.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/replication"
+	"repro/internal/sharding"
+	"repro/internal/wal"
+)
+
+func runIngestArm(e *Env, report *ThroughputReport, opts ThroughputOptions) error {
+	d := e.DatasetR()
+	for _, clients := range opts.Clients {
+		e.progress("throughput: ingest workload, %d writers", clients)
+		cell, err := runIngestCell(e, d, clients, opts)
+		if err != nil {
+			return err
+		}
+		report.Cells = append(report.Cells, cell)
+		if clients >= 2 {
+			e.progress("throughput: mixed-rw workload, %d clients", clients)
+			cell, err := runMixedRWCell(e, d, clients, opts)
+			if err != nil {
+				return err
+			}
+			report.Cells = append(report.Cells, cell)
+		}
+	}
+	e.progress("throughput: ingest overload burst (4x queue capacity)")
+	cell, err := runIngestBurstCell(e, d, opts)
+	if err != nil {
+		return err
+	}
+	report.Cells = append(report.Cells, cell)
+	return nil
+}
+
+// freshIngestStore opens an empty store shaped exactly like the
+// read-side one (same approach, shards, chunk threshold, extent) for
+// one write cell to fill and discard.
+func freshIngestStore(e *Env, d *Dataset) (*core.Store, error) {
+	return core.Open(core.Config{
+		Approach:      storeApproachForThroughput,
+		Shards:        e.Scale.Shards,
+		ChunkMaxBytes: e.Scale.ChunkMaxBytes,
+		DataExtent:    d.Extent,
+	})
+}
+
+// ingestBatches slices recs into client batches of per documents.
+func ingestBatches(recs []core.Record, per int) [][]core.Record {
+	out := make([][]core.Record, 0, (len(recs)+per-1)/per)
+	for len(recs) > 0 {
+		n := min(per, len(recs))
+		out = append(out, recs[:n])
+		recs = recs[n:]
+	}
+	return out
+}
+
+// drainBatches is one writer: it claims batches off the shared cursor
+// and applies each as an idempotent batch under a stable ID, retrying
+// sheds after their structured hint — the well-behaved-client loop.
+// It returns the acked-batch latencies.
+func drainBatches(s *core.Store, prefix string, batches [][]core.Record, next *atomic.Int64, sheds *atomic.Int64) ([]time.Duration, error) {
+	var lat []time.Duration
+	for {
+		i := int(next.Add(1) - 1)
+		if i >= len(batches) {
+			return lat, nil
+		}
+		id := fmt.Sprintf("%s-b%d", prefix, i)
+		for {
+			t0 := time.Now()
+			_, _, err := s.InsertRecords(context.Background(), id, batches[i])
+			if err == nil {
+				lat = append(lat, time.Since(t0))
+				break
+			}
+			var se *sharding.ShardError
+			if errors.As(err, &se) && se.Transient {
+				sheds.Add(1)
+				time.Sleep(se.RetryAfter)
+				continue
+			}
+			return lat, err
+		}
+	}
+}
+
+// latPct reads a percentile (in ms) off a sorted latency slice.
+func latPct(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Seconds() * 1000
+}
+
+// sampleLag polls the cluster's replication status until stop closes,
+// keeping the worst follower lag (in LSNs) and lag age seen — the
+// observable the post-ingest status cannot show, because followers
+// catch up as soon as writers stop.
+func sampleLag(c *sharding.Cluster, stop <-chan struct{}, maxLag *atomic.Uint64, maxAge *atomic.Int64) {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			for _, g := range c.ReplicationStatus() {
+				for _, f := range g.Followers {
+					if cur := maxLag.Load(); f.Lag > cur {
+						maxLag.CompareAndSwap(cur, f.Lag)
+					}
+				}
+				if cur := maxAge.Load(); int64(g.MaxLagAge) > cur {
+					maxAge.CompareAndSwap(cur, int64(g.MaxLagAge))
+				}
+			}
+		}
+	}
+}
+
+// settleBalance runs balancer passes until one migrates nothing and
+// reports (wall ms, passes, total migrations since the store opened).
+func settleBalance(c *sharding.Cluster) (float64, int, int) {
+	t0 := time.Now()
+	rounds := 0
+	for rounds < 64 {
+		before := c.ClusterStats().Migrations
+		c.Balance()
+		rounds++
+		if c.ClusterStats().Migrations == before {
+			break
+		}
+	}
+	return time.Since(t0).Seconds() * 1000, rounds, c.ClusterStats().Migrations
+}
+
+// runIngestCell measures the write-only workload at one writer count.
+func runIngestCell(e *Env, d *Dataset, clients int, opts ThroughputOptions) (ThroughputCell, error) {
+	s, err := freshIngestStore(e, d)
+	if err != nil {
+		return ThroughputCell{}, err
+	}
+	defer s.Close()
+	var maxLag atomic.Uint64
+	var maxAge atomic.Int64
+	stopLag := make(chan struct{})
+	var lagWG sync.WaitGroup
+	if opts.Replicas > 0 {
+		wc, err := replication.ParseWriteConcern(opts.WriteConcern)
+		if err != nil {
+			return ThroughputCell{}, err
+		}
+		if err := s.Cluster().SetReplicas(opts.Replicas); err != nil {
+			return ThroughputCell{}, err
+		}
+		s.Cluster().SetWriteConcern(wc)
+		lagWG.Add(1)
+		go func() {
+			defer lagWG.Done()
+			sampleLag(s.Cluster(), stopLag, &maxLag, &maxAge)
+		}()
+	}
+
+	batches := ingestBatches(d.Recs, opts.IngestBatchDocs)
+	var next, sheds atomic.Int64
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats[c], errs[c] = drainBatches(s, fmt.Sprintf("ing-w%d", c), batches, &next, &sheds)
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(stopLag)
+	lagWG.Wait()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	for _, err := range errs {
+		if err != nil {
+			return ThroughputCell{}, fmt.Errorf("bench: ingest cell (%d writers): %w", clients, err)
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	slices.Sort(all)
+	balMs, balRounds, balMoves := settleBalance(s.Cluster())
+	attempts := int64(len(all)) + sheds.Load()
+	cell := ThroughputCell{
+		Workload:       "ingest",
+		Parallel:       1,
+		Clients:        clients,
+		Writers:        clients,
+		Ops:            len(all),
+		QPS:            float64(len(all)) / wall.Seconds(),
+		DocsPerSec:     float64(len(d.Recs)) / wall.Seconds(),
+		P50ms:          latPct(all, 0.50),
+		P95ms:          latPct(all, 0.95),
+		P99ms:          latPct(all, 0.99),
+		Sheds:          int(sheds.Load()),
+		ShedRate:       float64(sheds.Load()) / float64(attempts),
+		MaxLagLSN:      maxLag.Load(),
+		MaxLagAgeMs:    time.Duration(maxAge.Load()).Seconds() * 1000,
+		BalanceMs:      balMs,
+		BalanceRounds:  balRounds,
+		BalanceMoves:   balMoves,
+		AllocsPerOp:    (after.Mallocs - before.Mallocs) / uint64(max(len(all), 1)),
+		BytesPerOp:     (after.TotalAlloc - before.TotalAlloc) / uint64(max(len(all), 1)),
+		HeapInuseBytes: after.HeapInuse,
+		GCPauseMs:      float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+	}
+	return cell, nil
+}
+
+// runMixedRWCell measures reads under concurrent write load: the
+// store starts with the first half of the data set, writers ingest
+// the second half, readers run the paper's mixed query workload until
+// the writers finish.
+func runMixedRWCell(e *Env, d *Dataset, clients int, opts ThroughputOptions) (ThroughputCell, error) {
+	s, err := freshIngestStore(e, d)
+	if err != nil {
+		return ThroughputCell{}, err
+	}
+	defer s.Close()
+	half := len(d.Recs) / 2
+	if err := s.Load(d.Recs[:half]); err != nil {
+		return ThroughputCell{}, err
+	}
+
+	small := d.Queries(true)
+	big := d.Queries(false)
+	queries := append(append([]core.STQuery{}, small[:]...), big[:]...)
+
+	writers := clients / 2
+	readers := clients - writers
+	batches := ingestBatches(d.Recs[half:], opts.IngestBatchDocs)
+	var next, sheds atomic.Int64
+	werrs := make([]error, writers)
+	readLats := make([][]time.Duration, readers)
+	stop := make(chan struct{})
+	start := time.Now()
+	var wwg, rwg sync.WaitGroup
+	for c := 0; c < readers; c++ {
+		rwg.Add(1)
+		go func(c int) {
+			defer rwg.Done()
+			// Query first, check the flag after: every reader measures at
+			// least one read even when the writers drain faster than the
+			// scheduler hands this goroutine its first slice.
+			for i := 0; ; i++ {
+				t0 := time.Now()
+				s.Query(queries[(c+i)%len(queries)])
+				readLats[c] = append(readLats[c], time.Since(t0))
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(c)
+	}
+	for c := 0; c < writers; c++ {
+		wwg.Add(1)
+		go func(c int) {
+			defer wwg.Done()
+			_, werrs[c] = drainBatches(s, fmt.Sprintf("rw-w%d", c), batches, &next, &sheds)
+		}(c)
+	}
+	wwg.Wait()
+	wall := time.Since(start)
+	close(stop)
+	rwg.Wait()
+	for _, err := range werrs {
+		if err != nil {
+			return ThroughputCell{}, fmt.Errorf("bench: mixed-rw cell (%d clients): %w", clients, err)
+		}
+	}
+
+	var reads []time.Duration
+	for _, l := range readLats {
+		reads = append(reads, l...)
+	}
+	slices.Sort(reads)
+	attempts := int64(len(batches)) + sheds.Load()
+	return ThroughputCell{
+		Workload:   "mixed-rw",
+		Parallel:   1,
+		Clients:    clients,
+		Writers:    writers,
+		Ops:        len(reads),
+		QPS:        float64(len(reads)) / wall.Seconds(),
+		DocsPerSec: float64(len(d.Recs)-half) / wall.Seconds(),
+		P50ms:      latPct(reads, 0.50),
+		P95ms:      latPct(reads, 0.95),
+		P99ms:      latPct(reads, 0.99),
+		Sheds:      int(sheds.Load()),
+		ShedRate:   float64(sheds.Load()) / float64(attempts),
+	}, nil
+}
+
+// runIngestBurstCell fires 4x the queue's batch capacity concurrently
+// at a tightly bounded batcher: the queue holds 4 batches, 16 arrive
+// at once, and the admission wait is a nanosecond so a full queue
+// sheds instead of smoothing the burst away. The store is durable
+// with a journal whose writes are artificially slow (the same
+// wal.FaultFS lever the sharding backpressure tests use): group
+// commits then take milliseconds, the queue genuinely backs up under
+// the burst, and the shed count is deterministic instead of a race
+// between arrivals and an in-memory batcher that drains in
+// microseconds. Admitted writes must keep a bounded tail; the rest
+// must shed with structured transient overload errors (anything else
+// is a real failure).
+func runIngestBurstCell(e *Env, d *Dataset, opts ThroughputOptions) (ThroughputCell, error) {
+	dir, err := os.MkdirTemp("", "bench-ingest-burst-")
+	if err != nil {
+		return ThroughputCell{}, err
+	}
+	defer os.RemoveAll(dir)
+	ffs := wal.NewFaultFS(wal.NewOSFS(dir))
+	ffs.Before(func(op wal.Op, _ string) error {
+		if op == wal.OpWrite {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	})
+	s, err := core.Open(core.Config{
+		Approach:      storeApproachForThroughput,
+		Shards:        e.Scale.Shards,
+		ChunkMaxBytes: e.Scale.ChunkMaxBytes,
+		DataExtent:    d.Extent,
+		Dir:           dir,
+		FS:            ffs,
+		Sync:          wal.SyncNever,
+	})
+	if err != nil {
+		return ThroughputCell{}, err
+	}
+	defer s.Close()
+	const queueBatches = 4
+	const burstFactor = 4
+	s.SetIngestOptions(sharding.IngestOptions{
+		MaxBatchDocs:  opts.IngestBatchDocs,
+		QueueDocs:     queueBatches * opts.IngestBatchDocs,
+		AdmissionWait: time.Nanosecond,
+		RetryAfter:    10 * time.Millisecond,
+	})
+	n := burstFactor * queueBatches
+	batches := ingestBatches(d.Recs, opts.IngestBatchDocs)
+	if len(batches) > n {
+		batches = batches[:n]
+	}
+
+	lat := make([]time.Duration, len(batches))
+	shed := make([]bool, len(batches))
+	errs := make([]error, len(batches))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range batches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, _, err := s.InsertRecords(context.Background(), fmt.Sprintf("burst-b%d", i), batches[i])
+			if err == nil {
+				lat[i] = time.Since(t0)
+				return
+			}
+			var se *sharding.ShardError
+			if errors.As(err, &se) && se.Transient && se.RetryAfter > 0 {
+				shed[i] = true
+				return
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ThroughputCell{}, fmt.Errorf("bench: ingest burst: non-overload failure: %w", err)
+		}
+	}
+
+	var admitted []time.Duration
+	sheds, docs := 0, 0
+	for i := range batches {
+		if shed[i] {
+			sheds++
+			continue
+		}
+		admitted = append(admitted, lat[i])
+		docs += len(batches[i])
+	}
+	slices.Sort(admitted)
+	return ThroughputCell{
+		Workload:   "ingest-burst",
+		Parallel:   1,
+		Clients:    len(batches),
+		Writers:    len(batches),
+		Ops:        len(admitted),
+		QPS:        float64(len(admitted)) / wall.Seconds(),
+		DocsPerSec: float64(docs) / wall.Seconds(),
+		P50ms:      latPct(admitted, 0.50),
+		P95ms:      latPct(admitted, 0.95),
+		P99ms:      latPct(admitted, 0.99),
+		Sheds:      sheds,
+		ShedRate:   float64(sheds) / float64(len(batches)),
+	}, nil
+}

@@ -79,6 +79,19 @@ type ThroughputOptions struct {
 	// the arm that watches the index data structure itself rather
 	// than the query path.
 	IndexKeys []int
+	// Ingest adds the continuous-write arm: write-only group-commit
+	// cells (docs/s, batch ack latency, shed rate and post-ingest
+	// balance convergence per writer count), mixed read/write cells,
+	// and one overload-burst cell that fires 4x the ingest queue's
+	// batch capacity at once and reports the admitted-write tail next
+	// to the shed fraction. With Replicas > 0 the write cells also
+	// record the worst replication lag observed while writes were in
+	// flight. Each ingest cell runs on its own fresh store — the
+	// cached read-side store is never mutated.
+	Ingest bool
+	// IngestBatchDocs is the documents per client batch in the ingest
+	// arm (default 64).
+	IngestBatchDocs int
 }
 
 func (o ThroughputOptions) withDefaults() ThroughputOptions {
@@ -96,6 +109,9 @@ func (o ThroughputOptions) withDefaults() ThroughputOptions {
 	}
 	if o.OutPath == "" {
 		o.OutPath = "BENCH_throughput.json"
+	}
+	if o.IngestBatchDocs <= 0 {
+		o.IngestBatchDocs = 64
 	}
 	return o
 }
@@ -115,10 +131,10 @@ type ThroughputCell struct {
 	Keys    int     `json:"keys,omitempty"`
 	BuildMs float64 `json:"build_ms,omitempty"`
 	Ops     int     `json:"ops"`
-	QPS      float64 `json:"qps"`
-	P50ms    float64 `json:"p50_ms"`
-	P95ms    float64 `json:"p95_ms"`
-	P99ms    float64 `json:"p99_ms"`
+	QPS     float64 `json:"qps"`
+	P50ms   float64 `json:"p50_ms"`
+	P95ms   float64 `json:"p95_ms"`
+	P99ms   float64 `json:"p99_ms"`
 	// Memory counters from runtime.ReadMemStats deltas around the
 	// cell: heap allocations and bytes per query, the live heap after
 	// the cell, and the GC pause time accrued during it.
@@ -147,6 +163,26 @@ type ThroughputCell struct {
 	FailedOver   int    `json:"failed_over,omitempty"`
 	ReplicaReads int    `json:"replica_reads,omitempty"`
 	MaxLagLSN    uint64 `json:"max_lag_lsn,omitempty"`
+	// Ingest-arm fields (zero — and omitted — on query cells). For
+	// write cells QPS/latency percentiles describe acked batches; for
+	// the mixed-rw cell they describe the concurrent reads while
+	// DocsPerSec carries the write side. Sheds counts enqueue attempts
+	// answered with a structured overload error (each retried after
+	// its hint), ShedRate is the shed fraction of all attempts, and
+	// MaxLagAgeMs is the age of the most-stalled follower observed
+	// while writes were in flight (Replicas > 0 only, next to the
+	// MaxLagLSN sampled the same way).
+	Writers     int     `json:"writers,omitempty"`
+	DocsPerSec  float64 `json:"docs_per_sec,omitempty"`
+	Sheds       int     `json:"sheds,omitempty"`
+	ShedRate    float64 `json:"shed_rate,omitempty"`
+	MaxLagAgeMs float64 `json:"max_lag_age_ms,omitempty"`
+	// Balance convergence after the cell's writes: wall time and
+	// rounds until a balancer pass migrates nothing, and the chunks it
+	// moved in total (including migrations during the ingest itself).
+	BalanceMs     float64 `json:"balance_ms,omitempty"`
+	BalanceRounds int     `json:"balance_rounds,omitempty"`
+	BalanceMoves  int     `json:"balance_moves,omitempty"`
 }
 
 // ThroughputReport is the experiment's JSON artifact.
@@ -175,10 +211,13 @@ type ThroughputReport struct {
 	Addrs []string `json:"addrs,omitempty"`
 	// Replicas, ReadPref and WriteConcern echo the replication
 	// configuration (zero/empty = no replication).
-	Replicas     int              `json:"replicas,omitempty"`
-	ReadPref     string           `json:"read_pref,omitempty"`
-	WriteConcern string           `json:"write_concern,omitempty"`
-	Cells        []ThroughputCell `json:"cells"`
+	Replicas     int    `json:"replicas,omitempty"`
+	ReadPref     string `json:"read_pref,omitempty"`
+	WriteConcern string `json:"write_concern,omitempty"`
+	// Ingest and IngestBatchDocs echo the write arm's configuration.
+	Ingest          bool             `json:"ingest,omitempty"`
+	IngestBatchDocs int              `json:"ingest_batch_docs,omitempty"`
+	Cells           []ThroughputCell `json:"cells"`
 	// BigQuerySpeedup is QPS(parallel arm)/QPS(parallel=1) on the
 	// big-query workload at one client — pure scatter-gather speedup,
 	// no cross-query concurrency.
@@ -374,6 +413,16 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 		report.Cells = append(report.Cells, runIndexScaleCell(n))
 	}
 
+	// The ingest arm runs on fresh stores of its own (the cached
+	// read-side store above is never mutated).
+	if opts.Ingest {
+		report.Ingest = true
+		report.IngestBatchDocs = opts.IngestBatchDocs
+		if err := runIngestArm(e, &report, opts); err != nil {
+			return err
+		}
+	}
+
 	var seqBigQPS, parBigQPS float64
 	for _, c := range report.Cells {
 		if c.Workload == "big" && c.Clients == 1 {
@@ -461,24 +510,24 @@ func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width,
 		return latencies[i].Seconds() * 1000
 	}
 	return ThroughputCell{
-		Workload: workload,
-		Parallel: width,
-		Clients:  clients,
-		Ops:      len(latencies),
-		QPS:      float64(len(latencies)) / wall.Seconds(),
-		P50ms:    pct(0.50),
-		P95ms:    pct(0.95),
-		P99ms:    pct(0.99),
+		Workload:       workload,
+		Parallel:       width,
+		Clients:        clients,
+		Ops:            len(latencies),
+		QPS:            float64(len(latencies)) / wall.Seconds(),
+		P50ms:          pct(0.50),
+		P95ms:          pct(0.95),
+		P99ms:          pct(0.99),
 		AllocsPerOp:    (after.Mallocs - before.Mallocs) / uint64(len(latencies)),
 		BytesPerOp:     (after.TotalAlloc - before.TotalAlloc) / uint64(len(latencies)),
 		HeapInuseBytes: after.HeapInuse,
 		GCPauseMs:      float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
-		Retries:      int(retries.Load()),
-		Hedged:       int(hedged.Load()),
-		Partials:     int(partials.Load()),
-		FailedOver:   int(failedOver.Load()),
-		ReplicaReads: int(replicaReads.Load()),
-		MaxLagLSN:    maxLag.Load(),
+		Retries:        int(retries.Load()),
+		Hedged:         int(hedged.Load()),
+		Partials:       int(partials.Load()),
+		FailedOver:     int(failedOver.Load()),
+		ReplicaReads:   int(replicaReads.Load()),
+		MaxLagLSN:      maxLag.Load(),
 	}
 }
 
@@ -509,6 +558,9 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 	}
 	var rows [][]string
 	for _, c := range r.Cells {
+		if ingestWorkload(c.Workload) {
+			continue // rendered in the ingest table below
+		}
 		workload := c.Workload
 		if c.Network {
 			workload += "(net)"
@@ -548,6 +600,11 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 	if err := writeSimpleTable(w, header, rows); err != nil {
 		return err
 	}
+	if r.Ingest {
+		if err := writeIngestTable(w, r); err != nil {
+			return err
+		}
+	}
 	if r.BigQuerySpeedup > 0 {
 		fmt.Fprintf(w, "  big-query speedup (parallel=%d vs 1, single client): %.2fx\n",
 			r.Parallel, r.BigQuerySpeedup)
@@ -557,4 +614,54 @@ func writeThroughputReport(w io.Writer, r *ThroughputReport) error {
 	}
 	fmt.Fprintln(w)
 	return nil
+}
+
+// ingestWorkload reports whether a cell belongs to the write arm.
+func ingestWorkload(name string) bool {
+	switch name {
+	case "ingest", "mixed-rw", "ingest-burst":
+		return true
+	}
+	return false
+}
+
+// writeIngestTable renders the write arm's cells: batch ack rate and
+// tail, document throughput, shed fraction, replication lag and
+// balance convergence.
+func writeIngestTable(w io.Writer, r *ThroughputReport) error {
+	fmt.Fprintf(w, "  Ingest arm: group-commit write path (%d docs/batch)\n", r.IngestBatchDocs)
+	header := []string{"Workload", "Writers", "Clients", "Batch/s", "Docs/s", "p50", "p95", "p99", "Sheds", "ShedRate"}
+	if r.Replicas > 0 {
+		header = append(header, "MaxLag", "LagAge")
+	}
+	header = append(header, "BalMs", "BalRounds", "Moves")
+	var rows [][]string
+	for _, c := range r.Cells {
+		if !ingestWorkload(c.Workload) {
+			continue
+		}
+		row := []string{
+			c.Workload,
+			fmt.Sprintf("%d", c.Writers),
+			fmt.Sprintf("%d", c.Clients),
+			fmt.Sprintf("%.1f", c.QPS),
+			fmt.Sprintf("%.0f", c.DocsPerSec),
+			fmt.Sprintf("%.2fms", c.P50ms),
+			fmt.Sprintf("%.2fms", c.P95ms),
+			fmt.Sprintf("%.2fms", c.P99ms),
+			fmt.Sprintf("%d", c.Sheds),
+			fmt.Sprintf("%.2f", c.ShedRate),
+		}
+		if r.Replicas > 0 {
+			row = append(row,
+				fmt.Sprintf("%d", c.MaxLagLSN),
+				fmt.Sprintf("%.1fms", c.MaxLagAgeMs))
+		}
+		row = append(row,
+			fmt.Sprintf("%.0f", c.BalanceMs),
+			fmt.Sprintf("%d", c.BalanceRounds),
+			fmt.Sprintf("%d", c.BalanceMoves))
+		rows = append(rows, row)
+	}
+	return writeSimpleTable(w, header, rows)
 }

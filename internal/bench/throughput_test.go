@@ -45,3 +45,80 @@ func TestRunThroughputTiny(t *testing.T) {
 		t.Fatalf("store left with Parallel=%d", got)
 	}
 }
+
+// TestRunThroughputIngestTiny: the write arm produces its three cell
+// kinds with sane observables, the cached read-side store is never
+// mutated, and the 4x overload burst keeps a bounded admitted-write
+// tail while shedding the excess.
+func TestRunThroughputIngestTiny(t *testing.T) {
+	env := NewEnv(tinyScale())
+	var buf bytes.Buffer
+	opts := ThroughputOptions{
+		Clients:         []int{2},
+		Parallel:        1,
+		OpsPerClient:    2,
+		Limit:           -1,
+		OutPath:         "-",
+		Ingest:          true,
+		IngestBatchDocs: 32,
+		Replicas:        1,
+	}
+	if err := RunThroughput(env, &buf, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// RunThroughput only surfaces cells through its JSON file (disabled
+	// here); run the arm directly against the same env to assert on the
+	// numbers.
+	report := ThroughputReport{Replicas: 1, Ingest: true, IngestBatchDocs: 32}
+	if err := runIngestArm(env, &report, opts.withDefaults()); err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[string]ThroughputCell{}
+	for _, c := range report.Cells {
+		byKind[c.Workload] = c
+	}
+	ing, ok := byKind["ingest"]
+	if !ok || ing.DocsPerSec <= 0 || ing.Ops == 0 {
+		t.Fatalf("ingest cell missing or empty: %+v", ing)
+	}
+	if ing.BalanceRounds < 1 {
+		t.Fatalf("ingest cell never ran balance convergence: %+v", ing)
+	}
+	rw, ok := byKind["mixed-rw"]
+	if !ok || rw.DocsPerSec <= 0 || rw.Ops == 0 {
+		t.Fatalf("mixed-rw cell missing or empty: %+v", rw)
+	}
+	burst, ok := byKind["ingest-burst"]
+	if !ok {
+		t.Fatal("ingest-burst cell missing")
+	}
+	if burst.Ops == 0 {
+		t.Fatalf("burst admitted nothing — batcher wedged, not overloaded: %+v", burst)
+	}
+	if burst.Sheds == 0 {
+		t.Fatalf("4x burst shed nothing — admission control unexercised: %+v", burst)
+	}
+	if burst.P99ms > 2000 {
+		t.Fatalf("admitted-write p99 unbounded under burst: %.1fms", burst.P99ms)
+	}
+
+	// The table output names the write arm.
+	out := buf.String()
+	for _, want := range []string{"Ingest arm", "ingest-burst", "Docs/s", "ShedRate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The shared read-side store still holds exactly the data set — the
+	// write cells ran elsewhere.
+	s, err := env.Store(env.DatasetR(), storeApproachForThroughput, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs, _ := s.Fingerprint(); docs != len(env.DatasetR().Recs) {
+		t.Fatalf("cached store mutated by ingest arm: %d docs, want %d",
+			docs, len(env.DatasetR().Recs))
+	}
+}

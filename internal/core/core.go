@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bson"
@@ -158,6 +159,13 @@ type Config struct {
 	// group-commit threshold.
 	Sync           wal.SyncPolicy
 	SyncBatchBytes int
+	// FS overrides the durable store's filesystem (default: the OS
+	// filesystem rooted at Dir). A wal.FaultFS here injects journal
+	// faults or latency — how the tests crash mid-commit and how the
+	// bench makes group commits slow enough that admission control
+	// has something real to push back on. Runtime-only: never
+	// recorded in the manifest.
+	FS wal.FS
 }
 
 // DefaultHilbertOrder is the paper's 13-bit curve precision.
@@ -184,6 +192,14 @@ type Store struct {
 	grid    *sfc.Grid       // non-nil for the Hilbert approaches
 	sth     *sthash.Encoder // non-nil for the STHash approach
 	idGen   *bson.ObjectIDGen
+
+	// Continuous-ingest state (see ingest.go): the lazily-started
+	// group-commit batcher and the background TTL retention loop.
+	ingestMu       sync.Mutex
+	ingester       *sharding.Ingester
+	ingestOpts     sharding.IngestOptions
+	retention      *retentionLoop
+	retentionFinal RetentionStats
 }
 
 // Open creates the cluster, shards the collection and creates the
@@ -223,6 +239,7 @@ func (c Config) clusterOptions() sharding.Options {
 		Dir:              c.Dir,
 		Sync:             c.Sync,
 		SyncBatchBytes:   c.SyncBatchBytes,
+		FS:               c.FS,
 	}
 }
 

@@ -92,6 +92,7 @@ func (m manifest) config(runtime Config) (Config, error) {
 		Dir:            runtime.Dir,
 		Sync:           runtime.Sync,
 		SyncBatchBytes: runtime.SyncBatchBytes,
+		FS:             runtime.FS,
 	}
 	found := false
 	for _, a := range AllApproaches() {
@@ -209,8 +210,13 @@ func (s *Store) Checkpoint() error { return s.cluster.Checkpoint() }
 // Sync forces buffered journal frames to stable storage.
 func (s *Store) Sync() error { return s.cluster.Sync() }
 
-// Close syncs and closes the journals; a no-op on an in-memory store.
-func (s *Store) Close() error { return s.cluster.Close() }
+// Close stops the ingest batcher and retention loop (draining
+// admitted batches), then syncs and closes the journals; journal-less
+// stores just stop the background work.
+func (s *Store) Close() error {
+	s.closeIngest()
+	return s.cluster.Close()
+}
 
 // Fingerprint identifies the stored data set: the live document count
 // and an order-independent checksum over the raw document bytes. Two

@@ -1,0 +1,372 @@
+package netconn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/leakcheck"
+	"repro/internal/sharding"
+	"repro/internal/wal"
+)
+
+var testSecret = []byte("st-cluster-secret")
+
+// ingestRecords generates n records disjoint from testRecords (later
+// times), so inserted docs are distinguishable from the preload.
+func ingestRecords(seed int64, n int) []core.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]core.Record, n)
+	for i := range recs {
+		recs[i] = core.Record{
+			Point: geo.Point{
+				Lon: testExtent.Min.Lon + rng.Float64()*testExtent.Width(),
+				Lat: testExtent.Min.Lat + rng.Float64()*testExtent.Height(),
+			},
+			Time:   testStart.Add(60*24*time.Hour + time.Duration(i)*time.Second),
+			Fields: bson.D{{Key: "vehicleId", Value: int64(100 + i%7)}},
+		}
+	}
+	return recs
+}
+
+func mustDocs(t testing.TB, s *core.Store, recs []core.Record) []*bson.Document {
+	t.Helper()
+	docs := make([]*bson.Document, len(recs))
+	for i, rec := range recs {
+		doc, err := s.Document(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = doc
+	}
+	return docs
+}
+
+// TestAuthHandshake: the mutual HMAC challenge. Matching secrets
+// connect; a missing, wrong, or stripped secret fails closed with a
+// structured error before any op executes.
+func TestAuthHandshake(t *testing.T) {
+	leakcheck.Check(t)
+	s := openStore(t, core.Hil, 3, 600)
+	addrs := startServers(t, s, 1, ServerOptions{AuthSecret: testSecret})
+
+	// Matching secrets: the full handshake (hello, server proof,
+	// client proof, accept) and then real ops.
+	rc := connectRemote(t, s, addrs, Options{AuthSecret: testSecret})
+	if err := rc.Covers(len(s.Cluster().Shards())); err != nil {
+		t.Fatal(err)
+	}
+
+	// No secret configured on the client.
+	if _, err := Connect(addrs, Options{}); err == nil || !strings.Contains(err.Error(), "requires authentication") {
+		t.Fatalf("secretless client: %v", err)
+	}
+	// Wrong secret: the SERVER proof fails verification first — the
+	// client never even sends its own proof to an impostor.
+	if _, err := Connect(addrs, Options{AuthSecret: []byte("wrong")}); err == nil || !strings.Contains(err.Error(), "failed the server authentication challenge") {
+		t.Fatalf("wrong-secret client: %v", err)
+	}
+
+	// Auth stripping: a secret-configured client refuses servers that
+	// do not demand authentication.
+	open := openStore(t, core.Hil, 3, 600)
+	openAddrs := startServers(t, open, 1, ServerOptions{})
+	if _, err := Connect(openAddrs, Options{AuthSecret: testSecret}); err == nil || !strings.Contains(err.Error(), "does not require authentication") {
+		t.Fatalf("stripped server: %v", err)
+	}
+}
+
+// TestAuthRouterServer: the router daemon enforces the same challenge
+// toward its own clients.
+func TestAuthRouterServer(t *testing.T) {
+	leakcheck.Check(t)
+	s := openStore(t, core.Hil, 3, 600)
+	rs := NewRouterServer(s, AdmitOptions{})
+	rs.AuthSecret = testSecret
+	addr, err := rs.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	cl, err := DialRouter(addr, Options{AuthSecret: testSecret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(queryMatrix()[0]); err != nil {
+		t.Fatalf("authenticated query: %v", err)
+	}
+
+	if _, err := DialRouter(addr, Options{}); err == nil || !strings.Contains(err.Error(), "requires authentication") {
+		t.Fatalf("secretless router client: %v", err)
+	}
+	if _, err := DialRouter(addr, Options{AuthSecret: []byte("wrong")}); err == nil || !strings.Contains(err.Error(), "failed the server authentication challenge") {
+		t.Fatalf("wrong-secret router client: %v", err)
+	}
+}
+
+// TestRemoteInsertBroadcast: RemoteConn.InsertBatch reaches every
+// daemon, applies exactly once (per-daemon dedup absorbs the
+// broadcast fan-out and client retries), and the remote content ends
+// up fingerprint-identical to a store that applied the batch locally.
+func TestRemoteInsertBroadcast(t *testing.T) {
+	leakcheck.Check(t)
+	local := openStore(t, core.Hil, 3, 900)
+	backend := openStore(t, core.Hil, 3, 900)
+	addrs := startServers(t, backend, 2, ServerOptions{})
+	rc := connectRemote(t, local, addrs, Options{Mutable: true})
+
+	recs := ingestRecords(71, 40)
+	docs := mustDocs(t, local, recs)
+
+	applied, dup, err := rc.InsertBatch(context.Background(), "net-b1", docs)
+	if err != nil || dup || applied != len(docs) {
+		t.Fatalf("broadcast insert: applied=%d dup=%v err=%v", applied, dup, err)
+	}
+	// Client retry with the same batch ID: every daemon answers dup.
+	applied, dup, err = rc.InsertBatch(context.Background(), "net-b1", docs)
+	if err != nil || !dup || applied != 0 {
+		t.Fatalf("broadcast retry: applied=%d dup=%v err=%v", applied, dup, err)
+	}
+
+	// The local store applies the same batch through its own batcher;
+	// the two write paths must land on identical bytes.
+	if _, _, err := local.InsertBatch(context.Background(), "net-b1", docs); err != nil {
+		t.Fatal(err)
+	}
+	ld, ls := local.Fingerprint()
+	bd, bs := backend.Fingerprint()
+	if ld != bd || ls != bs {
+		t.Fatalf("fingerprints diverged: local %d/%016x, backend %d/%016x", ld, ls, bd, bs)
+	}
+
+	// The new docs are queryable through the remote conn.
+	q := core.STQuery{Rect: testExtent, From: testStart.Add(59 * 24 * time.Hour), To: testStart.Add(61 * 24 * time.Hour)}
+	local.Cluster().SetConn(rc)
+	got := local.Query(q)
+	local.Cluster().SetConn(nil)
+	if got.Stats.NReturned != len(docs) {
+		t.Fatalf("remote query returned %d new docs, want %d", got.Stats.NReturned, len(docs))
+	}
+}
+
+// TestRouterInsertEndToEnd: the full production write path — Client →
+// RouterServer → local batcher + broadcast to shard daemons — applies
+// exactly once everywhere and keeps every process fingerprint-equal.
+func TestRouterInsertEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
+	router := openStore(t, core.Hil, 3, 900)
+	backend := openStore(t, core.Hil, 3, 900)
+	addrs := startServers(t, backend, 2, ServerOptions{})
+	rc := connectRemote(t, router, addrs, Options{Mutable: true})
+	router.Cluster().SetConn(rc)
+	defer router.Cluster().SetConn(nil)
+
+	rs := NewRouterServer(router, AdmitOptions{})
+	addr, err := rs.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	cl, err := DialRouter(addr, Options{Mutable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	docs := mustDocs(t, router, ingestRecords(73, 64))
+	raw := make([][]byte, len(docs))
+	for i, d := range docs {
+		raw[i] = bson.Marshal(d)
+	}
+
+	reply, err := cl.Insert("e2e-b1", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Dup || int(reply.Applied) != len(docs) {
+		t.Fatalf("insert reply: %+v", reply)
+	}
+	if reply.LastLSN == 0 && router.Durable() {
+		t.Fatal("durable ack without an LSN")
+	}
+	// Retry: idempotent end to end.
+	reply, err = cl.Insert("e2e-b1", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Dup {
+		t.Fatalf("retry not deduplicated: %+v", reply)
+	}
+
+	rd, rsum := router.Fingerprint()
+	bd, bsum := backend.Fingerprint()
+	if rd != bd || rsum != bsum {
+		t.Fatalf("router %d/%016x and backend %d/%016x diverged", rd, rsum, bd, bsum)
+	}
+	if rd != 900+len(docs) {
+		t.Fatalf("router holds %d docs, want %d", rd, 900+len(docs))
+	}
+
+	// The inserted docs answer queries through the whole stack.
+	q := core.STQuery{Rect: testExtent, From: testStart.Add(59 * 24 * time.Hour), To: testStart.Add(61 * 24 * time.Hour)}
+	res, err := cl.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NReturned != len(docs) {
+		t.Fatalf("end-to-end query returned %d, want %d", res.Stats.NReturned, len(docs))
+	}
+}
+
+// TestWireInsertOverloadSheds: a shard daemon over a deliberately
+// slow journal sheds excess write load with the structured transient
+// overload error — RetryAfter crosses the wire intact.
+func TestWireInsertOverloadSheds(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	ffs := wal.NewFaultFS(wal.NewOSFS(dir))
+	ffs.Before(func(op wal.Op, _ string) error {
+		if op == wal.OpWrite {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	})
+	cluster, err := sharding.OpenCluster(sharding.Options{
+		Shards: 3, ChunkMaxBytes: 16 << 10, Parallel: 1,
+		Dir: dir, FS: ffs, Sync: wal.SyncNever,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.ShardCollection(sharding.ShardKey{Fields: []string{"hilbertIndex", "date"}}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewShardServer(cluster, nil, ServerOptions{
+		Ingest: sharding.IngestOptions{
+			MaxBatchDocs:  4,
+			QueueDocs:     8,
+			AdmissionWait: 2 * time.Millisecond,
+			RetryAfter:    35 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rc, err := Connect([]string{addr}, Options{Mutable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	gen := bson.NewObjectIDGen(99)
+	var mu sync.Mutex
+	mkBatch := func(n int) []*bson.Document {
+		mu.Lock()
+		defer mu.Unlock()
+		docs := make([]*bson.Document, n)
+		for i := range docs {
+			at := testStart.Add(time.Duration(i) * time.Minute)
+			docs[i] = bson.FromD(bson.D{
+				{Key: "_id", Value: gen.New(at)},
+				{Key: "date", Value: at},
+				{Key: "hilbertIndex", Value: int64(i * 37 % 4096)},
+			})
+		}
+		return docs
+	}
+
+	// A batch larger than the queue is refused outright (permanent).
+	_, _, err = rc.InsertBatch(context.Background(), "too-big", mkBatch(9))
+	var se *sharding.ShardError
+	if !errors.As(err, &se) || se.Transient {
+		t.Fatalf("oversized batch over the wire: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	sheds := make(chan *sharding.ShardError, 128)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < 4; b++ {
+				_, _, err := rc.InsertBatch(context.Background(), fmt.Sprintf("ov%d/%d", w, b), mkBatch(4))
+				if err != nil {
+					var se *sharding.ShardError
+					if !errors.As(err, &se) {
+						t.Errorf("ov%d/%d: unstructured error: %v", w, b, err)
+						return
+					}
+					sheds <- se
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(sheds)
+	n := 0
+	for se := range sheds {
+		n++
+		if !se.Transient || se.RetryAfter != 35*time.Millisecond {
+			t.Fatalf("shed lost structure over the wire: %+v", se)
+		}
+	}
+	if n == 0 {
+		t.Fatal("flood produced no sheds")
+	}
+}
+
+// TestWireInsertCancelConverges: a context cancelled mid-flight
+// leaves no goroutines behind and no double application — the retry
+// under the same batch ID converges on exactly-once.
+func TestWireInsertCancelConverges(t *testing.T) {
+	leakcheck.Check(t)
+	local := openStore(t, core.Hil, 3, 300)
+	backend := openStore(t, core.Hil, 3, 300)
+	addrs := startServers(t, backend, 2, ServerOptions{})
+	rc := connectRemote(t, local, addrs, Options{Mutable: true})
+
+	docs := mustDocs(t, local, ingestRecords(79, 32))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := rc.InsertBatch(ctx, "cx-b1", docs); err == nil {
+		t.Log("batch won the race against cancellation")
+	}
+	// Retry until the batch is definitely in: daemons that applied it
+	// before the cancel answer dup, the rest apply it now.
+	var applied int
+	var dup bool
+	var err error
+	for i := 0; i < 50; i++ {
+		applied, dup, err = rc.InsertBatch(context.Background(), "cx-b1", docs)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("retry never converged: %v", err)
+	}
+	if !dup && applied != len(docs) {
+		t.Fatalf("converged retry: applied=%d dup=%v", applied, dup)
+	}
+	if d, _ := backend.Fingerprint(); d != 300+len(docs) {
+		t.Fatalf("backend holds %d docs, want %d (exactly-once)", d, 300+len(docs))
+	}
+}

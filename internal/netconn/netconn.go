@@ -42,6 +42,18 @@ type Options struct {
 	// BatchSize is the cursor batch size requested per reply frame
 	// (default 512 documents).
 	BatchSize int
+	// AuthSecret, when non-empty, runs the mutual HMAC challenge at
+	// every handshake: the client verifies the server's proof before
+	// trusting it and answers the server's challenge before any op. A
+	// secret-configured client refuses servers that do not require
+	// authentication (so a spoofed server cannot silently strip it).
+	AuthSecret []byte
+	// Mutable marks a write-path connection: the peers' content
+	// fingerprints legitimately change with every acknowledged batch,
+	// so pools skip fingerprint pinning on re-dials and Connect skips
+	// the cross-peer equality check (convergence is verified
+	// explicitly, after writes quiesce, by whoever drives the writes).
+	Mutable bool
 }
 
 // Defaults for Options.
@@ -78,8 +90,10 @@ type conn struct {
 	broken bool
 }
 
-// dial establishes and handshakes one connection.
-func dial(addr string, timeout time.Duration) (*conn, error) {
+// dial establishes and handshakes one connection, running the HMAC
+// challenge when opts.AuthSecret is set.
+func dial(addr string, opts Options) (*conn, error) {
+	timeout := opts.DialTimeout
 	deadline := time.Now().Add(timeout)
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -88,7 +102,12 @@ func dial(addr string, timeout time.Duration) (*conn, error) {
 	c := &conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
 	// The handshake runs under the same deadline as the dial.
 	_ = nc.SetDeadline(deadline)
-	op, body, err := c.roundTrip(nil, wire.OpHello, wire.Hello{Version: wire.ProtocolVersion}.Encode(nil))
+	// Always carry a fresh nonce: an auth-enforcing server needs it
+	// for its proof, and a secretless client still wants the server's
+	// HelloReply (not a refusal) so it can report "configure a secret"
+	// instead of a bare protocol error.
+	hello := wire.Hello{Version: wire.ProtocolVersion, Nonce: wire.NewAuthNonce()}
+	op, body, err := c.roundTrip(nil, wire.OpHello, hello.Encode(nil))
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("netconn: handshake with %s: %w", addr, err)
@@ -116,9 +135,49 @@ func dial(addr string, timeout time.Duration) (*conn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("netconn: %s speaks protocol %d, want %d", addr, reply.Version, wire.ProtocolVersion)
 	}
+	if err := c.authenticate(addr, opts.AuthSecret, hello.Nonce, reply); err != nil {
+		nc.Close()
+		return nil, err
+	}
 	_ = nc.SetDeadline(time.Time{})
 	c.hello = reply
 	return c, nil
+}
+
+// authenticate finishes the client side of the mutual HMAC challenge:
+// verify the server's proof over our nonce, answer its challenge, and
+// require its final accept. A client with a secret refuses servers
+// that do not demand authentication; a client without one refuses
+// servers that do (instead of failing obscurely mid-challenge).
+func (c *conn) authenticate(addr string, secret, clientNonce []byte, reply wire.HelloReply) error {
+	if len(secret) == 0 {
+		if reply.AuthRequired {
+			return fmt.Errorf("netconn: %s requires authentication and no -auth-secret is configured", addr)
+		}
+		return nil
+	}
+	if !reply.AuthRequired {
+		return fmt.Errorf("netconn: %s does not require authentication but a secret is configured (refusing to send writes to an unauthenticated peer)", addr)
+	}
+	if !wire.VerifyAuthProof(secret, wire.AuthRoleServer, clientNonce, reply.Proof) {
+		return fmt.Errorf("netconn: %s failed the server authentication challenge (secret mismatch?)", addr)
+	}
+	proof := wire.AuthProof(secret, wire.AuthRoleClient, reply.Nonce)
+	op, body, err := c.roundTrip(nil, wire.OpAuth, wire.Auth{Proof: proof}.Encode(nil))
+	if err != nil {
+		return fmt.Errorf("netconn: auth with %s: %w", addr, err)
+	}
+	switch op {
+	case wire.OpAuthReply:
+		return nil
+	case wire.OpError:
+		if er, derr := wire.DecodeErrorReply(body); derr == nil {
+			return fmt.Errorf("netconn: %s rejected authentication: %s", addr, er.Message)
+		}
+		return fmt.Errorf("netconn: %s rejected authentication", addr)
+	default:
+		return fmt.Errorf("netconn: auth with %s: unexpected op %d", addr, op)
+	}
 }
 
 // roundTrip writes one frame and reads one reply frame. When ctx is
@@ -209,7 +268,7 @@ func (p *pool) get() (*conn, error) {
 		return c, nil
 	}
 	p.mu.Unlock()
-	c, err := dial(p.addr, p.opts.DialTimeout)
+	c, err := dial(p.addr, p.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -221,8 +280,13 @@ func (p *pool) get() (*conn, error) {
 }
 
 // checkPin verifies (or records, on first contact) the peer's
-// announced content fingerprint.
+// announced content fingerprint. Write-path pools (Options.Mutable)
+// skip pinning entirely: every acknowledged batch changes the
+// fingerprint, so equality across dials is not an invariant there.
 func (p *pool) checkPin(c *conn) error {
+	if p.opts.Mutable {
+		return nil
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.pinned {
@@ -280,7 +344,7 @@ func (p *pool) close() {
 func dialReady(addr string, opts Options) (*conn, error) {
 	deadline := time.Now().Add(opts.WaitReady)
 	for attempt := 0; ; attempt++ {
-		c, err := dial(addr, opts.DialTimeout)
+		c, err := dial(addr, opts)
 		if err == nil || time.Now().After(deadline) {
 			return c, err
 		}

@@ -40,12 +40,12 @@ func TestAdmissionShedsWithOverloadCode(t *testing.T) {
 		t.Fatalf("State = %s, want ready", wire.StateName(got))
 	}
 
-	a, err := dial(addr, DefaultDialTimeout)
+	a, err := dial(addr, Options{DialTimeout: DefaultDialTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.close()
-	b, err := dial(addr, DefaultDialTimeout)
+	b, err := dial(addr, Options{DialTimeout: DefaultDialTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +170,11 @@ func TestConnCapShedsAndRecovers(t *testing.T) {
 	s := openStore(t, core.Hil, 2, 500)
 	_, addr := startOneServer(t, s, ServerOptions{Admit: AdmitOptions{MaxConns: 1}})
 
-	first, err := dial(addr, DefaultDialTimeout)
+	first, err := dial(addr, Options{DialTimeout: DefaultDialTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dial(addr, DefaultDialTimeout); err == nil {
+	if _, err := dial(addr, Options{DialTimeout: DefaultDialTimeout}); err == nil {
 		t.Fatal("expected the over-cap dial to be refused")
 	}
 
@@ -193,7 +193,7 @@ func TestConnCapShedsAndRecovers(t *testing.T) {
 func TestMemWatermarkSheds(t *testing.T) {
 	s := openStore(t, core.Hil, 2, 500)
 	_, addr := startOneServer(t, s, ServerOptions{Admit: AdmitOptions{MemWatermark: 1}})
-	c, err := dial(addr, DefaultDialTimeout)
+	c, err := dial(addr, Options{DialTimeout: DefaultDialTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,12 +223,12 @@ func TestDrainFinishesInFlight(t *testing.T) {
 	s := openStore(t, core.Hil, 2, 800)
 	srv, addr := slowServer(t, s, 250*time.Millisecond, AdmitOptions{})
 
-	a, err := dial(addr, DefaultDialTimeout)
+	a, err := dial(addr, Options{DialTimeout: DefaultDialTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.close()
-	b, err := dial(addr, DefaultDialTimeout)
+	b, err := dial(addr, Options{DialTimeout: DefaultDialTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestDrainFinishesInFlight(t *testing.T) {
 	}
 
 	// New dials are refused outright: the listener is gone.
-	if _, err := dial(addr, time.Second); err == nil {
+	if _, err := dial(addr, Options{DialTimeout: time.Second}); err == nil {
 		t.Fatal("expected dial after drain to fail")
 	}
 }
@@ -282,7 +282,7 @@ func TestBadFrameGetsStructuredError(t *testing.T) {
 
 	expectBadFrameReply := func(name string, raw []byte) {
 		t.Helper()
-		c, err := dial(addr, DefaultDialTimeout)
+		c, err := dial(addr, Options{DialTimeout: DefaultDialTimeout})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -318,7 +318,7 @@ func TestBadFrameGetsStructuredError(t *testing.T) {
 	expectBadFrameReply("checksum mismatch", corrupt)
 
 	// A torn stream gets no goodbye: the writer vanished.
-	c, err := dial(addr, DefaultDialTimeout)
+	c, err := dial(addr, Options{DialTimeout: DefaultDialTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +392,7 @@ func TestQueryDeadlineShedsAsOverload(t *testing.T) {
 	_, addr := slowServer(t, s, 300*time.Millisecond, AdmitOptions{
 		QueryDeadline: 50 * time.Millisecond,
 	})
-	c, err := dial(addr, DefaultDialTimeout)
+	c, err := dial(addr, Options{DialTimeout: DefaultDialTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}

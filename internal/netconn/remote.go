@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bson"
@@ -52,7 +53,11 @@ func Connect(addrs []string, opts Options) (*RemoteConn, error) {
 		rc.byAddr = append(rc.byAddr, p)
 		if len(rc.byAddr) == 1 {
 			rc.docs, rc.checksum = c.hello.Docs, c.hello.Checksum
-		} else if c.hello.Docs != rc.docs || c.hello.Checksum != rc.checksum {
+		} else if !opts.Mutable && (c.hello.Docs != rc.docs || c.hello.Checksum != rc.checksum) {
+			// Write-path conns (Mutable) skip this check: daemons may
+			// legitimately disagree while an unacknowledged broadcast is
+			// being retried — convergence is verified after quiesce, not
+			// at connect time.
 			rc.Close()
 			return nil, fmt.Errorf("netconn: %s fingerprint (%d docs, %016x) disagrees with %s (%d docs, %016x)",
 				addr, c.hello.Docs, c.hello.Checksum, addrs[0], rc.docs, rc.checksum)
@@ -230,6 +235,108 @@ func (rc *RemoteConn) exchange(ctx context.Context, c *conn, shard int, op byte,
 	default:
 		c.broken = true
 		return wire.QueryReply{}, hardErr(shard, fmt.Errorf("netconn: unexpected op %d", rop))
+	}
+}
+
+// InsertBatch broadcasts one idempotent client batch to EVERY
+// connected daemon and waits for all of them to acknowledge. Each
+// daemon holds the full cluster, so identical application keeps their
+// content fingerprints converged; the batch ID makes the broadcast
+// safe to retry after any partial failure (daemons that already
+// applied it answer dup). It implements sharding.BatchInserter, so a
+// router's store can route writes through it exactly like queries.
+//
+// applied/dup reflect the freshest verdict: if any daemon newly
+// applied the batch the call reports that application; only when every
+// daemon answers dup is the batch reported as a duplicate.
+func (rc *RemoteConn) InsertBatch(ctx context.Context, batchID string, docs []*bson.Document) (applied int, dup bool, err error) {
+	if len(docs) == 0 {
+		return 0, false, nil
+	}
+	raw := make([][]byte, len(docs))
+	for i, d := range docs {
+		raw[i] = bson.Marshal(d)
+	}
+	body := wire.Insert{BatchID: batchID, Docs: raw}.Encode(nil)
+	replies := make([]wire.InsertReply, len(rc.byAddr))
+	errs := make([]error, len(rc.byAddr))
+	var wg sync.WaitGroup
+	for i, p := range rc.byAddr {
+		wg.Add(1)
+		go func(i int, p *pool) {
+			defer wg.Done()
+			replies[i], errs[i] = rc.insertOne(ctx, p, body)
+		}(i, p)
+	}
+	wg.Wait()
+	dup = true
+	for i := range rc.byAddr {
+		if errs[i] != nil {
+			// Any daemon short of an ack fails the whole broadcast: the
+			// caller retries with the same batchID and the daemons that
+			// already applied it dedup.
+			return 0, false, errs[i]
+		}
+		if !replies[i].Dup {
+			dup = false
+			if n := int(replies[i].Applied); n > applied {
+				applied = n
+			}
+		}
+	}
+	if dup {
+		return 0, true, nil
+	}
+	return applied, false, nil
+}
+
+// insertOne runs the insert round trip against one daemon.
+func (rc *RemoteConn) insertOne(ctx context.Context, p *pool, body []byte) (wire.InsertReply, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.InsertReply{}, err
+	}
+	c, err := p.get()
+	if err != nil {
+		if errors.Is(err, ErrFingerprintChanged) {
+			return wire.InsertReply{}, hardErr(-1, err)
+		}
+		return wire.InsertReply{}, transientErr(-1, err)
+	}
+	defer p.put(c)
+	rop, rbody, err := c.roundTrip(ctx, wire.OpInsert, body)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return wire.InsertReply{}, ctxErr
+		}
+		if errors.Is(err, wire.ErrBadFrame) &&
+			!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return wire.InsertReply{}, hardErr(-1, err)
+		}
+		return wire.InsertReply{}, transientErr(-1, err)
+	}
+	switch rop {
+	case wire.OpInsertReply:
+		reply, err := wire.DecodeInsertReply(rbody)
+		if err != nil {
+			c.broken = true
+			return wire.InsertReply{}, hardErr(-1, err)
+		}
+		return reply, nil
+	case wire.OpError:
+		er, err := wire.DecodeErrorReply(rbody)
+		if err != nil {
+			c.broken = true
+			return wire.InsertReply{}, hardErr(-1, err)
+		}
+		return wire.InsertReply{}, &sharding.ShardError{
+			Shard:      int(er.Shard),
+			Transient:  er.Transient,
+			RetryAfter: time.Duration(er.RetryAfterNS),
+			Err:        fmt.Errorf("remote: %s", er.Message),
+		}
+	default:
+		c.broken = true
+		return wire.InsertReply{}, hardErr(-1, fmt.Errorf("netconn: unexpected op %d", rop))
 	}
 }
 

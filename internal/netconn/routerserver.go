@@ -2,6 +2,7 @@ package netconn
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/bson"
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/sharding"
 	"repro/internal/wire"
 )
 
@@ -21,6 +23,10 @@ import (
 // cluster, making this process a pure router; with the default
 // LocalConn it degenerates to a single-process server.
 type RouterServer struct {
+	// AuthSecret, when non-empty, demands the mutual HMAC challenge
+	// from every client connection (set before Listen).
+	AuthSecret []byte
+
 	store     *core.Store
 	lst       listenState
 	gate      *gate
@@ -77,7 +83,7 @@ func (s *RouterServer) handleConn(nc net.Conn) {
 		Version:  wire.ProtocolVersion,
 		Docs:     uint64(docs),
 		Checksum: checksum,
-	}) {
+	}, s.AuthSecret) {
 		return
 	}
 	for {
@@ -109,6 +115,16 @@ func (s *RouterServer) handleOp(h *connHandler, op byte, body []byte) bool {
 		defer s.gate.release()
 		res := s.store.Query(stQueryFromWire(msg))
 		return h.reply(wire.OpSTQueryReply, stReplyToWire(res).Encode(nil))
+	case wire.OpInsert:
+		ins, err := wire.DecodeInsert(body)
+		if err != nil {
+			return h.replyErr(-1, false, err)
+		}
+		if shed := s.gate.admit(); shed != nil {
+			return h.reply(wire.OpError, shed.Encode(nil))
+		}
+		defer s.gate.release()
+		return s.runInsert(h, ins)
 	case wire.OpStats:
 		reply := wire.StatsReply{
 			State:     s.State(),
@@ -120,6 +136,36 @@ func (s *RouterServer) handleOp(h *connHandler, op byte, body []byte) bool {
 	default:
 		return h.replyErr(-1, false, fmt.Errorf("unsupported op %d on router", op))
 	}
+}
+
+// runInsert applies one idempotent client batch through the store's
+// write path: the local group-commit batcher first, then the broadcast
+// to every shard daemon when the store's conn is a RemoteConn. The
+// client's batch ID makes the whole pipeline retry-safe end to end.
+func (s *RouterServer) runInsert(h *connHandler, ins wire.Insert) bool {
+	docs := make([]*bson.Document, 0, len(ins.Docs))
+	for i, raw := range ins.Docs {
+		doc, err := bson.Unmarshal(raw)
+		if err != nil {
+			return h.replyErr(-1, false, fmt.Errorf("batch %q doc %d: %w", ins.BatchID, i, err))
+		}
+		docs = append(docs, doc)
+	}
+	applied, dup, err := s.store.InsertBatch(context.Background(), ins.BatchID, docs)
+	if err != nil {
+		var se *sharding.ShardError
+		if errors.As(err, &se) {
+			code := wire.ErrCodeGeneric
+			if errors.Is(err, sharding.ErrIngestOverload) {
+				code = wire.ErrCodeOverload
+				s.gate.shed.Add(1)
+			}
+			return h.replyErrCode(int32(se.Shard), se.Transient, code, se.RetryAfter, se.Err)
+		}
+		return h.replyErr(-1, false, err)
+	}
+	reply := wire.InsertReply{Applied: uint32(applied), Dup: dup, LastLSN: s.store.Cluster().LastLSN()}
+	return h.reply(wire.OpInsertReply, reply.Encode(nil))
 }
 
 func stQueryFromWire(m wire.STQuery) core.STQuery {
@@ -235,6 +281,47 @@ func (cl *Client) Query(q core.STQuery) (*core.QueryResult, error) {
 	default:
 		c.broken = true
 		return nil, fmt.Errorf("netconn: unexpected op %d", op)
+	}
+}
+
+// Insert sends one idempotent batch of raw BSON documents to the
+// router and waits for the cluster-wide ack. batchID is the
+// idempotency token: on any error the caller retries with the same ID
+// and every process that already applied the batch answers dup.
+// Clients that ingest should dial with Options.Mutable (the router's
+// fingerprint changes with every acked batch).
+func (cl *Client) Insert(batchID string, docs [][]byte) (wire.InsertReply, error) {
+	c, err := cl.pool.get()
+	if err != nil {
+		return wire.InsertReply{}, err
+	}
+	defer cl.pool.put(c)
+	op, body, err := c.roundTrip(nil, wire.OpInsert, wire.Insert{BatchID: batchID, Docs: docs}.Encode(nil))
+	if err != nil {
+		return wire.InsertReply{}, err
+	}
+	switch op {
+	case wire.OpInsertReply:
+		reply, err := wire.DecodeInsertReply(body)
+		if err != nil {
+			c.broken = true
+		}
+		return reply, err
+	case wire.OpError:
+		er, err := wire.DecodeErrorReply(body)
+		if err != nil {
+			c.broken = true
+			return wire.InsertReply{}, err
+		}
+		return wire.InsertReply{}, &ServerError{
+			Code:       er.Code,
+			Transient:  er.Transient,
+			RetryAfter: time.Duration(er.RetryAfterNS),
+			Message:    er.Message,
+		}
+	default:
+		c.broken = true
+		return wire.InsertReply{}, fmt.Errorf("netconn: unexpected op %d", op)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bson"
 	"repro/internal/sharding"
 	"repro/internal/wire"
 )
@@ -32,6 +33,14 @@ type ServerOptions struct {
 	// Admit is the server's admission control (conn cap, in-flight
 	// semaphore, shedding, drain budget).
 	Admit AdmitOptions
+	// AuthSecret, when non-empty, demands the mutual HMAC challenge
+	// from every connection: the handshake answers the client's nonce
+	// with the server proof, then refuses to serve any op until the
+	// client returns a valid proof over the server's nonce (a wrong or
+	// missing proof gets a structured unauthorized ErrorReply).
+	AuthSecret []byte
+	// Ingest bounds the server's group-commit write batcher.
+	Ingest sharding.IngestOptions
 }
 
 // Defaults for ServerOptions.
@@ -62,6 +71,7 @@ type ShardServer struct {
 	shards  map[int]*sharding.Shard
 	ids     []int32
 	opts    ServerOptions
+	ingest  *sharding.Ingester
 
 	lst       listenState
 	gate      *gate
@@ -98,6 +108,7 @@ func NewShardServer(cluster *sharding.Cluster, serve []int, opts ServerOptions) 
 	}
 	s.gate = newGate(s.opts.Admit)
 	s.opts.Admit = s.gate.opts
+	s.ingest = sharding.NewIngester(cluster, s.opts.Ingest)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	return s, nil
 }
@@ -134,6 +145,9 @@ func (s *ShardServer) Drain(budget time.Duration) bool {
 		s.gate.state.Store(uint32(wire.StateDraining))
 		s.lst.stopAccept()
 		s.drained = s.gate.waitIdle(budget)
+		// The batcher drains after in-flight requests: anything already
+		// admitted to its queue still commits before shutdown.
+		_ = s.ingest.Close()
 		s.cancel()
 		s.lst.close()
 	})
@@ -190,7 +204,7 @@ func (s *ShardServer) handleConn(nc net.Conn) {
 		Docs:     uint64(docs),
 		Checksum: checksum,
 		ShardIDs: s.ids,
-	}) {
+	}, s.opts.AuthSecret) {
 		return
 	}
 	for {
@@ -251,6 +265,16 @@ func (s *ShardServer) handleOp(h *connHandler, op byte, body []byte) bool {
 			return h.replyErr(-1, false, fmt.Errorf("cursor %d not found (expired or killed)", gm.Cursor))
 		}
 		return h.reply(wire.OpQueryReply, cur.batch(gm.Cursor, s.clampBatch(int(gm.BatchSize)), h).Encode(nil))
+	case wire.OpInsert:
+		ins, err := wire.DecodeInsert(body)
+		if err != nil {
+			return h.replyErr(-1, false, err)
+		}
+		if shed := s.gate.admit(); shed != nil {
+			return h.reply(wire.OpError, shed.Encode(nil))
+		}
+		defer s.gate.release()
+		return s.runInsert(h, ins)
 	case wire.OpKillCursor:
 		kc, err := wire.DecodeKillCursor(body)
 		if err != nil {
@@ -275,6 +299,42 @@ func (s *ShardServer) handleOp(h *connHandler, op byte, body []byte) bool {
 		return h.replyErr(-1, false, fmt.Errorf("unsupported op %d", op))
 	}
 }
+
+// runInsert applies one idempotent client batch through the server's
+// group-commit batcher. The server holds the FULL cluster (only query
+// serving is subset-scoped), so every daemon that receives the same
+// broadcast applies it identically and their fingerprints stay
+// converged. The reply carries the journal LSN the ack rests on.
+func (s *ShardServer) runInsert(h *connHandler, ins wire.Insert) bool {
+	docs := make([]*bson.Document, 0, len(ins.Docs))
+	for i, raw := range ins.Docs {
+		doc, err := bson.Unmarshal(raw)
+		if err != nil {
+			return h.replyErr(-1, false, fmt.Errorf("batch %q doc %d: %w", ins.BatchID, i, err))
+		}
+		docs = append(docs, doc)
+	}
+	applied, dup, err := s.ingest.InsertBatch(s.ctx, ins.BatchID, docs)
+	if err != nil {
+		var se *sharding.ShardError
+		if errors.As(err, &se) {
+			code := wire.ErrCodeGeneric
+			if errors.Is(err, sharding.ErrIngestOverload) {
+				code = wire.ErrCodeOverload
+				s.gate.shed.Add(1)
+			}
+			return h.replyErrCode(int32(se.Shard), se.Transient, code, se.RetryAfter, se.Err)
+		}
+		// A drain that cancelled the server ctx mid-commit is transient:
+		// the client retries against the restarted daemon and dedups.
+		return h.replyErr(-1, errors.Is(err, context.Canceled), err)
+	}
+	reply := wire.InsertReply{Applied: uint32(applied), Dup: dup, LastLSN: s.cluster.LastLSN()}
+	return h.reply(wire.OpInsertReply, reply.Encode(nil))
+}
+
+// IngestStats snapshots the write batcher's counters.
+func (s *ShardServer) IngestStats() sharding.IngestStats { return s.ingest.Stats() }
 
 func (s *ShardServer) clampBatch(n int) int {
 	if n <= 0 {
@@ -385,7 +445,7 @@ type connHandler struct {
 	nextID  uint64
 }
 
-func (h *connHandler) handshake(reply wire.HelloReply) bool {
+func (h *connHandler) handshake(reply wire.HelloReply, secret []byte) bool {
 	// A peer that cannot produce a valid Hello within a grace period
 	// is not speaking the protocol.
 	_ = h.nc.SetDeadline(time.Now().Add(10 * time.Second))
@@ -401,11 +461,53 @@ func (h *connHandler) handshake(reply wire.HelloReply) bool {
 		h.replyErr(-1, false, fmt.Errorf("protocol version %d not supported (want %d)", hello.Version, wire.ProtocolVersion))
 		return false
 	}
-	if !h.reply(wire.OpHelloReply, reply.Encode(nil)) {
+	if len(secret) > 0 {
+		if !h.challenge(reply, secret, hello.Nonce) {
+			return false
+		}
+	} else if !h.reply(wire.OpHelloReply, reply.Encode(nil)) {
 		return false
 	}
 	_ = h.nc.SetDeadline(time.Time{})
 	return true
+}
+
+// challenge runs the server side of the mutual HMAC handshake: prove
+// knowledge of the secret over the client's nonce, demand a proof over
+// a fresh server nonce, and refuse every op until it verifies. The
+// refusal is a structured unauthorized ErrorReply — sent before any op
+// is served — so a misconfigured client learns *why* instead of seeing
+// a silent disconnect.
+func (h *connHandler) challenge(reply wire.HelloReply, secret, clientNonce []byte) bool {
+	unauthorized := func(msg string) bool {
+		h.replyErrCode(-1, false, wire.ErrCodeUnauthorized, 0, errors.New(msg))
+		return false
+	}
+	if len(clientNonce) == 0 {
+		// Refusing an empty challenge keeps the server proof fresh per
+		// connection — a nonce-less client would make it a replayable
+		// constant.
+		return unauthorized("authentication required: hello carried no nonce")
+	}
+	nonce := wire.NewAuthNonce()
+	reply.AuthRequired = true
+	reply.Nonce = nonce
+	reply.Proof = wire.AuthProof(secret, wire.AuthRoleServer, clientNonce)
+	if !h.reply(wire.OpHelloReply, reply.Encode(nil)) {
+		return false
+	}
+	op, body, err := wire.ReadFrame(h.br)
+	if err != nil {
+		return false
+	}
+	if op != wire.OpAuth {
+		return unauthorized("authentication required: expected auth proof before any op")
+	}
+	auth, err := wire.DecodeAuth(body)
+	if err != nil || !wire.VerifyAuthProof(secret, wire.AuthRoleClient, nonce, auth.Proof) {
+		return unauthorized("authentication failed: invalid proof")
+	}
+	return h.reply(wire.OpAuthReply, nil)
 }
 
 func (h *connHandler) reply(op byte, body []byte) bool {

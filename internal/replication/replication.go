@@ -125,27 +125,45 @@ type Follower struct {
 	mu      sync.RWMutex // apply = Lock, replica read = RLock
 	coll    *collection.Collection
 	applied atomic.Uint64 // last applied LSN
-	stopped atomic.Bool   // applier asked to exit (StopFollower/Promote/Close)
-	resync  atomic.Bool   // fell out of the log window; needs full resync
-	sub     *wal.Sub      // guarded by g.mu
-	done    chan struct{} // closed when the applier goroutine exits
+	// appliedAt is the wall time (unix nanos) of the last applied
+	// record — seeded at creation so "never applied" still ages. It
+	// distinguishes a stalled follower (lag > 0 and appliedAt old)
+	// from an idle one (lag 0: nothing to apply, however old).
+	appliedAt atomic.Int64
+	stopped   atomic.Bool   // applier asked to exit (StopFollower/Promote/Close)
+	resync    atomic.Bool   // fell out of the log window; needs full resync
+	sub       *wal.Sub      // guarded by g.mu
+	done      chan struct{} // closed when the applier goroutine exits
 }
 
 // FollowerStatus is one follower's observable replication state.
 type FollowerStatus struct {
-	ID          int    `json:"id"`
-	Applied     uint64 `json:"applied"`
-	Lag         uint64 `json:"lag"`
-	Stopped     bool   `json:"stopped,omitempty"`
-	NeedsResync bool   `json:"needsResync,omitempty"`
+	ID      int    `json:"id"`
+	Applied uint64 `json:"applied"`
+	Lag     uint64 `json:"lag"`
+	// LagAge is how long the follower has been behind: the time since
+	// it last applied a record, reported only while Lag > 0. A
+	// caught-up follower always reports 0, however long the shard has
+	// been idle — lag in LSNs alone cannot make that distinction on an
+	// idle shard, since both a stalled and an idle follower hold a
+	// constant Applied.
+	LagAge time.Duration `json:"lagAgeNS,omitempty"`
+	// AppliedAt is the wall time of the last applied record (or the
+	// follower's creation).
+	AppliedAt   time.Time `json:"appliedAt"`
+	Stopped     bool      `json:"stopped,omitempty"`
+	NeedsResync bool      `json:"needsResync,omitempty"`
 }
 
 // GroupStatus is a snapshot of one shard's replica group.
 type GroupStatus struct {
-	Shard      int              `json:"shard"`
-	LastLSN    uint64           `json:"lastLSN"`
-	Followers  []FollowerStatus `json:"followers"`
-	Promotions int              `json:"promotions"`
+	Shard     int              `json:"shard"`
+	LastLSN   uint64           `json:"lastLSN"`
+	Followers []FollowerStatus `json:"followers"`
+	// MaxLagAge is the largest LagAge across followers — the age of
+	// the most-stalled follower, 0 when every follower is caught up.
+	MaxLagAge  time.Duration `json:"maxLagAgeNS,omitempty"`
+	Promotions int           `json:"promotions"`
 }
 
 // Group is one shard's replica group: the primary's stream log plus
@@ -191,6 +209,7 @@ func NewGroup(shard int, primary *collection.Collection, cfg Config) (*Group, er
 			return nil, fmt.Errorf("replication: shard %d follower %d: %w", shard, i, err)
 		}
 		f := &Follower{ID: g.nextID, g: g, coll: coll}
+		f.appliedAt.Store(time.Now().UnixNano())
 		g.nextID++
 		g.followers = append(g.followers, f)
 		if err := g.startFollowerLocked(f); err != nil {
@@ -557,15 +576,27 @@ func (g *Group) Status() GroupStatus {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	st := GroupStatus{Shard: g.shard, LastLSN: g.lsn, Promotions: g.promotions}
+	now := time.Now()
 	for _, f := range g.followers {
 		applied := f.applied.Load()
-		st.Followers = append(st.Followers, FollowerStatus{
+		fs := FollowerStatus{
 			ID:          f.ID,
 			Applied:     applied,
 			Lag:         g.lsn - applied,
+			AppliedAt:   time.Unix(0, f.appliedAt.Load()),
 			Stopped:     f.stopped.Load(),
 			NeedsResync: f.resync.Load(),
-		})
+		}
+		if fs.Lag > 0 {
+			fs.LagAge = now.Sub(fs.AppliedAt)
+			if fs.LagAge < 0 {
+				fs.LagAge = 0
+			}
+			if fs.LagAge > st.MaxLagAge {
+				st.MaxLagAge = fs.LagAge
+			}
+		}
+		st.Followers = append(st.Followers, fs)
 	}
 	return st
 }
@@ -684,6 +715,7 @@ func (f *Follower) apply(r wal.Record) error {
 		return err
 	}
 	f.applied.Store(r.LSN)
+	f.appliedAt.Store(time.Now().UnixNano())
 	return nil
 }
 

@@ -98,6 +98,10 @@ type Options struct {
 	ReadPref ReadPref
 	// AckTimeout bounds write-concern waits (default 2s).
 	AckTimeout time.Duration
+	// DedupWindow is how many recent ingest batch IDs the cluster
+	// remembers for idempotent retries (default DefaultDedupWindow;
+	// negative disables by keeping a 1-entry window). See ingest.go.
+	DedupWindow int
 	// Dir, when non-empty, makes the cluster durable: every write is
 	// framed into a write-ahead journal under this directory and
 	// Checkpoint() snapshots the full state there. Durable clusters
@@ -179,6 +183,10 @@ type Cluster struct {
 	// durability.go); nil for in-memory clusters.
 	dur *durability
 
+	// dedup is the bounded window of recently applied ingest batch
+	// IDs (see ingest.go); always non-nil.
+	dedup *dedupWindow
+
 	// repl holds one replica group per shard (nil entries — and a nil
 	// slice — when replication is off). See replicas.go.
 	repl []*replication.Group
@@ -187,7 +195,7 @@ type Cluster struct {
 // NewCluster creates the shards.
 func NewCluster(opts Options) *Cluster {
 	opts = opts.withDefaults()
-	c := &Cluster{opts: opts, conn: opts.Conn}
+	c := &Cluster{opts: opts, conn: opts.Conn, dedup: newDedupWindow(opts.DedupWindow)}
 	for i := 0; i < opts.Shards; i++ {
 		c.shards = append(c.shards, &Shard{
 			ID:   i,
@@ -348,14 +356,29 @@ func (c *Cluster) CreateIndex(def index.Definition) error {
 func (c *Cluster) Insert(doc *bson.Document) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.insertDocLocked(doc); err != nil {
+		// The storage hook journaled the insert and, via the
+		// collection's rollback, the matching delete; replay
+		// reproduces the same rollback.
+		if cerr := c.commitDur(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	if err := c.commitDur(); err != nil {
+		return err
+	}
+	return c.replWaitLocked()
+}
+
+// insertDocLocked routes and stores one document, maintaining chunk
+// statistics, splits and the auto-balance cadence. It neither commits
+// the journals nor waits on replication — Insert and the batch path
+// (ingest.go) do that once per write operation.
+func (c *Cluster) insertDocLocked(doc *bson.Document) error {
 	if !c.sharded {
-		if _, err := c.shards[0].Coll.Insert(doc); err != nil {
-			return err
-		}
-		if err := c.commitDur(); err != nil {
-			return err
-		}
-		return c.replWaitLocked()
+		_, err := c.shards[0].Coll.Insert(doc)
+		return err
 	}
 	tuple := c.key.TupleOf(doc)
 	ci := c.findChunk(tuple)
@@ -364,12 +387,6 @@ func (c *Cluster) Insert(doc *bson.Document) error {
 	}
 	ch := c.chunks[ci]
 	if _, err := c.shards[ch.Shard].Coll.Insert(doc); err != nil {
-		// The storage hook journaled the insert and, via the
-		// collection's rollback, the matching delete; replay
-		// reproduces the same rollback.
-		if cerr := c.commitDur(); cerr != nil {
-			return cerr
-		}
 		return err
 	}
 	ch.Docs++
@@ -384,10 +401,7 @@ func (c *Cluster) Insert(doc *bson.Document) error {
 			c.balanceLocked()
 		}
 	}
-	if err := c.commitDur(); err != nil {
-		return err
-	}
-	return c.replWaitLocked()
+	return nil
 }
 
 // findChunk returns the index of the chunk containing the tuple, or

@@ -48,6 +48,8 @@ const (
 	opBalance         uint8 = 5 // explicit balancer run
 	opInsert          uint8 = 6 // raw BSON document (body = stored bytes)
 	opDelete          uint8 = 7 // shard + record id
+	opInsertBatch     uint8 = 8 // idempotent batch: id + raw documents (see ingest.go)
+	opDropBelow       uint8 = 9 // retention drop below a shard-key prefix (see retention.go)
 )
 
 // metaJournal is the journal file for DDL and balance records.
@@ -149,6 +151,18 @@ func (c *Cluster) journalMeta(op uint8, body []byte) error {
 	}
 	c.dur.meta.Append(wal.Record{LSN: c.dur.nextLSN(), Op: op, Body: body})
 	return c.dur.commit()
+}
+
+// LastLSN reports the last journal LSN the cluster assigned (0 on an
+// in-memory cluster). Write replies carry it so clients can correlate
+// an ack with the journal position that made it durable.
+func (c *Cluster) LastLSN() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.dur == nil {
+		return 0
+	}
+	return c.dur.lsn
 }
 
 // commitDur flushes journals after a data operation; a no-op on
@@ -259,6 +273,7 @@ func mergeRuntime(structural, caller Options) Options {
 	structural.WriteConcern = caller.WriteConcern
 	structural.ReadPref = caller.ReadPref
 	structural.AckTimeout = caller.AckTimeout
+	structural.DedupWindow = caller.DedupWindow
 	return structural
 }
 
@@ -418,6 +433,27 @@ func (c *Cluster) replay(recs []wal.Record) error {
 			if err := c.applyJournaledDelete(shard, id); err != nil {
 				return fmt.Errorf("sharding: replay lsn %d: %w", rec.LSN, err)
 			}
+		case opInsertBatch:
+			batchID, docs, err := decodeInsertBatch(rec.Body)
+			if err != nil {
+				return fmt.Errorf("sharding: replay lsn %d: corrupt batch: %w", rec.LSN, err)
+			}
+			// Per-document failures replay identically to the original
+			// execution; the batch's dedup mark is re-established.
+			c.mu.Lock()
+			_, _, _ = c.insertBatchLocked(batchID, docs)
+			c.mu.Unlock()
+		case opDropBelow:
+			prefix, err := decodeDropBelow(rec.Body)
+			if err != nil {
+				return fmt.Errorf("sharding: replay lsn %d: %w", rec.LSN, err)
+			}
+			c.mu.Lock()
+			_, derr := c.dropBelowLocked(prefix)
+			c.mu.Unlock()
+			if derr != nil {
+				return fmt.Errorf("sharding: replay lsn %d: %w", rec.LSN, derr)
+			}
 		default:
 			return fmt.Errorf("sharding: replay lsn %d: unknown op %d", rec.LSN, rec.Op)
 		}
@@ -474,8 +510,10 @@ func (c *Cluster) ContentFingerprint() (docs int, checksum uint64) {
 
 // --- snapshot codec -------------------------------------------------
 
-// snapshotVersion guards the payload layout.
-const snapshotVersion = 1
+// snapshotVersion guards the payload layout. Version 2 appends the
+// ingest dedup window (batch IDs, oldest first) after the shard
+// payloads; version 1 snapshots are still readable (empty window).
+const snapshotVersion = 2
 
 // encodeSnapshotLocked serialises the complete cluster state. Callers
 // hold the write lock (or have exclusive access).
@@ -532,14 +570,23 @@ func (c *Cluster) encodeSnapshotLocked() []byte {
 			return true
 		})
 	}
+
+	// v2: the dedup window, so idempotent retries survive a
+	// checkpoint's journal reset.
+	ids := c.dedup.entries()
+	b = appendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = appendString(b, id)
+	}
 	return b
 }
 
 // clusterFromSnapshot rebuilds a cluster from a snapshot payload.
 func clusterFromSnapshot(payload []byte, caller Options) (*Cluster, error) {
 	d := &decoder{buf: payload}
-	if v := d.uvarint(); v != snapshotVersion {
-		return nil, fmt.Errorf("sharding: snapshot version %d not supported", v)
+	version := d.uvarint()
+	if version != 1 && version != snapshotVersion {
+		return nil, fmt.Errorf("sharding: snapshot version %d not supported", version)
 	}
 	d.uvarint() // snapshot LSN (recovery tracks it via the file name)
 	structural, err := decodeInitBody(d)
@@ -623,6 +670,12 @@ func clusterFromSnapshot(payload []byte, caller Options) (*Cluster, error) {
 			}
 		}
 		s.Coll.Store().SetNextID(nextID)
+	}
+	if version >= 2 {
+		nids := int(d.uvarint())
+		for i := 0; i < nids; i++ {
+			c.dedup.add(d.string())
+		}
 	}
 	if d.err != nil {
 		return nil, fmt.Errorf("sharding: corrupt snapshot: %w", d.err)

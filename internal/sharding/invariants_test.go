@@ -2,6 +2,7 @@ package sharding
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -180,6 +181,113 @@ func TestBalanceConcurrentWithBroadcastQueries(t *testing.T) {
 	checkInvariants(t, c)
 	if got := sortedIDs(c.Query(f).Docs); !reflect.DeepEqual(got, want) {
 		t.Fatal("document multiset changed across the balance run")
+	}
+	if c.ClusterStats().Migrations == 0 {
+		t.Fatal("vacuous: the balancer moved nothing")
+	}
+}
+
+// TestBalanceConcurrentWithIngestAndQueries races all three: the
+// balancer migrating chunks, the group-commit batcher applying
+// batches, and broadcast queries reading. Every query must see each
+// preloaded document exactly once (migrations may never hide or
+// double-show a doc), plus some prefix of the concurrent ingest; the
+// quiesced cluster must hold exactly baseline + ingested.
+func TestBalanceConcurrentWithIngestAndQueries(t *testing.T) {
+	c := NewCluster(Options{Shards: 4, ChunkMaxBytes: 8 << 10, AutoBalanceEvery: -1})
+	if err := c.ShardCollection(hilbertDateKey()); err != nil {
+		t.Fatal(err)
+	}
+	gen := bson.NewObjectIDGen(31)
+	rng := rand.New(rand.NewSource(37))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		doc := stDoc(gen,
+			geo.Point{Lon: 23 + rng.Float64(), Lat: 37 + rng.Float64()},
+			baseTime.Add(time.Duration(rng.Int63n(int64(30*24*time.Hour)))),
+			int64(rng.Intn(4096)))
+		if err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := query.GeoWithin{Field: "location", Rect: geo.NewRect(22.0, 36.0, 25.0, 39.0)}
+	base := sortedIDs(c.Query(f).Docs)
+	baseSet := make(map[string]struct{}, len(base))
+	for _, id := range base {
+		baseSet[id] = struct{}{}
+	}
+
+	in := NewIngester(c, IngestOptions{MaxBatchDocs: 64})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Readers: exactly-once visibility of the baseline, no duplicate
+	// _ids anywhere in any snapshot.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				got := sortedIDs(c.Query(f).Docs)
+				seen := make(map[string]struct{}, len(got))
+				baseSeen := 0
+				for _, id := range got {
+					if _, dup := seen[id]; dup {
+						t.Errorf("query saw duplicate _id %s during balance+ingest", id)
+						return
+					}
+					seen[id] = struct{}{}
+					if _, ok := baseSet[id]; ok {
+						baseSeen++
+					}
+				}
+				if baseSeen != len(base) {
+					t.Errorf("query saw %d/%d baseline docs during balance+ingest", baseSeen, len(base))
+					return
+				}
+			}
+		}()
+	}
+
+	// Writers: idempotent batches through the batcher.
+	const writers, perWriter, batchDocs = 3, 8, 16
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < perWriter; b++ {
+				docs := ingestDocs(int64(7000+w*perWriter+b), batchDocs)
+				id := fmt.Sprintf("bal-w%d/%d", w, b)
+				if _, dup, err := in.InsertBatch(context.Background(), id, docs); err != nil || dup {
+					t.Errorf("ingest %s: dup=%v err=%v", id, dup, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < 3; i++ {
+		c.Balance()
+	}
+	close(done)
+	wg.Wait()
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Balance() // settle whatever the concurrent ingest skewed
+
+	checkInvariants(t, c)
+	if got := c.ClusterStats().Docs; got != n+writers*perWriter*batchDocs {
+		t.Fatalf("quiesced cluster holds %d docs, want %d", got, n+writers*perWriter*batchDocs)
+	}
+	final := sortedIDs(c.Query(f).Docs)
+	if len(final) != n+writers*perWriter*batchDocs {
+		t.Fatalf("final broadcast returned %d docs, want %d", len(final), n+writers*perWriter*batchDocs)
 	}
 	if c.ClusterStats().Migrations == 0 {
 		t.Fatal("vacuous: the balancer moved nothing")

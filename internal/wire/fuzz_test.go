@@ -18,6 +18,7 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(AppendFrame(nil, OpQueryReply, QueryReply{Cursor: 1, Docs: [][]byte{[]byte("d")}}.Encode(nil)))
 	f.Add(AppendFrame(nil, OpError, ErrorReply{Shard: 1, Transient: true, Message: "x"}.Encode(nil)))
 	f.Add(AppendFrame(nil, OpSTQuery, STQuery{MinLon: 1, MaxLon: 2, Limit: 5}.Encode(nil)))
+	f.Add(AppendFrame(nil, OpInsert, Insert{BatchID: "b1", Docs: [][]byte{[]byte("doc")}}.Encode(nil)))
 	// Corrupt variants: flipped payload byte, truncated tail, huge length.
 	good := AppendFrame(nil, OpQuery, []byte("payload"))
 	flipped := append([]byte(nil), good...)
@@ -54,6 +55,9 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 		DecodeHello(msgBody)
 		DecodeHelloReply(msgBody)
+		DecodeAuth(msgBody)
+		DecodeInsert(msgBody)
+		DecodeInsertReply(msgBody)
 		DecodeQuery(msgBody)
 		DecodeQueryReply(msgBody)
 		DecodeGetMore(msgBody)
@@ -63,5 +67,40 @@ func FuzzFrameDecode(f *testing.F) {
 		DecodeSTQuery(msgBody)
 		DecodeSTQueryReply(msgBody)
 		DecodeFilter(msgBody)
+	})
+}
+
+// FuzzInsertDecode drills into the write-path codec: the Insert
+// decoder must be total on hostile bytes (no panic, allocation
+// bounded by the input length via count validation), and everything
+// it accepts must round-trip byte-identically — the property the
+// idempotent retry path rests on, since a re-encoded retry must hash
+// and dedup exactly like the original.
+func FuzzInsertDecode(f *testing.F) {
+	f.Add(Insert{}.Encode(nil))
+	f.Add(Insert{BatchID: "w0/7"}.Encode(nil))
+	f.Add(Insert{BatchID: "w1/8", Docs: [][]byte{[]byte("doc-a"), {}, []byte("doc-b")}}.Encode(nil))
+	f.Add(InsertReply{Applied: 2, Dup: true, LastLSN: 99}.Encode(nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeInsert(data); err == nil {
+			re := m.Encode(nil)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted Insert does not re-encode to its input: %x vs %x", re, data)
+			}
+			if len(re) > len(data) {
+				t.Fatal("re-encoding grew past the input")
+			}
+		}
+		// InsertReply holds a bool, whose decoder accepts any nonzero
+		// byte — so require decode→encode→decode stability rather than
+		// byte identity.
+		if m, err := DecodeInsertReply(data); err == nil {
+			m2, err2 := DecodeInsertReply(m.Encode(nil))
+			if err2 != nil || m2 != m {
+				t.Fatalf("InsertReply unstable: %+v vs %+v (%v)", m, m2, err2)
+			}
+		}
+		DecodeAuth(data)
 	})
 }

@@ -6,20 +6,25 @@ import (
 	"repro/internal/query"
 )
 
-// Hello opens every connection (client → server).
+// Hello opens every connection (client → server). Nonce is the
+// client's random challenge for the shared-secret HMAC handshake: a
+// server configured with a secret must prove knowledge of it in its
+// HelloReply before the client sends anything else.
 type Hello struct {
 	Version uint32
+	Nonce   []byte
 }
 
 // Encode appends the message body to buf.
 func (m Hello) Encode(buf []byte) []byte {
-	return appendU32(buf, m.Version)
+	buf = appendU32(buf, m.Version)
+	return appendBytes(buf, m.Nonce)
 }
 
 // DecodeHello decodes a Hello body.
 func DecodeHello(b []byte) (Hello, error) {
 	d := &dec{b: b}
-	m := Hello{Version: d.u32("version")}
+	m := Hello{Version: d.u32("version"), Nonce: d.bytes("nonce")}
 	return m, d.finish()
 }
 
@@ -28,11 +33,20 @@ func DecodeHello(b []byte) (Hello, error) {
 // order-independent checksum the durability layer computes), and the
 // shard ids this server answers queries for. A router daemon serves
 // no shards directly and sends an empty id list.
+//
+// When the server requires authentication, AuthRequired is true,
+// Nonce carries the server's challenge the client must answer with an
+// OpAuth frame, and Proof is the server's HMAC over the client's
+// Hello nonce — mutual proof, so a client never talks to an impostor
+// server either.
 type HelloReply struct {
-	Version  uint32
-	Docs     uint64
-	Checksum uint64
-	ShardIDs []int32
+	Version      uint32
+	Docs         uint64
+	Checksum     uint64
+	ShardIDs     []int32
+	AuthRequired bool
+	Nonce        []byte
+	Proof        []byte
 }
 
 // Encode appends the message body to buf.
@@ -44,7 +58,9 @@ func (m HelloReply) Encode(buf []byte) []byte {
 	for _, id := range m.ShardIDs {
 		buf = appendU32(buf, uint32(id))
 	}
-	return buf
+	buf = appendBool(buf, m.AuthRequired)
+	buf = appendBytes(buf, m.Nonce)
+	return appendBytes(buf, m.Proof)
 }
 
 // DecodeHelloReply decodes a HelloReply body.
@@ -59,6 +75,90 @@ func DecodeHelloReply(b []byte) (HelloReply, error) {
 	m.ShardIDs = make([]int32, 0, n)
 	for i := 0; i < n && d.err == nil; i++ {
 		m.ShardIDs = append(m.ShardIDs, int32(d.u32("shard id")))
+	}
+	m.AuthRequired = d.bool("auth required")
+	m.Nonce = d.bytes("auth nonce")
+	m.Proof = d.bytes("auth proof")
+	return m, d.finish()
+}
+
+// Auth answers the server's handshake challenge: the client's HMAC
+// proof over the server's HelloReply nonce. The server replies
+// OpAuthReply (empty body) on success or an unauthorized ErrorReply —
+// and serves no other op before that exchange completes.
+type Auth struct {
+	Proof []byte
+}
+
+// Encode appends the message body to buf.
+func (m Auth) Encode(buf []byte) []byte {
+	return appendBytes(buf, m.Proof)
+}
+
+// DecodeAuth decodes an Auth body.
+func DecodeAuth(b []byte) (Auth, error) {
+	d := &dec{b: b}
+	m := Auth{Proof: d.bytes("proof")}
+	return m, d.finish()
+}
+
+// Insert applies one idempotent batch of documents to the server's
+// cluster. BatchID is the client-assigned idempotency token (empty
+// opts out): a server that already applied the batch — including
+// before a crash, via the journaled dedup window — answers Dup
+// without applying anything, so a retry after a dropped reply is
+// exactly-once. Docs are raw BSON document bytes.
+type Insert struct {
+	BatchID string
+	Docs    [][]byte
+}
+
+// Encode appends the message body to buf.
+func (m Insert) Encode(buf []byte) []byte {
+	buf = appendString(buf, m.BatchID)
+	buf = appendU32(buf, uint32(len(m.Docs)))
+	for _, doc := range m.Docs {
+		buf = appendBytes(buf, doc)
+	}
+	return buf
+}
+
+// DecodeInsert decodes an Insert body.
+func DecodeInsert(b []byte) (Insert, error) {
+	d := &dec{b: b}
+	m := Insert{BatchID: d.string("batch id")}
+	n := d.count(4, "docs")
+	m.Docs = make([][]byte, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Docs = append(m.Docs, d.bytes("doc"))
+	}
+	return m, d.finish()
+}
+
+// InsertReply acknowledges a batch: how many documents were applied
+// (0 with Dup set when the dedup window absorbed a retry) and the
+// server's last journaled LSN after the commit — the durability
+// horizon the write reached.
+type InsertReply struct {
+	Applied uint32
+	Dup     bool
+	LastLSN uint64
+}
+
+// Encode appends the message body to buf.
+func (m InsertReply) Encode(buf []byte) []byte {
+	buf = appendU32(buf, m.Applied)
+	buf = appendBool(buf, m.Dup)
+	return appendU64(buf, m.LastLSN)
+}
+
+// DecodeInsertReply decodes an InsertReply body.
+func DecodeInsertReply(b []byte) (InsertReply, error) {
+	d := &dec{b: b}
+	m := InsertReply{
+		Applied: d.u32("applied"),
+		Dup:     d.bool("dup"),
+		LastLSN: d.u64("last lsn"),
 	}
 	return m, d.finish()
 }

@@ -33,7 +33,12 @@ import (
 //
 // Version 2 extended ErrorReply with an error code + retry-after hint
 // and StatsReply with the server health state and admission counters.
-const ProtocolVersion = 2
+//
+// Version 3 added the write path (OpInsert/OpInsertReply with
+// idempotent batch IDs) and the shared-secret HMAC challenge in the
+// handshake (nonce fields in Hello/HelloReply, OpAuth/OpAuthReply,
+// ErrCodeUnauthorized).
+const ProtocolVersion = 3
 
 // MaxFrameBody bounds a single frame body. Result batches are bounded
 // by the server's batch size, so real frames stay far below this; the
@@ -60,6 +65,10 @@ const (
 	OpPing
 	OpPong
 	OpError
+	OpInsert
+	OpInsertReply
+	OpAuth
+	OpAuthReply
 )
 
 // ErrorReply codes: the machine-readable classification riding next
@@ -80,6 +89,11 @@ const (
 	// unreadable frame (oversized length or checksum mismatch); the
 	// connection closes right after this reply.
 	ErrCodeBadFrame
+	// ErrCodeUnauthorized refuses a connection that has not completed
+	// the shared-secret HMAC challenge (wrong or missing proof); the
+	// server sends it before any op is served and closes the
+	// connection.
+	ErrCodeUnauthorized
 )
 
 // Server health states carried in StatsReply.State.

@@ -103,16 +103,56 @@ func TestFrameCorruption(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	in := Hello{Version: ProtocolVersion}
+	in := Hello{Version: ProtocolVersion, Nonce: []byte{1, 2, 3, 4}}
 	out, err := DecodeHello(in.Encode(nil))
-	if err != nil || out != in {
+	if err != nil || out.Version != in.Version || !bytes.Equal(out.Nonce, in.Nonce) {
 		t.Fatalf("got %+v, %v", out, err)
 	}
 
-	reply := HelloReply{Version: 1, Docs: 12345, Checksum: 0xDEADBEEFCAFE, ShardIDs: []int32{0, 2, 5}}
+	reply := HelloReply{
+		Version: 1, Docs: 12345, Checksum: 0xDEADBEEFCAFE, ShardIDs: []int32{0, 2, 5},
+		AuthRequired: true, Nonce: []byte{9, 8, 7}, Proof: []byte{6, 5},
+	}
 	gotReply, err := DecodeHelloReply(reply.Encode(nil))
 	if err != nil || !reflect.DeepEqual(gotReply, reply) {
 		t.Fatalf("got %+v, %v", gotReply, err)
+	}
+}
+
+func TestInsertRoundTrip(t *testing.T) {
+	in := Insert{BatchID: "client-7/batch-42", Docs: [][]byte{{1, 2, 3}, {4}, {}}}
+	out, err := DecodeInsert(in.Encode(nil))
+	if err != nil || out.BatchID != in.BatchID || len(out.Docs) != len(in.Docs) {
+		t.Fatalf("got %+v, %v", out, err)
+	}
+	for i := range in.Docs {
+		if !bytes.Equal(out.Docs[i], in.Docs[i]) {
+			t.Fatalf("doc %d: got %v want %v", i, out.Docs[i], in.Docs[i])
+		}
+	}
+
+	reply := InsertReply{Applied: 3, Dup: false, LastLSN: 77}
+	gotReply, err := DecodeInsertReply(reply.Encode(nil))
+	if err != nil || gotReply != reply {
+		t.Fatalf("got %+v, %v", gotReply, err)
+	}
+}
+
+func TestAuthProof(t *testing.T) {
+	secret := []byte("s3cret")
+	nonce := NewAuthNonce()
+	proof := AuthProof(secret, AuthRoleClient, nonce)
+	if !VerifyAuthProof(secret, AuthRoleClient, nonce, proof) {
+		t.Fatal("valid proof rejected")
+	}
+	if VerifyAuthProof(secret, AuthRoleServer, nonce, proof) {
+		t.Fatal("role confusion: client proof accepted for server role")
+	}
+	if VerifyAuthProof([]byte("wrong"), AuthRoleClient, nonce, proof) {
+		t.Fatal("proof accepted under wrong secret")
+	}
+	if VerifyAuthProof(secret, AuthRoleClient, NewAuthNonce(), proof) {
+		t.Fatal("proof accepted for a different nonce")
 	}
 }
 

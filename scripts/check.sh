@@ -9,7 +9,7 @@ set -eux
 go build ./...
 go test -timeout 180s ./...
 go vet ./...
-go test -race -timeout 300s ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/... ./internal/wire/... ./internal/netconn/...
+go test -race -timeout 300s ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/... ./internal/wire/... ./internal/netconn/... ./internal/replication/...
 
 # A 10-second slice of each fuzz target: BSON decoding is total, key
 # encoding preserves order, journal recovery never panics or replays
@@ -21,6 +21,7 @@ go test -timeout 120s ./internal/keyenc -fuzz FuzzKeyOrdering -fuzztime 10s
 go test -timeout 120s ./internal/wal -fuzz FuzzFrameRecover -fuzztime 10s
 go test -timeout 120s ./internal/btree -fuzz FuzzTreeOps -fuzztime 10s
 go test -timeout 120s ./internal/wire -fuzz FuzzFrameDecode -fuzztime 10s
+go test -timeout 120s ./internal/wire -fuzz FuzzInsertDecode -fuzztime 10s
 
 # Differential smoke of the real multi-process cluster: two stshardd
 # daemons + one strouterd must answer the paper's queries
@@ -31,6 +32,13 @@ timeout 120 sh scripts/cluster-smoke.sh
 # faults and overload bursts, with every routed reply byte-verified or
 # explicitly partial/shed and restarts fingerprint-checked.
 timeout 300 sh scripts/chaos-soak.sh
+
+# Crash-safe continuous ingest: idempotent write batches through the
+# write-enabled router while daemons are SIGKILLed mid-ingest and
+# recovered from their durable directories; bursts must shed, every
+# process must fingerprint-converge to the in-process reference, and
+# whole replicas are byte-verified over the wire read path.
+timeout 420 sh scripts/ingest-soak.sh
 
 # Not run here (needs a baseline report), but part of the perf
 # workflow: scripts/benchdiff.sh old.json new.json fails on a >20%
