@@ -20,9 +20,10 @@ vet:
 # B+tree whose borrowed-slice reads the router runs in parallel, and
 # the network transport (pooled conns, server-side cursors and the
 # cancellation watchdog all cross goroutines), and replication (the
-# group-commit ingest path fans acks out across follower goroutines);
-# their stress tests must stay race-clean.
-RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/... ./internal/wire/... ./internal/netconn/... ./internal/replication/...
+# group-commit ingest path fans acks out across follower goroutines),
+# and the shard-pruning sketches (updated by writers while the router
+# probes them); their stress tests must stay race-clean.
+RACE_PKGS = ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/... ./internal/wire/... ./internal/netconn/... ./internal/replication/... ./internal/sketch/...
 
 .PHONY: race
 race:
@@ -66,9 +67,11 @@ check: build test vet race cluster-smoke chaos-soak ingest-soak
 # (every index range scan rests on it), journal recovery must never
 # panic or replay a corrupt frame whatever bytes are on disk, the
 # arena B+tree must stay step-for-step equivalent to a sorted-map
-# oracle under arbitrary operation streams, and the wire protocol's
-# frame, message and insert-op decoders must never panic or
-# over-allocate on hostile network bytes.
+# oracle under arbitrary operation streams, the wire protocol's
+# frame, message, insert-op and aggregate-op decoders must never panic
+# or over-allocate on hostile network bytes, and the counting-bloom
+# sketch must never report a false negative against an exact-set
+# oracle under arbitrary add/remove/merge streams.
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	$(GO) test ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 30s
@@ -77,6 +80,8 @@ fuzz-smoke:
 	$(GO) test ./internal/btree -fuzz FuzzTreeOps -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzFrameDecode -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzInsertDecode -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzAggregateDecode -fuzztime 30s
+	$(GO) test ./internal/sketch -fuzz FuzzSketch -fuzztime 30s
 
 .PHONY: bench
 bench:

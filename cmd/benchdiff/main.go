@@ -12,7 +12,9 @@
 //
 //	benchdiff [-threshold 0.20] [-mem-threshold 0.25] old.json new.json
 //
-// Cells are matched on (workload, parallel, clients, keys). A cell
+// Cells are matched on (workload, parallel, clients, keys, network) —
+// the network flag keeps a TCP-arm cell from being compared against
+// its in-process namesake when both run at the same width. A cell
 // present in only one report is printed but never fails the diff (the
 // cell matrix legitimately grows). QPS and latency columns are
 // printed for context but do not gate: wall-clock numbers are
@@ -29,6 +31,17 @@
 //     accrued at least 1 ms (sub-ms totals are scheduler noise).
 //
 // Cells the old report did not measure (zero counters) never gate.
+//
+// Two additional checks look at the reports themselves rather than at
+// old-vs-new deltas:
+//   - reports built from different source trees (git_describe) are
+//     flagged with a warning, or refused under -require-same-version —
+//     comparing across versions conflates the code change under test
+//     with everything merged in between;
+//   - when the new report carries the aggregation arm, the pushdown's
+//     reason to exist is asserted in place: the agg-count and
+//     agg-heatmap cells must put at least 5x fewer bytes on the wire
+//     than the matching agg-docs baseline cell.
 package main
 
 import (
@@ -53,6 +66,8 @@ func main() {
 		"fail when a cell's allocs/op or bytes/op grows by more than this fraction")
 	memThreshold := flag.Float64("mem-threshold", 0.25,
 		"fail when a cell's heap_inuse_bytes or gc_pause_ms grows by more than this fraction")
+	requireSameVersion := flag.Bool("require-same-version", false,
+		"fail when the two reports were built from different source trees (git_describe)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold frac] [-mem-threshold frac] old.json new.json\n")
@@ -67,15 +82,30 @@ func main() {
 		fatal("benchdiff: %v", err)
 	}
 
+	// Reports from different source trees do not isolate one change;
+	// refuse (or at least say so) before comparing numbers. Reports
+	// from before the provenance field carry an empty string and are
+	// let through — there is nothing to compare against.
+	if oldRep.GitDescribe != "" && newRep.GitDescribe != "" &&
+		oldRep.GitDescribe != newRep.GitDescribe {
+		if *requireSameVersion {
+			fatal("benchdiff: reports come from different source trees: old %s, new %s (-require-same-version)",
+				oldRep.GitDescribe, newRep.GitDescribe)
+		}
+		fmt.Printf("warning: reports come from different source trees: old %s, new %s\n",
+			oldRep.GitDescribe, newRep.GitDescribe)
+	}
+
 	type key struct {
 		workload string
 		parallel int
 		clients  int
 		keys     int
+		network  bool
 	}
 	oldCells := map[key]bench.ThroughputCell{}
 	for _, c := range oldRep.Cells {
-		oldCells[key{c.Workload, c.Parallel, c.Clients, c.Keys}] = c
+		oldCells[key{c.Workload, c.Parallel, c.Clients, c.Keys, c.Network}] = c
 	}
 
 	fmt.Printf("%-11s %3s %3s %8s | %9s %8s | %8s %8s | %8s %8s | %8s %8s | %8s %8s\n",
@@ -85,7 +115,7 @@ func main() {
 	failures := 0
 	matched := map[key]bool{}
 	for _, nc := range newRep.Cells {
-		k := key{nc.Workload, nc.Parallel, nc.Clients, nc.Keys}
+		k := key{nc.Workload, nc.Parallel, nc.Clients, nc.Keys, nc.Network}
 		oc, ok := oldCells[k]
 		if !ok {
 			fmt.Printf("%-11s %3d %3d %8d | %9d %8s | %8.1f %8s | %8.1f %8s | %8.2f %8s | %8.1f %8s  (new cell)\n",
@@ -123,12 +153,18 @@ func main() {
 			nc.QPS, qpsDelta*100, mark)
 	}
 	for _, oc := range oldRep.Cells {
-		k := key{oc.Workload, oc.Parallel, oc.Clients, oc.Keys}
+		k := key{oc.Workload, oc.Parallel, oc.Clients, oc.Keys, oc.Network}
 		if !matched[k] {
 			fmt.Printf("%-11s %3d %3d %8d | (cell dropped from new report)\n",
 				oc.Workload, oc.Parallel, oc.Clients, oc.Keys)
 		}
 	}
+
+	// The aggregation arm's acceptance gate, checked inside the new
+	// report alone: pushed-down count and heatmap replies must be at
+	// least 5x smaller on the wire than the document-shipping baseline
+	// measured in the same run.
+	failures += checkAggWireBytes(newRep)
 
 	if failures > 0 {
 		fatal("benchdiff: %d cell(s) regressed (allocs/bytes > %.0f%%, heap/gc > %.0f%%)",
@@ -136,6 +172,46 @@ func main() {
 	}
 	fmt.Printf("benchdiff: no allocation regression above %.0f%%, no heap/GC regression above %.0f%%\n",
 		*threshold*100, *memThreshold*100)
+}
+
+// aggWireBytesFactor is the minimum wire-bytes reduction the pushed-
+// down count and heatmap aggregates must show over document shipping.
+const aggWireBytesFactor = 5
+
+// checkAggWireBytes gates the aggregation arm of one report: every
+// agg-count/agg-heatmap cell must put at least aggWireBytesFactor
+// fewer bytes on the wire than the agg-docs cell measured under the
+// same (parallel, clients, keys). Returns the number of violations.
+func checkAggWireBytes(r *bench.ThroughputReport) int {
+	type key struct{ parallel, clients, keys int }
+	docs := map[key]bench.ThroughputCell{}
+	for _, c := range r.Cells {
+		if c.Workload == "agg-docs" && c.WireBytesPerOp > 0 {
+			docs[key{c.Parallel, c.Clients, c.Keys}] = c
+		}
+	}
+	violations := 0
+	for _, c := range r.Cells {
+		if c.Workload != "agg-count" && c.Workload != "agg-heatmap" {
+			continue
+		}
+		base, ok := docs[key{c.Parallel, c.Clients, c.Keys}]
+		if !ok || c.WireBytesPerOp == 0 {
+			continue // arm not (fully) measured; nothing to gate
+		}
+		ratio := float64(base.WireBytesPerOp) / float64(c.WireBytesPerOp)
+		if ratio < aggWireBytesFactor {
+			fmt.Printf("%-11s %3d %3d %8d | wire %d B/op vs %d B/op for agg-docs: %.1fx < %dx  REGRESSION(wire)\n",
+				c.Workload, c.Parallel, c.Clients, c.Keys,
+				c.WireBytesPerOp, base.WireBytesPerOp, ratio, aggWireBytesFactor)
+			violations++
+		} else {
+			fmt.Printf("%-11s %3d %3d %8d | wire %d B/op, %.1fx below agg-docs (gate: >=%dx)\n",
+				c.Workload, c.Parallel, c.Clients, c.Keys,
+				c.WireBytesPerOp, ratio, aggWireBytesFactor)
+		}
+	}
+	return violations
 }
 
 func readReport(path string) (*bench.ThroughputReport, error) {

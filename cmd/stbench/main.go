@@ -56,6 +56,12 @@ func main() {
 		ingest      = flag.Bool("ingest", false, "throughput: add the continuous-write arm (ingest rate, shed rate, balance convergence, 4x overload burst; with -replicas also the lag observed under write load)")
 		ingestBatch = flag.Int("ingest-batch", 0, "throughput: documents per client batch in the ingest arm (default 64)")
 
+		// Aggregation-experiment options (used by -exp agg only; -out
+		// and -ops are shared with throughput).
+		aggCache    = flag.Int64("agg-cache", 0, "agg: result-cache budget in bytes (default 32 MiB, negative disables)")
+		aggDistinct = flag.String("agg-distinct", "", "agg: field of the distinct arm (default vehicleId)")
+		aggHeatmap  = flag.Int("agg-heatmap", 0, "agg: bits per dimension of the heatmap arm (default 8)")
+
 		// Profiling (any experiment).
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
@@ -95,7 +101,7 @@ func main() {
 		// the default run to the paper's own tables and figures.
 		var core []bench.Experiment
 		for _, e := range selected {
-			if !strings.HasPrefix(e.ID, "abl-") && e.ID != "throughput" {
+			if !strings.HasPrefix(e.ID, "abl-") && e.ID != "throughput" && e.ID != "agg" {
 				core = append(core, e)
 			}
 		}
@@ -186,6 +192,17 @@ func main() {
 		if e.ID == "throughput" {
 			run = func(env *bench.Env, w io.Writer) error {
 				return bench.RunThroughput(env, w, topts)
+			}
+		}
+		if e.ID == "agg" {
+			run = func(env *bench.Env, w io.Writer) error {
+				return bench.RunAgg(env, w, bench.AggOptions{
+					Ops:           *ops,
+					CacheBytes:    *aggCache,
+					DistinctField: *aggDistinct,
+					HeatmapBits:   *aggHeatmap,
+					OutPath:       *out,
+				})
 			}
 		}
 		if err := run(env, os.Stdout); err != nil {

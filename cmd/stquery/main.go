@@ -70,6 +70,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/geo"
 	"repro/internal/netconn"
+	"repro/internal/query"
 	"repro/internal/replication"
 	"repro/internal/sharding"
 	"repro/internal/wire"
@@ -99,8 +100,12 @@ func main() {
 		router   = flag.String("router", "", "strouterd address: thin-client mode, no local store")
 		stats    = flag.String("stats", "", "daemon address: print its health state and admission counters, then exit")
 		secret   = flag.String("auth-secret", "", "shared secret for the handshake HMAC challenge (must match the daemons')")
+		cache    = flag.Int64("cache", 0, "router result-cache budget in bytes (0 = no cache; local store modes only)")
 	)
 	flag.BoolVar(&digest, "digest", false, "print name, count and SHA-256 of each result (deterministic differential output)")
+	flag.BoolVar(&aggCount, "count", false, "aggregate: return only the matching-document count (pushed down to the shards)")
+	flag.StringVar(&aggDistinct, "distinct", "", "aggregate: return the distinct values of this field (pushed down)")
+	flag.IntVar(&aggHeatmap, "heatmap", 0, "aggregate: per-cell density histogram at this many bits per dimension (Hilbert approaches)")
 	flag.Parse()
 
 	if *stats != "" {
@@ -149,7 +154,7 @@ func main() {
 	var s *core.Store
 	if *dir != "" {
 		var err error
-		s, err = core.OpenDir(*dir, core.Config{Parallel: *parallel})
+		s, err = core.OpenDir(*dir, core.Config{Parallel: *parallel, ResultCacheBytes: *cache})
 		if err != nil {
 			fatal("stquery: %v", err)
 		}
@@ -165,10 +170,11 @@ func main() {
 		recs := data.GenerateReal(data.RealConfig{Records: *records})
 		var err error
 		s, err = core.Open(core.Config{
-			Approach:   a,
-			Shards:     *shards,
-			DataExtent: data.MBROf(recs),
-			Parallel:   *parallel,
+			Approach:         a,
+			Shards:           *shards,
+			DataExtent:       data.MBROf(recs),
+			Parallel:         *parallel,
+			ResultCacheBytes: *cache,
 		})
 		if err != nil {
 			fatal("stquery: %v", err)
@@ -328,8 +334,8 @@ func runQueries(exec querier, file, rectStr, fromStr, toStr string, limit int, s
 	if err != nil {
 		fatal("stquery: bad -to: %v", err)
 	}
-	q := core.STQuery{Rect: rect, From: from, To: to, Limit: limit, Sort: sortOrder}
-	res := exec.Query(q)
+	q := withAgg(core.STQuery{Rect: rect, From: from, To: to, Limit: limit, Sort: sortOrder})
+	res := execQuery(exec, q)
 	printResult("query", res)
 	if explainFn != nil {
 		explainFn(q)
@@ -386,7 +392,7 @@ func runQueryFile(exec querier, path string, limit int, sortOrder core.SortOrder
 		if err != nil {
 			return fmt.Errorf("%s:%d: bad to: %w", path, ln+1, err)
 		}
-		qs = append(qs, core.STQuery{Rect: rect, From: from, To: to, Limit: limit, Sort: sortOrder})
+		qs = append(qs, withAgg(core.STQuery{Rect: rect, From: from, To: to, Limit: limit, Sort: sortOrder}))
 		names = append(names, fmt.Sprintf("q%d", len(qs)))
 	}
 	if len(qs) == 0 {
@@ -396,12 +402,12 @@ func runQueryFile(exec querier, path string, limit int, sortOrder core.SortOrder
 	// The store path runs the whole file as one batch through the
 	// scatter-gather pool; the thin router client has no batch op.
 	var results []*core.QueryResult
-	if s, ok := exec.(*core.Store); ok {
+	if s, ok := exec.(*core.Store); ok && !qs[0].HasAgg() {
 		results = s.QueryBatch(qs)
 	} else {
 		results = make([]*core.QueryResult, len(qs))
 		for i, q := range qs {
-			results[i] = exec.Query(q)
+			results[i] = execQuery(exec, q)
 		}
 	}
 	elapsed := time.Since(start)
@@ -424,7 +430,7 @@ func runPaperQueries(exec querier, limit int, sortOrder core.SortOrder) {
 		names := bench.QueryNames(small)
 		for i, q := range ds.Queries(small) {
 			q.Limit, q.Sort = limit, sortOrder
-			printResult(names[i], exec.Query(q))
+			printResult(names[i], execQuery(exec, withAgg(q)))
 		}
 	}
 }
@@ -445,18 +451,70 @@ func parseSort(s string) (core.SortOrder, error) {
 // format: name, count, SHA-256 of the returned documents' bytes.
 var digest bool
 
+// The aggregate request flags (-count/-distinct/-heatmap), applied to
+// every query the run builds.
+var (
+	aggCount    bool
+	aggDistinct string
+	aggHeatmap  int
+)
+
+// withAgg stamps the aggregate request onto a built query.
+func withAgg(q core.STQuery) core.STQuery {
+	q.Count, q.Distinct, q.HeatmapBits = aggCount, aggDistinct, aggHeatmap
+	return q
+}
+
+// execQuery routes a query through the querier, taking the
+// validating aggregate path on a local store (the thin router client
+// carries the aggregate request inside the wire op itself).
+func execQuery(exec querier, q core.STQuery) *core.QueryResult {
+	if s, ok := exec.(*core.Store); ok && q.HasAgg() {
+		res, err := s.Aggregate(q)
+		if err != nil {
+			fatal("stquery: %v", err)
+		}
+		return res
+	}
+	return exec.Query(q)
+}
+
 func printResult(name string, res *core.QueryResult) {
 	if digest {
 		h := sha256.New()
-		for _, d := range res.Docs {
-			h.Write(d)
+		n := len(res.Docs)
+		if res.Agg != nil {
+			// The canonical aggregate encoding: the same bytes no
+			// matter which process (or how many) computed the merge.
+			h.Write(wire.AppendAggResult(nil, res.Agg))
+			n = int(res.Agg.Count)
+		} else {
+			for _, d := range res.Docs {
+				h.Write(d)
+			}
 		}
-		fmt.Printf("%-5s n=%-7d sha256=%x\n", name, len(res.Docs), h.Sum(nil))
+		fmt.Printf("%-5s n=%-7d sha256=%x\n", name, n, h.Sum(nil))
 		return
 	}
 	st := res.Stats
 	fmt.Printf("%-5s returned=%-7d nodes=%-2d maxKeys=%-8d maxDocs=%-8d time=%-12v",
 		name, st.NReturned, st.Nodes, st.MaxKeysExamined, st.MaxDocsExamined, st.Duration)
+	if a := res.Agg; a != nil {
+		switch a.Kind {
+		case query.AggCount:
+			fmt.Printf(" count=%d", a.Count)
+		case query.AggDistinct:
+			fmt.Printf(" distinct=%d", len(a.Distinct))
+		case query.AggCellHist:
+			fmt.Printf(" cells=%d count=%d", len(a.Cells), a.Count)
+		}
+	}
+	if st.ShardsPruned > 0 {
+		fmt.Printf(" pruned=%d", st.ShardsPruned)
+	}
+	if st.CacheHit {
+		fmt.Printf(" CACHED")
+	}
 	if st.CoverRanges+st.CoverCells > 0 {
 		fmt.Printf(" cover=%dr+%dc (%v)", st.CoverRanges, st.CoverCells, st.CoverDuration)
 	}

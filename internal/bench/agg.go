@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"slices"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// The aggregation experiment measures what the pushdown buys: the
+// same paper workload executed four ways — shipping whole documents,
+// and as pushed-down count / distinct / heatmap aggregates — with the
+// bytes each result occupies on the wire recorded next to the
+// latency. The agg-docs cell is the baseline the acceptance gate
+// divides by: count and heatmap replies must be at least 5x smaller.
+// The cells also carry the sketch router's pruning counter and the
+// result cache's hit rate, the two optimizations that ride the same
+// path.
+
+// AggOptions configures the aggregation-pushdown experiment.
+type AggOptions struct {
+	// Ops is the number of queries per cell (default 64). With the
+	// paper's eight-query workload this repeats each query several
+	// times, which is what gives the result cache something to hit.
+	Ops int
+	// CacheBytes is the router result-cache budget for the run
+	// (default 32 MiB; negative disables the cache).
+	CacheBytes int64
+	// DistinctField is the distinct arm's field (default "vehicleId",
+	// the generated data's low-cardinality payload field).
+	DistinctField string
+	// HeatmapBits is the heatmap arm's resolution (default 8 bits per
+	// dimension).
+	HeatmapBits int
+	// OutPath is the JSON report the cells merge into; empty means
+	// BENCH_throughput.json, "-" disables the file. Existing non-agg
+	// cells in the file are preserved.
+	OutPath string
+}
+
+func (o AggOptions) withDefaults() AggOptions {
+	if o.Ops <= 0 {
+		o.Ops = 64
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 32 << 20
+	}
+	if o.DistinctField == "" {
+		o.DistinctField = "vehicleId"
+	}
+	if o.HeatmapBits <= 0 {
+		o.HeatmapBits = 8
+	}
+	if o.OutPath == "" {
+		o.OutPath = "BENCH_throughput.json"
+	}
+	return o
+}
+
+// RunAgg executes the aggregation-pushdown experiment on the R data
+// set under the hil approach, writes the human-readable table to w
+// and merges the cells into opts.OutPath.
+func RunAgg(e *Env, w io.Writer, opts AggOptions) error {
+	opts = opts.withDefaults()
+	s, err := e.Store(e.DatasetR(), storeApproachForThroughput, false)
+	if err != nil {
+		return err
+	}
+	d := e.DatasetR()
+	small := d.Queries(true)
+	big := d.Queries(false)
+	mixed := append(append([]core.STQuery{}, small[:]...), big[:]...)
+	// Warm the plan caches before enabling the result cache, so every
+	// arm measures the result cache from cold.
+	for _, q := range mixed {
+		s.Query(q)
+	}
+	if opts.CacheBytes > 0 {
+		s.Cluster().EnableResultCache(opts.CacheBytes)
+		// The env caches the loaded store across experiments; hand it
+		// back cache-free, as it was given to us.
+		defer s.Cluster().EnableResultCache(0)
+	}
+
+	arms := []struct {
+		name  string
+		stamp func(core.STQuery) core.STQuery
+	}{
+		{"agg-docs", func(q core.STQuery) core.STQuery { return q }},
+		{"agg-count", func(q core.STQuery) core.STQuery { q.Count = true; return q }},
+		{"agg-distinct", func(q core.STQuery) core.STQuery { q.Distinct = opts.DistinctField; return q }},
+		{"agg-heatmap", func(q core.STQuery) core.STQuery { q.HeatmapBits = opts.HeatmapBits; return q }},
+	}
+
+	var cells []ThroughputCell
+	for _, arm := range arms {
+		e.progress("agg: %s workload, %d ops", arm.name, opts.Ops)
+		qs := make([]core.STQuery, len(mixed))
+		for i, q := range mixed {
+			qs[i] = arm.stamp(q)
+		}
+		cells = append(cells, runAggCell(s, arm.name, qs, opts.Ops))
+	}
+
+	if err := writeAggTable(w, cells); err != nil {
+		return err
+	}
+	if opts.OutPath != "-" {
+		if err := mergeAggCells(opts.OutPath, cells); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  (cells merged into %s)\n\n", opts.OutPath)
+	}
+	return nil
+}
+
+// runAggCell runs one arm: a single client issuing ops queries
+// round-robin over the workload, recording latency, reply bytes and
+// the pruning/caching counters.
+func runAggCell(s *core.Store, workload string, qs []core.STQuery, ops int) ThroughputCell {
+	latencies := make([]time.Duration, 0, ops)
+	var wireBytes uint64
+	var pruned int
+	hits0, miss0 := s.Cluster().ResultCacheStats()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		q := qs[i%len(qs)]
+		t0 := time.Now()
+		var res *core.QueryResult
+		if q.HasAgg() {
+			var err error
+			if res, err = s.Aggregate(q); err != nil {
+				// The workload is validated at construction; an error
+				// here is a harness bug worth failing loudly on.
+				panic(fmt.Sprintf("bench: agg cell %s: %v", workload, err))
+			}
+		} else {
+			res = s.Query(q)
+		}
+		latencies = append(latencies, time.Since(t0))
+		wireBytes += uint64(replyWireBytes(res))
+		pruned += res.Stats.ShardsPruned
+	}
+	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	hits1, miss1 := s.Cluster().ResultCacheStats()
+
+	slices.Sort(latencies)
+	pct := func(q float64) float64 {
+		i := int(q*float64(len(latencies))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i].Seconds() * 1000
+	}
+	cell := ThroughputCell{
+		Workload:       workload,
+		Parallel:       runtime.GOMAXPROCS(0),
+		Clients:        1,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Ops:            ops,
+		QPS:            float64(ops) / wall.Seconds(),
+		P50ms:          pct(0.50),
+		P95ms:          pct(0.95),
+		P99ms:          pct(0.99),
+		AllocsPerOp:    (after.Mallocs - before.Mallocs) / uint64(ops),
+		BytesPerOp:     (after.TotalAlloc - before.TotalAlloc) / uint64(ops),
+		HeapInuseBytes: after.HeapInuse,
+		GCPauseMs:      float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+		WireBytesPerOp: wireBytes / uint64(ops),
+		ShardsPruned:   pruned,
+	}
+	if dh, dm := hits1-hits0, miss1-miss0; dh+dm > 0 {
+		cell.CacheHitRate = float64(dh) / float64(dh+dm)
+	}
+	return cell
+}
+
+// replyWireBytes is the encoded client-reply body for a result: the
+// honest on-the-wire size of what the query returns, measured with
+// the same codec the router daemon uses.
+func replyWireBytes(res *core.QueryResult) int {
+	reply := wire.STQueryReply{
+		Nodes:           int32(res.Stats.Nodes),
+		MaxKeysExamined: int64(res.Stats.MaxKeysExamined),
+		MaxDocsExamined: int64(res.Stats.MaxDocsExamined),
+		DurationNS:      int64(res.Stats.Duration),
+		HasAgg:          res.Agg != nil,
+		Agg:             res.Agg,
+	}
+	for _, doc := range res.Docs {
+		reply.Docs = append(reply.Docs, doc)
+	}
+	return len(reply.Encode(nil))
+}
+
+// mergeAggCells rewrites path with the agg-* cells replaced by the
+// fresh run, preserving everything else a previous throughput run put
+// there. A missing file becomes a minimal agg-only report.
+func mergeAggCells(path string, cells []ThroughputCell) error {
+	report := &ThroughputReport{}
+	if blob, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(blob, report); err != nil {
+			return fmt.Errorf("bench: merging into %s: %w", path, err)
+		}
+	}
+	kept := report.Cells[:0]
+	for _, c := range report.Cells {
+		if !strings.HasPrefix(c.Workload, "agg-") {
+			kept = append(kept, c)
+		}
+	}
+	report.Cells = append(kept, cells...)
+	report.GitDescribe = gitDescribe()
+	if report.GOMAXPROCS == 0 {
+		report.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		report.NumCPU = runtime.NumCPU()
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// writeAggTable renders the experiment's human-readable table.
+func writeAggTable(w io.Writer, cells []ThroughputCell) error {
+	fmt.Fprintf(w, "Aggregation pushdown: reply bytes, pruning and result-cache effect\n")
+	header := []string{"Workload", "Ops", "QPS", "p50", "p99", "Wire B/op", "vs docs", "Pruned", "CacheHit"}
+	var docsBytes uint64
+	for _, c := range cells {
+		if c.Workload == "agg-docs" {
+			docsBytes = c.WireBytesPerOp
+		}
+	}
+	var rows [][]string
+	for _, c := range cells {
+		ratio := "-"
+		if docsBytes > 0 && c.WireBytesPerOp > 0 && c.Workload != "agg-docs" {
+			ratio = fmt.Sprintf("%.1fx", float64(docsBytes)/float64(c.WireBytesPerOp))
+		}
+		rows = append(rows, []string{
+			c.Workload,
+			fmt.Sprintf("%d", c.Ops),
+			fmt.Sprintf("%.1f", c.QPS),
+			fmt.Sprintf("%.2fms", c.P50ms),
+			fmt.Sprintf("%.2fms", c.P99ms),
+			fmt.Sprintf("%d", c.WireBytesPerOp),
+			ratio,
+			fmt.Sprintf("%d", c.ShardsPruned),
+			fmt.Sprintf("%.2f", c.CacheHitRate),
+		})
+	}
+	return writeSimpleTable(w, header, rows)
+}
+
+// gitDescribe identifies the working tree a report was built from,
+// "unknown" when git (or a repository) is unavailable.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -84,6 +84,13 @@ func Experiments() []Experiment {
 				return RunThroughput(e, w, ThroughputOptions{})
 			},
 		},
+		Experiment{
+			ID:    "agg",
+			Title: "Aggregation pushdown: wire bytes, pruning, result cache",
+			Run: func(e *Env, w io.Writer) error {
+				return RunAgg(e, w, AggOptions{})
+			},
+		},
 	)
 	return exps
 }

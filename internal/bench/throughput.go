@@ -183,6 +183,21 @@ type ThroughputCell struct {
 	BalanceMs     float64 `json:"balance_ms,omitempty"`
 	BalanceRounds int     `json:"balance_rounds,omitempty"`
 	BalanceMoves  int     `json:"balance_moves,omitempty"`
+	// GOMAXPROCS is the effective worker-parallelism limit while THIS
+	// cell ran (it can differ from the report-level value when a
+	// harness or container reshapes the process between cells);
+	// benchdiff uses it to spot incomparable cells.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// Aggregation-arm fields (zero — and omitted — elsewhere).
+	// WireBytesPerOp is the encoded client-reply body size per query —
+	// the bytes a result actually occupies on the wire, the observable
+	// the aggregation pushdown exists to shrink. CacheHitRate is the
+	// fraction of the cell's queries answered entirely from the
+	// router's result cache, and ShardsPruned is the total number of
+	// shard visits the sketch summaries proved unnecessary.
+	WireBytesPerOp uint64  `json:"wire_bytes_per_op,omitempty"`
+	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
+	ShardsPruned   int     `json:"shards_pruned,omitempty"`
 }
 
 // ThroughputReport is the experiment's JSON artifact.
@@ -196,6 +211,11 @@ type ThroughputReport struct {
 	DatasetDocs     int    `json:"dataset_docs"`
 	DatasetChecksum string `json:"dataset_checksum"`
 	GOMAXPROCS      int    `json:"gomaxprocs"`
+	// GitDescribe identifies the source tree the report was built
+	// from (`git describe --always --dirty`, "unknown" outside a
+	// repository): benchdiff prints a warning — or refuses, with
+	// -require-same-version — when two reports compare different code.
+	GitDescribe string `json:"git_describe,omitempty"`
 	// NumCPU is the host's logical CPU count; when it equals 1 the
 	// gomaxprocs value is a genuine host property, not a misconfigured
 	// process.
@@ -306,10 +326,11 @@ func RunThroughput(e *Env, w io.Writer, opts ThroughputOptions) error {
 	}
 
 	report := ThroughputReport{
-		Records:    len(d.Recs),
-		Shards:     e.Scale.Shards,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
+		Records:     len(d.Recs),
+		Shards:      e.Scale.Shards,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GitDescribe: gitDescribe(),
+		NumCPU:      runtime.NumCPU(),
 		Parallel:   opts.Parallel,
 		Faults:     opts.Faults,
 		Addrs:      opts.Addrs,
@@ -513,6 +534,7 @@ func runThroughputCell(workload string, s *core.Store, qs []core.STQuery, width,
 		Workload:       workload,
 		Parallel:       width,
 		Clients:        clients,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		Ops:            len(latencies),
 		QPS:            float64(len(latencies)) / wall.Seconds(),
 		P50ms:          pct(0.50),

@@ -142,6 +142,16 @@ type Config struct {
 	// ReadPref selects the router's per-shard read target (primary /
 	// primaryPreferred / nearest-within-lag).
 	ReadPref sharding.ReadPref
+	// SummaryShift tunes the per-chunk coarse-cell sketch summaries
+	// that let the router skip provably-empty shards. 0 means the
+	// approach default: enabled for the Hilbert approaches (whose
+	// leading shard-key field is the integer curve value the sketches
+	// need), disabled for the rest. A positive value forces that
+	// shift; a negative value disables the summaries entirely.
+	SummaryShift int
+	// ResultCacheBytes bounds the router's epoch-invalidated result
+	// cache; 0 disables caching.
+	ResultCacheBytes int64
 	// Seed drives deterministic _id generation (default 1).
 	Seed uint64
 	// STHashChars is the spatial precision of the STHash approach
@@ -228,6 +238,8 @@ func (c Config) clusterOptions() sharding.Options {
 	return sharding.Options{
 		Shards:           c.Shards,
 		ChunkMaxBytes:    c.ChunkMaxBytes,
+		SummaryShift:     c.summaryShift(),
+		ResultCacheBytes: c.ResultCacheBytes,
 		AutoBalanceEvery: c.AutoBalanceEvery,
 		Parallel:         c.Parallel,
 		QueryConfig:      c.QueryConfig,
@@ -241,6 +253,28 @@ func (c Config) clusterOptions() sharding.Options {
 		SyncBatchBytes:   c.SyncBatchBytes,
 		FS:               c.FS,
 	}
+}
+
+// summaryShift resolves the effective sketch-summary shift: the
+// configured value, or for the Hilbert approaches a default that
+// groups the 2·order-bit curve values into roughly 2^16 coarse cells.
+// Negative disables; non-Hilbert approaches (string or time shard
+// keys the sketches cannot cell) default to off.
+func (c Config) summaryShift() int {
+	if c.SummaryShift < 0 {
+		return 0
+	}
+	if c.SummaryShift > 0 {
+		return c.SummaryShift
+	}
+	switch c.Approach {
+	case Hil, HilStar:
+		if s := 2*int(c.HilbertOrder) - 16; s > 0 {
+			return s
+		}
+		return 1
+	}
+	return 0
 }
 
 // newStore validates the approach and builds its in-memory encoders

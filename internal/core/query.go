@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/bson"
@@ -65,11 +66,20 @@ type QueryStats struct {
 	// warm trial-free planning path was taken.
 	PlanCacheHits   int64
 	PlanCacheMisses int64
+	// ShardsPruned counts shards the chunk map targeted but the
+	// per-chunk sketch summaries proved empty for this query, so the
+	// scatter skipped them.
+	ShardsPruned int
+	// CacheHit reports the whole result came from the router's
+	// epoch-invalidated result cache without touching any shard.
+	CacheHit bool
 }
 
-// QueryResult carries the documents and the stats.
+// QueryResult carries the documents and the stats. For an aggregate
+// query Docs is empty and Agg holds the merged aggregate instead.
 type QueryResult struct {
 	Docs  []bson.Raw
+	Agg   *query.AggResult
 	Stats QueryStats
 }
 
@@ -102,6 +112,24 @@ type STQuery struct {
 	// Sort orders the merged results (and makes a limited query a
 	// top-k query).
 	Sort SortOrder
+	// Count, Distinct and HeatmapBits select a pushed-down aggregate
+	// instead of document shipping: shards compute partial aggregates
+	// inside their scans and the router merges them. At most one may
+	// be set; execute through Aggregate (Query ignores these fields).
+	//
+	// Count returns only the number of matching documents. Distinct
+	// names a field whose distinct value set is returned. HeatmapBits
+	// asks for a per-cell density histogram of the matching documents
+	// at that curve resolution (bits per dimension, Hilbert
+	// approaches only).
+	Count       bool
+	Distinct    string
+	HeatmapBits int
+}
+
+// HasAgg reports whether the query requests a pushed-down aggregate.
+func (q STQuery) HasAgg() bool {
+	return q.Count || q.Distinct != "" || q.HeatmapBits > 0
 }
 
 // opts translates the query's limit/sort into the executor's
@@ -116,6 +144,65 @@ func (q STQuery) opts() query.Opts {
 		o.Desc = true
 	}
 	return o
+}
+
+// aggSpec resolves the query's aggregate request into the executor's
+// pushed-down spec, validating it against this store's approach.
+func (s *Store) aggSpec(q STQuery) (query.AggSpec, error) {
+	n := 0
+	if q.Count {
+		n++
+	}
+	if q.Distinct != "" {
+		n++
+	}
+	if q.HeatmapBits > 0 {
+		n++
+	}
+	switch {
+	case n == 0:
+		return query.AggSpec{}, fmt.Errorf("core: no aggregate requested")
+	case n > 1:
+		return query.AggSpec{}, fmt.Errorf("core: at most one of count/distinct/heatmap may be set")
+	case q.Count:
+		return query.AggSpec{Kind: query.AggCount}, nil
+	case q.Distinct != "":
+		return query.AggSpec{Kind: query.AggDistinct, Field: q.Distinct}, nil
+	default:
+		if s.grid == nil {
+			return query.AggSpec{}, fmt.Errorf("core: heatmap requires a Hilbert approach (no curve value to cell)")
+		}
+		order := int(s.grid.Curve().Order())
+		if q.HeatmapBits > order {
+			return query.AggSpec{}, fmt.Errorf("core: heatmap bits %d exceed curve order %d", q.HeatmapBits, order)
+		}
+		// A b-bit heatmap cell is the top 2b bits of the 2·order-bit
+		// curve value: drop the low 2(order-b).
+		return query.AggSpec{
+			Kind:  query.AggCellHist,
+			Field: FieldHilbert,
+			Shift: uint8(2 * (order - q.HeatmapBits)),
+		}, nil
+	}
+}
+
+// Aggregate executes the query's pushed-down aggregate and reports
+// the same metrics as Query: shards return partial aggregates
+// (a count, a distinct set, a cell histogram) instead of documents,
+// and the router merges them. The merged result is byte-identical to
+// aggregating the shipped documents of the equivalent Query.
+func (s *Store) Aggregate(q STQuery) (*QueryResult, error) {
+	spec, err := s.aggSpec(q)
+	if err != nil {
+		return nil, err
+	}
+	f, coverStats, coverTime := s.Filter(q)
+	o := q.opts()
+	o.Agg = spec
+	routed := s.cluster.QueryOpts(f, o)
+	out := assembleResult(routed, coverStats, coverTime)
+	s.fillPlanCache(&out.Stats)
+	return out, nil
 }
 
 // Filter builds the approach's query filter. For the baselines it is
@@ -218,6 +305,8 @@ func assembleResult(routed *sharding.RoutedResult, coverStats sfc.RangeStats, co
 		FailedOver:      routed.FailedOver,
 		ReplicaReads:    routed.ReplicaReads,
 		MaxLagLSN:       routed.MaxLagLSN,
+		ShardsPruned:    routed.ShardsPruned,
+		CacheHit:        routed.CacheHit,
 	}
 	for _, r := range routed.RetriesPerShard {
 		stats.Retries += r
@@ -225,7 +314,7 @@ func assembleResult(routed *sharding.RoutedResult, coverStats sfc.RangeStats, co
 	for _, st := range routed.PerShard {
 		stats.IndexesUsed = append(stats.IndexesUsed, st.IndexUsed)
 	}
-	return &QueryResult{Docs: routed.Docs, Stats: stats}
+	return &QueryResult{Docs: routed.Docs, Agg: routed.Agg, Stats: stats}
 }
 
 // fillPlanCache stamps the cluster-wide cumulative plan-cache

@@ -1,0 +1,131 @@
+package netconn
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/wire"
+)
+
+// aggMatrix is the aggregate differential matrix: count, distinct
+// over a low-cardinality payload field, and heatmaps at two
+// resolutions, over windows that hit one shard, several, and all.
+func aggMatrix() []core.STQuery {
+	week := testStart.Add(7 * 24 * time.Hour)
+	return []core.STQuery{
+		{Rect: testRect, From: testStart, To: week, Count: true},
+		{Rect: testRect, From: testStart, To: testStart.Add(time.Hour), Count: true},
+		{Rect: testRect, From: testStart, To: week, Distinct: "vehicleId"},
+		{Rect: testRect, From: testStart, To: week, Distinct: "date"},
+		{Rect: testRect, From: testStart, To: week, HeatmapBits: 4},
+		{Rect: testRect, From: testStart, To: week, HeatmapBits: 8},
+	}
+}
+
+func assertSameAgg(t *testing.T, label string, want, got *query.AggResult) {
+	t.Helper()
+	if want == nil || got == nil {
+		t.Fatalf("%s: nil aggregate (want %v, got %v)", label, want, got)
+	}
+	if !want.Equal(got) {
+		t.Fatalf("%s: aggregate diverges: want %+v, got %+v", label, want, got)
+	}
+	// Canonical encodings must match byte for byte: the cross-process
+	// digest in cluster-smoke.sh depends on it.
+	if !bytes.Equal(wire.AppendAggResult(nil, want), wire.AppendAggResult(nil, got)) {
+		t.Fatalf("%s: canonical aggregate encodings differ", label)
+	}
+}
+
+// TestAggregateDifferentialOverTCP proves the pushed-down aggregate
+// path produces byte-identical merged results whether per-shard
+// executions run in process or travel the wire to real shard
+// daemons as single OpAggregate frames.
+func TestAggregateDifferentialOverTCP(t *testing.T) {
+	router := openStore(t, core.Hil, 4, 3000)
+	backend := openStore(t, core.Hil, 4, 3000)
+	addrs := startServers(t, backend, 2, ServerOptions{})
+	rc := connectRemote(t, router, addrs, Options{BatchSize: 7})
+
+	queries := aggMatrix()
+	local := make([]*core.QueryResult, len(queries))
+	for i, q := range queries {
+		res, err := router.Aggregate(q)
+		if err != nil {
+			t.Fatalf("local aggregate %d: %v", i, err)
+		}
+		local[i] = res
+	}
+	router.Cluster().SetConn(rc)
+	defer router.Cluster().SetConn(nil)
+	for i, q := range queries {
+		remote, err := router.Aggregate(q)
+		if err != nil {
+			t.Fatalf("remote aggregate %d: %v", i, err)
+		}
+		assertSameAgg(t, q.From.Format("q2006-01-02"), local[i].Agg, remote.Agg)
+		if len(remote.Docs) != 0 {
+			t.Fatalf("aggregate %d shipped %d documents over the wire", i, len(remote.Docs))
+		}
+		if remote.Stats.NReturned != local[i].Stats.NReturned {
+			t.Fatalf("aggregate %d: NReturned %d != %d", i, remote.Stats.NReturned, local[i].Stats.NReturned)
+		}
+	}
+}
+
+// TestAggregateThroughRouterDaemon drives the aggregate through the
+// client-facing router op: a thin Client sends STQuery frames with
+// the aggregate request set and must read back the same merged
+// aggregate the embedded store computes, plus the pruning/caching
+// observables.
+func TestAggregateThroughRouterDaemon(t *testing.T) {
+	store := openStore(t, core.Hil, 4, 3000)
+	rs := NewRouterServer(store, AdmitOptions{})
+	addr, err := rs.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rs.Close)
+	cl, err := DialRouter(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	for i, q := range aggMatrix() {
+		want, err := store.Aggregate(q)
+		if err != nil {
+			t.Fatalf("embedded aggregate %d: %v", i, err)
+		}
+		got, err := cl.Query(q)
+		if err != nil {
+			t.Fatalf("client aggregate %d: %v", i, err)
+		}
+		assertSameAgg(t, q.From.Format("q2006-01-02"), want.Agg, got.Agg)
+	}
+
+	// An invalid aggregate (heatmap through a store with no curve)
+	// must come back as a structured error frame, not a torn stream.
+	baseline := openStore(t, core.BslST, 2, 100)
+	brs := NewRouterServer(baseline, AdmitOptions{})
+	baddr, err := brs.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(brs.Close)
+	bcl, err := DialRouter(baddr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bcl.Close)
+	if _, err := bcl.Query(core.STQuery{Rect: testRect, From: testStart, To: testStart.Add(time.Hour), HeatmapBits: 4}); err == nil {
+		t.Fatal("heatmap on a baseline approach should fail")
+	}
+	// The connection must stay usable after the error frame.
+	if _, err := bcl.Query(core.STQuery{Rect: testRect, From: testStart, To: testStart.Add(time.Hour), Count: true}); err != nil {
+		t.Fatalf("count after failed heatmap: %v", err)
+	}
+}

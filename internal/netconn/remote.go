@@ -128,6 +128,9 @@ func (rc *RemoteConn) Query(ctx context.Context, shard *sharding.Shard, f query.
 	if p == nil {
 		return nil, hardErr(shard.ID, fmt.Errorf("netconn: no server for shard %d", shard.ID))
 	}
+	if opts.Agg.Active() {
+		return rc.aggregate(ctx, p, shard.ID, f, opts)
+	}
 	body, err := wire.Query{
 		Shard:     int32(shard.ID),
 		BatchSize: uint32(rc.opts.BatchSize),
@@ -154,6 +157,71 @@ func (rc *RemoteConn) Query(ctx context.Context, shard *sharding.Shard, f query.
 	res, err := rc.drain(ctx, c, shard.ID, body)
 	p.put(c)
 	return res, err
+}
+
+// aggregate runs the pushed-down aggregate as a single request/reply
+// round trip: no cursor, no getMore loop — the partial aggregate for
+// the whole shard comes back in one frame, which is exactly the
+// bytes-on-wire win the pushdown exists for. Error mapping mirrors
+// exchange: torn streams are transient, protocol violations and
+// server-reported hard errors are not.
+func (rc *RemoteConn) aggregate(ctx context.Context, p *pool, shard int, f query.Filter, opts query.Opts) (*query.Result, error) {
+	body, err := wire.Aggregate{
+		Shard:    int32(shard),
+		AggKind:  uint8(opts.Agg.Kind),
+		AggField: opts.Agg.Field,
+		AggShift: opts.Agg.Shift,
+		Filter:   f,
+	}.Encode(nil)
+	if err != nil {
+		return nil, hardErr(shard, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, err := p.get()
+	if err != nil {
+		if errors.Is(err, ErrFingerprintChanged) {
+			return nil, hardErr(shard, err)
+		}
+		return nil, transientErr(shard, err)
+	}
+	defer p.put(c)
+	rop, rbody, err := c.roundTrip(ctx, wire.OpAggregate, body)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		if errors.Is(err, wire.ErrBadFrame) &&
+			!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, hardErr(shard, err)
+		}
+		return nil, transientErr(shard, err)
+	}
+	switch rop {
+	case wire.OpAggregateReply:
+		reply, err := wire.DecodeAggregateReply(rbody)
+		if err != nil {
+			c.broken = true
+			return nil, hardErr(shard, err)
+		}
+		return &query.Result{Stats: reply.Stats(), Agg: reply.Agg}, nil
+	case wire.OpError:
+		er, err := wire.DecodeErrorReply(rbody)
+		if err != nil {
+			c.broken = true
+			return nil, hardErr(shard, err)
+		}
+		return nil, &sharding.ShardError{
+			Shard:      int(er.Shard),
+			Transient:  er.Transient,
+			RetryAfter: time.Duration(er.RetryAfterNS),
+			Err:        fmt.Errorf("remote: %s", er.Message),
+		}
+	default:
+		c.broken = true
+		return nil, hardErr(shard, fmt.Errorf("netconn: unexpected op %d", rop))
+	}
 }
 
 // drain runs the query round trip and getMore loop on one checked-out

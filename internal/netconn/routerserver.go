@@ -12,6 +12,7 @@ import (
 	"repro/internal/bson"
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/query"
 	"repro/internal/sharding"
 	"repro/internal/wire"
 )
@@ -113,7 +114,16 @@ func (s *RouterServer) handleOp(h *connHandler, op byte, body []byte) bool {
 			return h.reply(wire.OpError, shed.Encode(nil))
 		}
 		defer s.gate.release()
-		res := s.store.Query(stQueryFromWire(msg))
+		q := stQueryFromWire(msg)
+		var res *core.QueryResult
+		if q.HasAgg() {
+			res, err = s.store.Aggregate(q)
+			if err != nil {
+				return h.replyErr(-1, false, err)
+			}
+		} else {
+			res = s.store.Query(q)
+		}
 		return h.reply(wire.OpSTQueryReply, stReplyToWire(res).Encode(nil))
 	case wire.OpInsert:
 		ins, err := wire.DecodeInsert(body)
@@ -169,13 +179,22 @@ func (s *RouterServer) runInsert(h *connHandler, ins wire.Insert) bool {
 }
 
 func stQueryFromWire(m wire.STQuery) core.STQuery {
-	return core.STQuery{
+	q := core.STQuery{
 		Rect:  geo.NewRect(m.MinLon, m.MinLat, m.MaxLon, m.MaxLat),
 		From:  time.Unix(0, m.FromNS).UTC(),
 		To:    time.Unix(0, m.ToNS).UTC(),
 		Limit: int(m.Limit),
 		Sort:  core.SortOrder(m.Sort),
 	}
+	switch query.AggKind(m.AggKind) {
+	case query.AggCount:
+		q.Count = true
+	case query.AggDistinct:
+		q.Distinct = m.AggField
+	case query.AggCellHist:
+		q.HeatmapBits = int(m.AggBits)
+	}
+	return q
 }
 
 func stReplyToWire(res *core.QueryResult) wire.STQueryReply {
@@ -186,6 +205,10 @@ func stReplyToWire(res *core.QueryResult) wire.STQueryReply {
 		DurationNS:      int64(res.Stats.Duration),
 		Broadcast:       res.Stats.Broadcast,
 		Partial:         res.Stats.Partial,
+		HasAgg:          res.Agg != nil,
+		Agg:             res.Agg,
+		ShardsPruned:    int32(res.Stats.ShardsPruned),
+		CacheHit:        res.Stats.CacheHit,
 	}
 	for _, id := range res.Stats.FailedShards {
 		reply.FailedShards = append(reply.FailedShards, int32(id))
@@ -235,6 +258,16 @@ func (cl *Client) Query(q core.STQuery) (*core.QueryResult, error) {
 		Limit:  int64(q.Limit),
 		Sort:   uint8(q.Sort),
 	}
+	switch {
+	case q.Count:
+		msg.AggKind = uint8(query.AggCount)
+	case q.Distinct != "":
+		msg.AggKind = uint8(query.AggDistinct)
+		msg.AggField = q.Distinct
+	case q.HeatmapBits > 0:
+		msg.AggKind = uint8(query.AggCellHist)
+		msg.AggBits = uint8(q.HeatmapBits)
+	}
 	c, err := cl.pool.get()
 	if err != nil {
 		return nil, err
@@ -259,6 +292,11 @@ func (cl *Client) Query(q core.STQuery) (*core.QueryResult, error) {
 		res.Stats.Duration = time.Duration(reply.DurationNS)
 		res.Stats.Broadcast = reply.Broadcast
 		res.Stats.Partial = reply.Partial
+		res.Stats.ShardsPruned = int(reply.ShardsPruned)
+		res.Stats.CacheHit = reply.CacheHit
+		if reply.HasAgg {
+			res.Agg = reply.Agg
+		}
 		for _, id := range reply.FailedShards {
 			res.Stats.FailedShards = append(res.Stats.FailedShards, int(id))
 		}

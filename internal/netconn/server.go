@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/bson"
+	"repro/internal/query"
 	"repro/internal/sharding"
 	"repro/internal/wire"
 )
@@ -275,6 +276,16 @@ func (s *ShardServer) handleOp(h *connHandler, op byte, body []byte) bool {
 		}
 		defer s.gate.release()
 		return s.runInsert(h, ins)
+	case wire.OpAggregate:
+		ag, err := wire.DecodeAggregate(body)
+		if err != nil {
+			return h.replyErr(-1, false, err)
+		}
+		if shed := s.gate.admit(); shed != nil {
+			return h.reply(wire.OpError, shed.Encode(nil))
+		}
+		defer s.gate.release()
+		return s.runAggregate(h, ag)
 	case wire.OpKillCursor:
 		kc, err := wire.DecodeKillCursor(body)
 		if err != nil {
@@ -390,6 +401,46 @@ func (s *ShardServer) runQuery(h *connHandler, q wire.Query) bool {
 	reply.DurationNS = int64(res.Stats.Duration)
 	reply.IndexUsed = res.Stats.IndexUsed
 	return h.reply(wire.OpQueryReply, reply.Encode(nil))
+}
+
+// runAggregate executes the pushed-down aggregate on one shard and
+// answers with the partial aggregate in a single frame — no cursor:
+// the reply is a handful of integers (or a bounded distinct set), the
+// whole point of shipping the aggregate instead of the documents.
+func (s *ShardServer) runAggregate(h *connHandler, ag wire.Aggregate) bool {
+	shard := s.shards[int(ag.Shard)]
+	if shard == nil {
+		return h.replyErr(ag.Shard, false, fmt.Errorf("shard %d not served here", ag.Shard))
+	}
+	ctx := s.ctx
+	if d := s.opts.Admit.QueryDeadline; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	opts := query.Opts{Agg: ag.Spec()}
+	res, err := s.opts.Conn.Query(ctx, shard, ag.Filter, s.cluster.Options().QueryConfig, opts)
+	if err != nil {
+		if s.opts.Admit.QueryDeadline > 0 && ctx.Err() != nil && s.ctx.Err() == nil {
+			shed := s.gate.overloadReply(fmt.Sprintf(
+				"overloaded: aggregate exceeded server deadline %v", s.opts.Admit.QueryDeadline))
+			return h.reply(wire.OpError, shed.Encode(nil))
+		}
+		var se *sharding.ShardError
+		if errors.As(err, &se) {
+			return h.replyErr(int32(se.Shard), se.Transient, se.Err)
+		}
+		return h.replyErr(ag.Shard, errors.Is(err, context.DeadlineExceeded), err)
+	}
+	reply := wire.AggregateReply{
+		KeysExamined: int64(res.Stats.KeysExamined),
+		DocsExamined: int64(res.Stats.DocsExamined),
+		NReturned:    int64(res.Stats.NReturned),
+		DurationNS:   int64(res.Stats.Duration),
+		IndexUsed:    res.Stats.IndexUsed,
+		Agg:          res.Agg,
+	}
+	return h.reply(wire.OpAggregateReply, reply.Encode(nil))
 }
 
 // cursor is one open server-side result stream: the materialized

@@ -55,7 +55,11 @@ type Result struct {
 	// Keys are the encoded sort keys of Docs, index-aligned, present
 	// only for ordered executions (Opts.OrderBy): the router's k-way
 	// merge compares these instead of re-extracting field values.
-	Keys  [][]byte
+	Keys [][]byte
+	// Agg is the partial aggregate of an Opts.Agg execution; Docs and
+	// Keys are empty then (the whole point: numbers travel, documents
+	// do not). Unlike Docs, the aggregate owns all of its memory.
+	Agg   *AggResult
 	Stats ExecStats
 	// Trials report the multi-planner outcomes when planning ran
 	// trials for this execution.
@@ -107,7 +111,9 @@ func ExecuteOptsCtx(ctx context.Context, coll *collection.Collection, f Filter, 
 		}
 		if completed {
 			res := s.buildResult(opts)
-			e.stats.NReturned = len(res.Docs)
+			if !opts.Agg.Active() {
+				e.stats.NReturned = len(res.Docs)
+			}
 			e.stats.Duration = time.Since(start)
 			e.stats.IndexUsed = plan.Name()
 			res.Stats = e.stats
@@ -127,7 +133,9 @@ func ExecuteOptsCtx(ctx context.Context, coll *collection.Collection, f Filter, 
 	}
 	rememberPlan(coll, f, plan, e.stats.KeysExamined+e.stats.DocsExamined)
 	res := s.buildResult(opts)
-	e.stats.NReturned = len(res.Docs)
+	if !opts.Agg.Active() {
+		e.stats.NReturned = len(res.Docs)
+	}
 	e.stats.Duration = time.Since(start)
 	e.stats.IndexUsed = plan.Name()
 	res.Stats = e.stats
@@ -210,6 +218,7 @@ func (e *exec) run() bool {
 		clear(e.s.docs)
 		e.s.docs = e.s.docs[:0]
 		e.s.top.reset(e.opts.Limit, e.opts.Desc)
+		e.s.agg.reset()
 	}
 	if e.p.Index == nil {
 		return e.runCollScan()
@@ -323,6 +332,10 @@ func (e *exec) emitRaw(id storage.RecordID, raw []byte) bool {
 		switch {
 		case e.ids != nil:
 			*e.ids = append(*e.ids, id)
+		case e.collect && e.opts.Agg.Active():
+			// Aggregation: fold the document and keep scanning. Limit
+			// does not apply — an aggregate covers every match.
+			e.s.agg.accumulate(bson.Raw(raw), e.opts.Agg)
 		case e.collect && e.opts.ordered():
 			e.s.keyBuf = appendSortKey(e.s.keyBuf[:0], bson.Raw(raw), e.opts.OrderBy)
 			e.s.top.offer(bson.Raw(raw), e.s.keyBuf)

@@ -33,6 +33,16 @@ type Explanation struct {
 	CacheMisses int64
 	// Execution holds the counters of the full run.
 	Execution ExecStats
+
+	// Router-level context, filled in by the sharding layer (this
+	// package only sees one collection): whether the shard summary
+	// layer pruned this shard for the query, and the cluster's result
+	// cache counters. They complete the "why was this query cheap"
+	// story next to the plan-cache counters above.
+	Pruned           bool
+	ResultCacheState string // "", "hit", "miss", "off"
+	ResultCacheHits  int64
+	ResultCacheMiss  int64
 }
 
 // PlanExplanation describes one access path.
@@ -117,6 +127,13 @@ func (ex *Explanation) String() string {
 	}
 	if ex.CacheHits+ex.CacheMisses > 0 {
 		fmt.Fprintf(&b, "planCache: hits=%d misses=%d\n", ex.CacheHits, ex.CacheMisses)
+	}
+	if ex.Pruned {
+		fmt.Fprintf(&b, "shardSummary: PRUNED (summary proves no matching cells on this shard)\n")
+	}
+	if ex.ResultCacheState != "" {
+		fmt.Fprintf(&b, "resultCache: %s hits=%d misses=%d\n",
+			ex.ResultCacheState, ex.ResultCacheHits, ex.ResultCacheMiss)
 	}
 	for _, r := range ex.Rejected {
 		fmt.Fprintf(&b, "rejectedPlan: %s\n", planLine(r))

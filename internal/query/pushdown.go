@@ -28,6 +28,11 @@ type Opts struct {
 	OrderBy string
 	// Desc reverses the OrderBy order.
 	Desc bool
+	// Agg, when active, turns the execution into an aggregation: the
+	// scan visits every match (Limit and OrderBy are ignored — an
+	// aggregate must see the whole result set) and the Result carries
+	// a partial AggResult instead of documents.
+	Agg AggSpec
 }
 
 // ordered reports whether results are sorted rather than in scan
@@ -177,6 +182,7 @@ type scratch struct {
 	docs   []bson.Raw
 	top    topK
 	keyBuf []byte
+	agg    aggAcc
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -189,6 +195,7 @@ func putScratch(s *scratch) {
 	clear(s.docs)
 	s.docs = s.docs[:0]
 	s.top.reset(0, false)
+	s.agg.reset()
 	scratchPool.Put(s)
 }
 
@@ -198,6 +205,11 @@ func putScratch(s *scratch) {
 // keys) are copied out of pooled memory. This is the trust boundary:
 // everything the Result references survives the scratch's reuse.
 func (s *scratch) buildResult(opts Opts) *Result {
+	if opts.Agg.Active() {
+		// Aggregates ship no documents; the accumulator materializes
+		// into an owned canonical AggResult.
+		return &Result{Agg: s.agg.result(opts.Agg)}
+	}
 	if !opts.ordered() {
 		docs := make([]bson.Raw, len(s.docs))
 		copy(docs, s.docs)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/replication"
+	"repro/internal/sketch"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -27,6 +28,12 @@ type Chunk struct {
 	Shard int
 	Docs  int
 	Bytes int64
+
+	// sum is the chunk's coarse-cell sketch (nil when summaries are
+	// disabled); sumExact reports that it covers every document in the
+	// chunk — only then may the router prune on it. See summary.go.
+	sum      *sketch.Summary
+	sumExact bool
 }
 
 // Contains reports whether the tuple falls in the chunk.
@@ -116,6 +123,16 @@ type Options struct {
 	// commit); SyncBatchBytes overrides the group-commit threshold.
 	Sync           wal.SyncPolicy
 	SyncBatchBytes int
+	// SummaryShift enables per-chunk coarse-cell sketches when > 0:
+	// each document's leading shard-key value (which must be a
+	// non-negative integer, e.g. a Hilbert d-value) is right-shifted by
+	// this many bits to its summary cell, and the router prunes shards
+	// whose chunks provably hold no cell of a query's range. 0 (the
+	// default) disables the layer entirely. See summary.go.
+	SummaryShift int
+	// ResultCacheBytes bounds the router's epoch-invalidated result
+	// cache; 0 (the default) disables it. See resultcache.go.
+	ResultCacheBytes int64
 }
 
 // Defaults for Options.
@@ -190,12 +207,28 @@ type Cluster struct {
 	// repl holds one replica group per shard (nil entries — and a nil
 	// slice — when replication is off). See replicas.go.
 	repl []*replication.Group
+
+	// epochs are the per-shard content epochs, indexed by shard id:
+	// every operation that can change what a shard's queries return
+	// (insert, delete, retention drop, split, migration, promotion)
+	// bumps the owning shards' entries under the write lock. The result
+	// cache validates hits against them; queries read them under the
+	// read lock, so they are stable for the whole scatter-gather.
+	epochs []uint64
+
+	// rcache is the epoch-invalidated result cache (nil when
+	// Options.ResultCacheBytes is 0). See resultcache.go.
+	rcache *resultCache
 }
 
 // NewCluster creates the shards.
 func NewCluster(opts Options) *Cluster {
 	opts = opts.withDefaults()
 	c := &Cluster{opts: opts, conn: opts.Conn, dedup: newDedupWindow(opts.DedupWindow)}
+	c.epochs = make([]uint64, opts.Shards)
+	if opts.ResultCacheBytes > 0 {
+		c.rcache = newResultCache(opts.ResultCacheBytes)
+	}
 	for i := 0; i < opts.Shards; i++ {
 		c.shards = append(c.shards, &Shard{
 			ID:   i,
@@ -221,6 +254,11 @@ func (c *Cluster) SetConn(conn ShardConn) {
 	c.mu.Lock()
 	c.conn = conn
 	c.opts.Conn = conn
+	// A new execution boundary may answer from different state (remote
+	// processes, fault programs): flush the result cache wholesale.
+	for i := range c.epochs {
+		c.epochs[i]++
+	}
 	c.mu.Unlock()
 }
 
@@ -377,8 +415,11 @@ func (c *Cluster) Insert(doc *bson.Document) error {
 // (ingest.go) do that once per write operation.
 func (c *Cluster) insertDocLocked(doc *bson.Document) error {
 	if !c.sharded {
-		_, err := c.shards[0].Coll.Insert(doc)
-		return err
+		if _, err := c.shards[0].Coll.Insert(doc); err != nil {
+			return err
+		}
+		c.bumpEpochLocked(0)
+		return nil
 	}
 	tuple := c.key.TupleOf(doc)
 	ci := c.findChunk(tuple)
@@ -391,6 +432,8 @@ func (c *Cluster) insertDocLocked(doc *bson.Document) error {
 	}
 	ch.Docs++
 	ch.Bytes += int64(bson.RawSize(doc))
+	c.bumpEpochLocked(ch.Shard)
+	c.summaryAddLocked(ch, doc)
 	if ch.Bytes > c.opts.ChunkMaxBytes {
 		c.splitChunkLocked(ci)
 	}
@@ -521,6 +564,12 @@ func (c *Cluster) splitChunkLocked(ci int) {
 	copy(c.chunks[ci+2:], c.chunks[ci+1:])
 	c.chunks[ci+1] = right
 	c.splits++
+	// Both halves rebuild their sketches from the data: the parent's
+	// sketch cannot be divided. The shard's content did not change, but
+	// its chunk map did — bump the epoch so cached routes re-validate.
+	c.bumpEpochLocked(ch.Shard)
+	c.rebuildChunkSummaryLocked(ch)
+	c.rebuildChunkSummaryLocked(right)
 }
 
 // Delete removes every document matching the filter, keeping the
@@ -555,6 +604,7 @@ func (c *Cluster) Delete(f query.Filter) (int, error) {
 // document left its shard (shared by Delete and journal replay).
 func (c *Cluster) noteDeletedLocked(doc *bson.Document) {
 	if !c.sharded {
+		c.bumpEpochLocked(0)
 		return
 	}
 	if ci := c.findChunk(c.key.TupleOf(doc)); ci >= 0 {
@@ -564,7 +614,62 @@ func (c *Cluster) noteDeletedLocked(doc *bson.Document) {
 		if ch.Bytes < 0 {
 			ch.Bytes = 0
 		}
+		c.bumpEpochLocked(ch.Shard)
+		c.summaryRemoveLocked(ch, doc)
 	}
+}
+
+// bumpEpochLocked advances one shard's content epoch, invalidating
+// every cached result that was computed against it.
+func (c *Cluster) bumpEpochLocked(sid int) {
+	if sid >= 0 && sid < len(c.epochs) {
+		c.epochs[sid]++
+	}
+}
+
+// epochsOfLocked snapshots the content epochs of the given shard ids,
+// in order. The caller holds at least the read lock.
+func (c *Cluster) epochsOfLocked(sids []int) []uint64 {
+	out := make([]uint64, len(sids))
+	for i, sid := range sids {
+		if sid >= 0 && sid < len(c.epochs) {
+			out[i] = c.epochs[sid]
+		}
+	}
+	return out
+}
+
+// ShardEpochs returns a snapshot of every shard's content epoch —
+// observability for tests and CLIs.
+func (c *Cluster) ShardEpochs() []uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]uint64(nil), c.epochs...)
+}
+
+// EnableResultCache installs (maxBytes > 0) or removes (<= 0) the
+// router's epoch-invalidated result cache.
+func (c *Cluster) EnableResultCache(maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opts.ResultCacheBytes = maxBytes
+	if maxBytes > 0 {
+		c.rcache = newResultCache(maxBytes)
+	} else {
+		c.rcache = nil
+	}
+}
+
+// ResultCacheStats returns the cache's cumulative hit/miss counters
+// (zeros when the cache is disabled).
+func (c *Cluster) ResultCacheStats() (hits, misses int64) {
+	c.mu.RLock()
+	rc := c.rcache
+	c.mu.RUnlock()
+	if rc == nil {
+		return 0, 0
+	}
+	return rc.stats()
 }
 
 // Balance runs the balancer until the chunk counts are even (or no
@@ -678,6 +783,10 @@ func (c *Cluster) moveChunkLocked(ch *Chunk, to int) {
 	}
 	ch.Shard = to
 	c.migrations++
+	// The sketch moves with the chunk (content unchanged — that is the
+	// point of per-chunk granularity); both shards' contents changed.
+	c.bumpEpochLocked(from)
+	c.bumpEpochLocked(to)
 }
 
 func (c *Cluster) chunkCountsLocked() []int {
@@ -695,6 +804,10 @@ func (c *Cluster) Chunks() []Chunk {
 	out := make([]Chunk, len(c.chunks))
 	for i, ch := range c.chunks {
 		out[i] = *ch
+		// The sketch stays with the live chunk: a snapshot must not
+		// alias a structure the write path keeps mutating.
+		out[i].sum = nil
+		out[i].sumExact = false
 	}
 	return out
 }

@@ -240,6 +240,14 @@ func OpenCluster(opts Options) (*Cluster, error) {
 	if err := c.attachDurability(fs, opts, res.NextLSN-1); err != nil {
 		return nil, err
 	}
+	// Snapshot restore loads documents without going through the insert
+	// path, so the per-chunk sketches are rebuilt from the recovered
+	// data in one pass.
+	if opts.SummaryShift > 0 {
+		c.mu.Lock()
+		c.rebuildSummariesLocked()
+		c.mu.Unlock()
+	}
 	if fresh {
 		c.mu.Lock()
 		err := c.journalMeta(opInit, encodeInit(c.opts))
@@ -274,6 +282,8 @@ func mergeRuntime(structural, caller Options) Options {
 	structural.ReadPref = caller.ReadPref
 	structural.AckTimeout = caller.AckTimeout
 	structural.DedupWindow = caller.DedupWindow
+	structural.SummaryShift = caller.SummaryShift
+	structural.ResultCacheBytes = caller.ResultCacheBytes
 	return structural
 }
 

@@ -294,6 +294,11 @@ func (c *Cluster) promoteLocked(sid int) error {
 	newColl.Store().SetHook(&shardHook{c: c, shard: sid})
 	c.shards[sid].Epoch++
 	c.breakers[sid] = newBreaker(c.opts.Resilience)
+	// The promoted follower may lag the old primary: its content epoch
+	// moves (cached results against the old primary are stale) and its
+	// chunks' sketches are rebuilt from what it actually holds.
+	c.bumpEpochLocked(sid)
+	c.rebuildShardSummariesLocked(sid)
 	return nil
 }
 

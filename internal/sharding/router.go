@@ -68,6 +68,20 @@ type RoutedResult struct {
 	// and on every healthy query).
 	Err error
 
+	// Agg is the merged aggregate of an aggregation-pushdown query
+	// (opts.Agg active): each shard computed its partial over its own
+	// documents and the router folded them in TargetedShards order —
+	// canonical, so byte-identical at every completion order. Docs are
+	// empty for such queries; that is the point.
+	Agg *query.AggResult
+	// ShardsPruned counts shards the router excluded because their
+	// chunks' sketches proved them empty over the query's cell ranges —
+	// shards a range-only router would have visited. See summary.go.
+	ShardsPruned int
+	// CacheHit reports that the whole result was served from the
+	// router's epoch-validated result cache without touching a shard.
+	CacheHit bool
+
 	// FailedOver counts targeted shards whose primary was unreachable
 	// and whose answer came from a replica instead (the shard does NOT
 	// appear in FailedShards — the result is complete).
@@ -161,11 +175,27 @@ func (c *Cluster) queryCtxLocked(ctx context.Context, f query.Filter, opts query
 	}
 	qctx, abort := context.WithCancel(ctx)
 	defer abort()
-	targets, broadcast := c.routeLocked(f)
+	targets, broadcast, pruned := c.routeLocked(f)
+
+	// Result cache probe: valid only if the filter still routes to the
+	// same shard set and none of those shards' content epochs moved.
+	var cacheKey string
+	cacheable := false
+	if c.rcache != nil {
+		if k, ok := resultCacheKey(f, opts); ok {
+			cacheKey, cacheable = k, true
+			if hit := c.rcache.get(cacheKey, targets, c.epochsOfLocked(targets)); hit != nil {
+				hit.ShardsPruned = len(pruned)
+				return hit, hit.Err
+			}
+		}
+	}
+
 	res := &RoutedResult{
 		ShardsTargeted: len(targets),
 		TargetedShards: targets,
 		Broadcast:      broadcast,
+		ShardsPruned:   len(pruned),
 	}
 	outcomes := make([]shardOutcome, len(targets))
 	failFast := c.opts.Resilience.Policy == FailFast
@@ -176,6 +206,13 @@ func (c *Cluster) queryCtxLocked(ctx context.Context, f query.Filter, opts query
 		}
 	})
 	c.foldLocked(res, outcomes, opts)
+
+	// Cache only complete primary-served answers: partial results,
+	// failed shards and replica reads (which may lag the epochs the
+	// entry would validate against) all bypass the fill.
+	if cacheable && res.Err == nil && !res.Partial && res.ReplicaReads == 0 && ctx.Err() == nil {
+		c.rcache.put(cacheKey, targets, c.epochsOfLocked(targets), res)
+	}
 	return res, res.Err
 }
 
@@ -226,11 +263,15 @@ func (c *Cluster) queryBatchCtxLocked(ctx context.Context, fs []query.Filter, op
 	type task struct{ q, t int }
 	var tasks []task
 	for qi, f := range fs {
-		targets, broadcast := c.routeLocked(f)
+		// The batch path shares routing (and pruning) with the single-
+		// query path but does not consult the result cache: batches are
+		// throughput-oriented one-shot scans.
+		targets, broadcast, pruned := c.routeLocked(f)
 		results[qi] = &RoutedResult{
 			ShardsTargeted: len(targets),
 			TargetedShards: targets,
 			Broadcast:      broadcast,
+			ShardsPruned:   len(pruned),
 		}
 		outcomes[qi] = make([]shardOutcome, len(targets))
 		for ti := range targets {
@@ -468,10 +509,11 @@ func (c *Cluster) foldLocked(res *RoutedResult, outcomes []shardOutcome, opts qu
 	res.Partial = true
 	if c.opts.Resilience.Policy == FailFast {
 		// FailFast never hands out a short merge: keep the per-shard
-		// stats for observability, drop the merged docs and count,
-		// surface the root cause.
+		// stats for observability, drop the merged docs, count and
+		// aggregate, surface the root cause.
 		res.Docs = nil
 		res.TotalReturned = 0
+		res.Agg = nil
 		res.Err = rootCause(outcomes)
 	}
 }
@@ -565,6 +607,21 @@ func mergeLocked(res *RoutedResult, perShard []*query.Result, width int, opts qu
 		if r.Stats.DocsExamined > res.MaxDocsExamined {
 			res.MaxDocsExamined = r.Stats.DocsExamined
 		}
+	}
+	if opts.Agg.Active() {
+		// Aggregation pushdown: fold the partial aggregates in
+		// TargetedShards order. Merge is commutative and every partial
+		// is canonical, so the result is identical at every completion
+		// order; no documents ship.
+		agg := &query.AggResult{Kind: opts.Agg.Kind}
+		for _, r := range perShard {
+			if r != nil {
+				agg.Merge(r.Agg)
+			}
+		}
+		res.Agg = agg
+		res.Duration = poolMakespan(durs, width) + time.Since(mergeStart)
+		return
 	}
 	if opts.Limit > 0 && total > opts.Limit {
 		total = opts.Limit
@@ -707,15 +764,47 @@ func poolMakespan(durs []time.Duration, width int) time.Duration {
 }
 
 // Explain routes the filter and returns each targeted shard's full
-// plan explanation, in TargetedShards order.
+// plan explanation, in TargetedShards order, followed by one entry per
+// sketch-pruned shard (Pruned = true) so the plan shows what the
+// summaries saved. Every entry also carries the router's result-cache
+// view: whether this exact query would hit, and the cumulative
+// hit/miss counters.
 func (c *Cluster) Explain(f query.Filter) (targets []int, exps []*query.Explanation) {
+	return c.ExplainOpts(f, query.Opts{})
+}
+
+// ExplainOpts is Explain for a query with pushed-down options (the
+// cache key depends on them).
+func (c *Cluster) ExplainOpts(f query.Filter, opts query.Opts) (targets []int, exps []*query.Explanation) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	targets, _ = c.routeLocked(f)
-	for _, sid := range targets {
-		exps = append(exps, query.Explain(c.shards[sid].Coll, f, c.opts.QueryConfig))
+	executed, _, pruned := c.routeLocked(f)
+	cacheState := "off"
+	var hits, misses int64
+	if c.rcache != nil {
+		cacheState = "miss"
+		if key, ok := resultCacheKey(f, opts); ok &&
+			c.rcache.peek(key, executed, c.epochsOfLocked(executed)) {
+			cacheState = "hit"
+		}
+		hits, misses = c.rcache.stats()
 	}
-	return targets, exps
+	for _, sid := range executed {
+		e := query.Explain(c.shards[sid].Coll, f, c.opts.QueryConfig)
+		e.ResultCacheState = cacheState
+		e.ResultCacheHits = hits
+		e.ResultCacheMiss = misses
+		exps = append(exps, e)
+	}
+	for _, sid := range pruned {
+		e := query.Explain(c.shards[sid].Coll, f, c.opts.QueryConfig)
+		e.Pruned = true
+		e.ResultCacheState = cacheState
+		e.ResultCacheHits = hits
+		e.ResultCacheMiss = misses
+		exps = append(exps, e)
+	}
+	return append(executed, pruned...), exps
 }
 
 // routeLocked computes the target shard ids for a filter; the caller
@@ -725,13 +814,21 @@ func (c *Cluster) Explain(f query.Filter) (targets []int, exps []*query.Explanat
 // range. A filter that does not constrain the leading shard-key field
 // becomes a broadcast (Section 4.1.2: "broadcast operations occur if
 // a query's field constraints are not found in the shard key").
-func (c *Cluster) routeLocked(f query.Filter) (shards []int, broadcast bool) {
+//
+// On top of the range overlap, the per-chunk sketches prune chunks
+// that provably hold no document in the query's coarse-cell ranges —
+// chunk byte-ranges tile the whole key space, so overlap alone visits
+// shards that own only empty stretches of it. pruned lists the shards
+// (ascending) the overlap test targeted but every overlapping chunk
+// of which proved empty; pruning is prove-empty only, so a pruned
+// shard could not have contributed a document.
+func (c *Cluster) routeLocked(f query.Filter) (shards []int, broadcast bool, pruned []int) {
 	if !c.sharded {
-		return []int{0}, false
+		return []int{0}, false, nil
 	}
 	b := query.BoundsOf(f)
 	if b.Impossible() {
-		return nil, false
+		return nil, false, nil
 	}
 	ranges := c.shardKeyRanges(b)
 	target := make(map[int]bool)
@@ -743,23 +840,47 @@ func (c *Cluster) routeLocked(f query.Filter) (shards []int, broadcast bool) {
 			}
 		}
 	} else {
+		var cells []cellRange
+		consult := false
+		if c.pruningOnLocked() {
+			if set, ok := b.Intervals(c.key.Fields[0]); ok && len(set) > 0 {
+				cells, consult = c.pruneCellRangesLocked(set)
+			}
+		}
+		var candidate map[int]bool
+		if consult {
+			candidate = make(map[int]bool)
+		}
 		for _, ch := range c.chunks {
 			if ch.Docs == 0 {
 				continue
 			}
 			for _, r := range ranges {
-				if r.overlapsChunk(ch) {
-					target[ch.Shard] = true
-					break
+				if !r.overlapsChunk(ch) {
+					continue
 				}
+				if consult {
+					candidate[ch.Shard] = true
+					if !chunkMayMatchLocked(ch, cells) {
+						break
+					}
+				}
+				target[ch.Shard] = true
+				break
 			}
 		}
+		for sid := range candidate {
+			if !target[sid] {
+				pruned = append(pruned, sid)
+			}
+		}
+		slices.Sort(pruned)
 	}
 	for sid := range target {
 		shards = append(shards, sid)
 	}
 	slices.Sort(shards)
-	return shards, broadcast
+	return shards, broadcast, pruned
 }
 
 // shardKeyRanges translates the filter bounds into tuple ranges; nil

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestAggregateRoundTrip(t *testing.T) {
+	f := query.NewAnd(
+		query.Cmp{Field: "hilbertIndex", Op: query.OpGTE, Value: int64(100)},
+		query.Cmp{Field: "hilbertIndex", Op: query.OpLTE, Value: int64(900)},
+	)
+	m := Aggregate{Shard: 3, AggKind: uint8(query.AggCellHist), AggField: "hilbertIndex", AggShift: 12, Filter: f}
+	body, err := m.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAggregate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != m.Shard || got.AggKind != m.AggKind || got.AggField != m.AggField || got.AggShift != m.AggShift {
+		t.Fatalf("header mismatch: %+v vs %+v", got, m)
+	}
+	if got.Filter.String() != f.String() {
+		t.Fatalf("filter mismatch: %s vs %s", got.Filter, f)
+	}
+	spec := got.Spec()
+	if spec.Kind != query.AggCellHist || spec.Field != "hilbertIndex" || spec.Shift != 12 {
+		t.Fatalf("spec mismatch: %+v", spec)
+	}
+}
+
+func TestAggregateReplyRoundTrip(t *testing.T) {
+	for _, agg := range []*query.AggResult{
+		nil,
+		{Kind: query.AggCount, Count: 42},
+		{Kind: query.AggDistinct, Count: 7, Distinct: [][]byte{[]byte("a"), []byte("bc")}},
+		{Kind: query.AggCellHist, Count: 5, Cells: []query.CellCount{{Cell: 1, Count: 2}, {Cell: 9, Count: 3}}},
+	} {
+		m := AggregateReply{KeysExamined: 10, DocsExamined: 9, NReturned: 5, DurationNS: 1234, IndexUsed: "ix", Agg: agg}
+		got, err := DecodeAggregateReply(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("agg %+v: %v", agg, err)
+		}
+		if got.KeysExamined != 10 || got.IndexUsed != "ix" {
+			t.Fatalf("stats mismatch: %+v", got)
+		}
+		want := agg
+		if want == nil {
+			want = &query.AggResult{}
+		}
+		if !got.Agg.Equal(want) {
+			t.Fatalf("agg mismatch: %+v vs %+v", got.Agg, want)
+		}
+	}
+}
+
+// TestAggResultCanonicalBytes pins the property the digest and cache
+// key rest on: equal aggregates encode to equal bytes, different
+// aggregates to different bytes.
+func TestAggResultCanonicalBytes(t *testing.T) {
+	a := &query.AggResult{Kind: query.AggCount, Count: 3}
+	b := &query.AggResult{Kind: query.AggCount, Count: 3}
+	c := &query.AggResult{Kind: query.AggCount, Count: 4}
+	if !bytes.Equal(AppendAggResult(nil, a), AppendAggResult(nil, b)) {
+		t.Fatal("equal aggregates encode differently")
+	}
+	if bytes.Equal(AppendAggResult(nil, a), AppendAggResult(nil, c)) {
+		t.Fatal("different aggregates encode identically")
+	}
+	got, err := DecodeAggResult(AppendAggResult(nil, a))
+	if err != nil || !got.Equal(a) {
+		t.Fatalf("round trip: %+v, %v", got, err)
+	}
+}
+
+func TestSTQueryAggFieldsRoundTrip(t *testing.T) {
+	m := STQuery{MinLon: 1, MaxLat: 2, FromNS: 3, ToNS: 4, Limit: 5,
+		AggKind: 2, AggField: "date", AggBits: 6}
+	got, err := DecodeSTQuery(m.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("mismatch: %+v vs %+v", got, m)
+	}
+	r := STQueryReply{Nodes: 2, HasAgg: true,
+		Agg:          &query.AggResult{Kind: query.AggCount, Count: 9},
+		ShardsPruned: 3, CacheHit: true,
+		FailedShards: []int32{}, Docs: [][]byte{}}
+	gr, err := DecodeSTQueryReply(r.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gr.HasAgg || !gr.Agg.Equal(r.Agg) || gr.ShardsPruned != 3 || !gr.CacheHit {
+		t.Fatalf("reply mismatch: %+v", gr)
+	}
+}

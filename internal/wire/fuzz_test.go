@@ -67,6 +67,50 @@ func FuzzFrameDecode(f *testing.F) {
 		DecodeSTQuery(msgBody)
 		DecodeSTQueryReply(msgBody)
 		DecodeFilter(msgBody)
+		DecodeAggregate(msgBody)
+		DecodeAggregateReply(msgBody)
+		DecodeAggResult(msgBody)
+	})
+}
+
+// FuzzAggregateDecode drills into the aggregation codecs: the
+// Aggregate, AggregateReply and canonical AggResult decoders must be
+// total on hostile bytes (no panic, allocation bounded by count
+// validation), and any aggregate body they accept must re-encode to a
+// stable canonical form — decode(encode(decode(x))) == decode(x) — the
+// property the digest differential and the result-cache key depend on.
+func FuzzAggregateDecode(f *testing.F) {
+	aggBody, _ := Aggregate{Shard: 1, AggKind: 1}.Encode(nil)
+	f.Add(aggBody)
+	f.Add(AggregateReply{NReturned: 3}.Encode(nil))
+	f.Add(AppendAggResult(nil, nil))
+	f.Add(AggregateReply{IndexUsed: "ix"}.Encode(nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		DecodeAggregate(data)
+		if m, err := DecodeAggregateReply(data); err == nil {
+			re := m.Encode(nil)
+			m2, err2 := DecodeAggregateReply(re)
+			if err2 != nil {
+				t.Fatalf("re-encoded AggregateReply rejected: %v", err2)
+			}
+			if !m2.Agg.Equal(m.Agg) || m2.NReturned != m.NReturned {
+				t.Fatalf("AggregateReply unstable: %+v vs %+v", m, m2)
+			}
+			if len(re) > len(data) {
+				t.Fatal("re-encoding grew past the input")
+			}
+		}
+		if a, err := DecodeAggResult(data); err == nil {
+			re := AppendAggResult(nil, a)
+			a2, err2 := DecodeAggResult(re)
+			if err2 != nil || !a2.Equal(a) {
+				t.Fatalf("AggResult unstable (%v): %+v vs %+v", err2, a, a2)
+			}
+			if !bytes.Equal(AppendAggResult(nil, a2), re) {
+				t.Fatal("canonical bytes not a fixed point")
+			}
+		}
 	})
 }
 

@@ -420,6 +420,13 @@ type STQuery struct {
 	Limit          int64
 	// Sort: 0 none, 1 date ascending, 2 date descending.
 	Sort uint8
+	// The aggregate request (version 4): 0 none, 1 count, 2 distinct
+	// AggField, 3 heatmap over order-AggBits cells. The daemon's store
+	// translates bits into the curve shift, so the thin client needs no
+	// knowledge of the server's curve order.
+	AggKind  uint8
+	AggField string
+	AggBits  uint8
 }
 
 // Encode appends the message body to buf.
@@ -431,7 +438,10 @@ func (m STQuery) Encode(buf []byte) []byte {
 	buf = appendI64(buf, m.FromNS)
 	buf = appendI64(buf, m.ToNS)
 	buf = appendI64(buf, m.Limit)
-	return appendU8(buf, m.Sort)
+	buf = appendU8(buf, m.Sort)
+	buf = appendU8(buf, m.AggKind)
+	buf = appendString(buf, m.AggField)
+	return appendU8(buf, m.AggBits)
 }
 
 // DecodeSTQuery decodes an STQuery body.
@@ -444,6 +454,9 @@ func DecodeSTQuery(b []byte) (STQuery, error) {
 		Limit: d.i64("limit"),
 		Sort:  d.u8("sort"),
 	}
+	m.AggKind = d.u8("agg kind")
+	m.AggField = d.string("agg field")
+	m.AggBits = d.u8("agg bits")
 	return m, d.finish()
 }
 
@@ -459,6 +472,12 @@ type STQueryReply struct {
 	Partial         bool
 	FailedShards    []int32
 	Docs            [][]byte
+	// Version 4: the merged aggregate (when the query pushed one
+	// down), plus the router's pruning/caching observables.
+	HasAgg       bool
+	Agg          *query.AggResult
+	ShardsPruned int32
+	CacheHit     bool
 }
 
 // Encode appends the message body to buf.
@@ -477,7 +496,12 @@ func (m STQueryReply) Encode(buf []byte) []byte {
 	for _, doc := range m.Docs {
 		buf = appendBytes(buf, doc)
 	}
-	return buf
+	buf = appendBool(buf, m.HasAgg)
+	if m.HasAgg {
+		buf = AppendAggResult(buf, m.Agg)
+	}
+	buf = appendU32(buf, uint32(m.ShardsPruned))
+	return appendBool(buf, m.CacheHit)
 }
 
 // DecodeSTQueryReply decodes an STQueryReply body.
@@ -501,5 +525,11 @@ func DecodeSTQueryReply(b []byte) (STQueryReply, error) {
 	for i := 0; i < nd && d.err == nil; i++ {
 		m.Docs = append(m.Docs, d.bytes("doc"))
 	}
+	m.HasAgg = d.bool("has agg")
+	if m.HasAgg && d.err == nil {
+		m.Agg = decodeAggResult(d)
+	}
+	m.ShardsPruned = int32(d.u32("shards pruned"))
+	m.CacheHit = d.bool("cache hit")
 	return m, d.finish()
 }

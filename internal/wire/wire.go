@@ -38,7 +38,12 @@ import (
 // idempotent batch IDs) and the shared-secret HMAC challenge in the
 // handshake (nonce fields in Hello/HelloReply, OpAuth/OpAuthReply,
 // ErrCodeUnauthorized).
-const ProtocolVersion = 3
+//
+// Version 4 added aggregation pushdown: OpAggregate/OpAggregateReply
+// (per-shard partial aggregates instead of document batches) and the
+// aggregate fields appended to STQuery/STQueryReply for the router
+// daemon path.
+const ProtocolVersion = 4
 
 // MaxFrameBody bounds a single frame body. Result batches are bounded
 // by the server's batch size, so real frames stay far below this; the
@@ -69,6 +74,8 @@ const (
 	OpInsertReply
 	OpAuth
 	OpAuthReply
+	OpAggregate
+	OpAggregateReply
 )
 
 // ErrorReply codes: the machine-readable classification riding next

@@ -9,19 +9,23 @@ set -eux
 go build ./...
 go test -timeout 180s ./...
 go vet ./...
-go test -race -timeout 300s ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/... ./internal/wire/... ./internal/netconn/... ./internal/replication/...
+go test -race -timeout 300s ./internal/sharding/... ./internal/query/... ./internal/storage/... ./internal/wal/... ./internal/core/... ./internal/btree/... ./internal/wire/... ./internal/netconn/... ./internal/replication/... ./internal/sketch/...
 
 # A 10-second slice of each fuzz target: BSON decoding is total, key
 # encoding preserves order, journal recovery never panics or replays
 # a corrupt frame, the arena B+tree matches a sorted-map oracle under
-# arbitrary operation streams, and the wire protocol's decoders never
-# panic or over-allocate on hostile network bytes.
+# arbitrary operation streams, the wire protocol's decoders never
+# panic or over-allocate on hostile network bytes, and the counting-
+# bloom sketch never reports a false negative against an exact-set
+# oracle.
 go test -timeout 120s ./internal/bson -fuzz FuzzDocumentRoundTrip -fuzztime 10s
 go test -timeout 120s ./internal/keyenc -fuzz FuzzKeyOrdering -fuzztime 10s
 go test -timeout 120s ./internal/wal -fuzz FuzzFrameRecover -fuzztime 10s
 go test -timeout 120s ./internal/btree -fuzz FuzzTreeOps -fuzztime 10s
 go test -timeout 120s ./internal/wire -fuzz FuzzFrameDecode -fuzztime 10s
 go test -timeout 120s ./internal/wire -fuzz FuzzInsertDecode -fuzztime 10s
+go test -timeout 120s ./internal/wire -fuzz FuzzAggregateDecode -fuzztime 10s
+go test -timeout 120s ./internal/sketch -fuzz FuzzSketch -fuzztime 10s
 
 # Differential smoke of the real multi-process cluster: two stshardd
 # daemons + one strouterd must answer the paper's queries

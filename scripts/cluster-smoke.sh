@@ -64,6 +64,25 @@ diff "$TMP/local.out" "$TMP/addrs.out"
 echo "local vs router daemon (-router):"
 diff "$TMP/local.out" "$TMP/router.out"
 
+# The aggregate pushdown differential: the merged aggregate's
+# canonical digest must be byte-identical whether shards compute their
+# partials in process, across the two shard daemons (single
+# OpAggregate frames), or behind the router daemon's client op.
+for AGG in "-count" "-heatmap 6"; do
+    # shellcheck disable=SC2086
+    "$TMP/stquery" -records "$RECORDS" -shards "$SHARDS" $AGG -digest >"$TMP/agg-local.out" 2>>"$TMP/local.log"
+    # shellcheck disable=SC2086
+    "$TMP/stquery" -records "$RECORDS" -shards "$SHARDS" -addrs "$ADDR1,$ADDR2" $AGG -digest >"$TMP/agg-addrs.out" 2>>"$TMP/addrs.log"
+    # shellcheck disable=SC2086
+    "$TMP/stquery" -router "$RADDR" $AGG -digest >"$TMP/agg-router.out" 2>>"$TMP/thin.log"
+    echo "aggregate $AGG: local vs -addrs vs -router:"
+    diff "$TMP/agg-local.out" "$TMP/agg-addrs.out"
+    diff "$TMP/agg-local.out" "$TMP/agg-router.out"
+    [ "$(wc -l <"$TMP/agg-local.out")" -eq 8 ]
+    awk '{ for (i = 1; i <= NF; i++) if ($i ~ /^n=/) { sub("n=", "", $i); if ($i + 0 > 0) found = 1 } }
+         END { exit !found }' "$TMP/agg-local.out"
+done
+
 # Guard against a vacuous pass: all eight queries must have run and at
 # least one must have returned documents.
 [ "$(wc -l <"$TMP/local.out")" -eq 8 ]
